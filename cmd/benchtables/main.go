@@ -1,0 +1,195 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section from the simulated multi-facility environment, and
+// prints each next to the paper's published numbers. Run with -all (the
+// default) or select one artifact:
+//
+//	benchtables -table 2          Table 2 flow-run statistics
+//	benchtables -fig streaming    §5.2 streaming latency sweep
+//	benchtables -fig lifecycle    §4.3 / Fig. 3 data lifecycle
+//	benchtables -fig speedup      §5.1 >100× time-to-insight
+//	benchtables -fig prune        §5.3 prune-burst incident
+//	benchtables -fig dualpath     dual-path ablation (A2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+var epoch = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a numbered table (2)")
+	fig := flag.String("fig", "", "regenerate a figure: streaming|lifecycle|speedup|prune|dualpath|contention")
+	scans := flag.Int("scans", 100, "number of scans for the Table 2 campaign")
+	seed := flag.Int64("seed", 832, "simulation seed")
+	flag.Parse()
+
+	all := *table == 0 && *fig == ""
+	if all || *table == 2 {
+		runTable2(*scans, *seed)
+	}
+	if all || *fig == "streaming" {
+		runStreaming()
+	}
+	if all || *fig == "lifecycle" {
+		runLifecycle(*seed)
+	}
+	if all || *fig == "speedup" {
+		runSpeedup(*seed)
+	}
+	if all || *fig == "prune" {
+		runPrune()
+	}
+	if all || *fig == "dualpath" {
+		runDualPath(*seed)
+	}
+	if all || *fig == "contention" {
+		runContention()
+	}
+	if !all && *table != 0 && *table != 2 {
+		fmt.Fprintf(os.Stderr, "unknown table %d (the paper has Table 2)\n", *table)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n================ %s ================\n", title)
+}
+
+func cfgWithSeed(seed int64) core.SimConfig {
+	cfg := core.DefaultSimConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+func runTable2(scans int, seed int64) {
+	header("Table 2: flow-run summary statistics")
+	b := core.NewBeamline(epoch, cfgWithSeed(seed))
+	res := b.RunProductionCampaign(scans, scans)
+	fmt.Print(core.FormatTable2(res))
+	fmt.Println("\npaper reference:")
+	fmt.Println("  new_file_832       100  120 ± 171    56  [30, 676]")
+	fmt.Println("  nersc_recon_flow   100 1525 ± 464  1665  [354, 2351]")
+	fmt.Println("  alcf_recon_flow    100 1151 ± 246  1114  [710, 1965]")
+	fmt.Printf("\nstreaming previews alongside: median %.1f s, max %.1f s (paper: <10 s)\n",
+		res.Streaming.Median, res.Streaming.Max)
+	for name, rate := range res.SuccessRate {
+		fmt.Printf("success rate %-18s %.0f%%\n", name, rate*100)
+	}
+}
+
+func runStreaming() {
+	header("§5.2 streaming latency sweep")
+	pts := core.RunStreamingSweep(epoch, []float64{0.5, 1, 2, 5, 10, 15, 20, 25, 30})
+	fmt.Printf("%8s %12s %12s %10s %s\n", "raw GB", "recon", "send", "total", "<10s")
+	for _, p := range pts {
+		fmt.Printf("%8.1f %12v %12v %10v %v\n",
+			p.RawGB, p.ReconTime.Round(time.Millisecond),
+			p.SendTime.Round(time.Millisecond),
+			p.Latency.Round(time.Millisecond), p.UnderTenSec)
+	}
+	fmt.Println("\npaper reference: 1969×2160×2560 u16 (~20 GB) reconstructs in 7–8 s;")
+	fmt.Println("preview slices return in <1 s; total <10 s after acquisition.")
+}
+
+func runLifecycle(seed int64) {
+	header("§4.3 / Fig. 3 data lifecycle")
+	for _, cadence := range []time.Duration{3 * time.Minute, 4 * time.Minute, 5 * time.Minute} {
+		b := core.NewBeamline(epoch, cfgWithSeed(seed))
+		res := b.RunLifecycle(4*time.Hour, cadence)
+		fmt.Printf("cadence %v: %d scans, %.1f scans/h, raw %.2f TB, derived %.2f TB, projected %.2f TB/day\n",
+			cadence, res.Scans, res.ScansPerHour,
+			float64(res.RawBytes)/1e12, float64(res.DerivedBytes)/1e12,
+			res.DailyBytes/1e12)
+		fmt.Printf("  tiers: beamline %.2f TB, CFS %.2f TB, HPSS %.2f TB; pruned %.2f TB; WAN util %.0f%%\n",
+			float64(res.DataSrvUsed)/1e12, float64(res.CFSUsed)/1e12,
+			float64(res.HPSSUsed)/1e12, float64(res.PrunedBytes)/1e12,
+			res.WANUtilization*100)
+	}
+	fmt.Println("\npaper reference: 12–20 scans/hour peak, 0.5–5 TB/day, ~30 GB raw per scan")
+}
+
+func runSpeedup(seed int64) {
+	header("§5.1 time-to-insight vs historical workflow")
+	b := core.NewBeamline(epoch, cfgWithSeed(seed))
+	res := b.RunSpeedup()
+	fmt.Printf("historical: %v save + %v single-slice recon = %v\n",
+		res.HistoricalSave, res.HistoricalRecon, res.Historical)
+	fmt.Printf("streaming preview now: %v  → %.0f× speedup\n",
+		res.StreamingNow.Round(time.Millisecond), res.SpeedupPreview)
+	fmt.Printf("file-branch full volume now: %v → %.1f× speedup\n",
+		res.FileBranchNow.Round(time.Second), res.SpeedupVolume)
+	fmt.Println("\npaper reference: \">100× improvement in time-to-insight\"")
+}
+
+func runPrune() {
+	header("§5.3 prune-burst incident")
+	res := core.RunPruneIncident(epoch, 24, 4, 0.5)
+	fmt.Printf("%d prune requests through 4 workers, 50%% permission-locked:\n", res.Requests)
+	fmt.Printf("  legacy (hang on error): makespan %v, peak queue %d\n",
+		res.LegacyMakespan.Round(time.Second), res.LegacyPeakQ)
+	fmt.Printf("  fail-early fix:         makespan %v, peak queue %d\n",
+		res.FixedMakespan.Round(time.Second), res.FixedPeakQ)
+	fmt.Printf("  improvement: %.1f× faster drain\n",
+		res.LegacyMakespan.Seconds()/res.FixedMakespan.Seconds())
+	fmt.Println("\npaper reference: hung prune jobs saturated the queue; refactored to fail early")
+}
+
+func runDualPath(seed int64) {
+	header("A2 ablation: dual-path vs file-only feedback latency")
+	b := core.NewBeamline(epoch, cfgWithSeed(seed))
+	var stream, file time.Duration
+	b.Engine.Go("ablation", func(p *sim.Proc) {
+		scan := &core.Scan{ID: "ablate", Sample: "typical", RawBytes: 20e9,
+			NAngles: 1969, Rows: 2160, Cols: 2560, Acquired: p.Now()}
+		if err := b.Detector.Put(p, "raw/"+scan.ID+".h5", scan.RawBytes, "c"); err != nil {
+			return
+		}
+		lat, err := b.StreamingPreviewSim(p, scan)
+		if err != nil {
+			return
+		}
+		stream = lat
+		t0 := p.Now()
+		if err := b.NewFile832Flow(p, scan); err != nil {
+			return
+		}
+		if err := b.NERSCReconFlow(p, scan); err != nil {
+			return
+		}
+		file = p.Now().Sub(t0)
+	})
+	b.Engine.Run()
+	fmt.Printf("streaming branch first feedback: %v\n", stream.Round(time.Millisecond))
+	fmt.Printf("file-only branch first feedback: %v\n", file.Round(time.Second))
+	if stream > 0 {
+		fmt.Printf("dual-path advantage: %.0f× earlier feedback\n", file.Seconds()/stream.Seconds())
+	}
+	fmt.Println("\npaper rationale: \"storing the data on multiple intermediate file systems")
+	fmt.Println("introduces feedback latency, so we implement dual-path processing\"")
+}
+
+func runContention() {
+	header("§6 extension: multi-beamline GPU contention (shared vs reserved)")
+	fmt.Printf("%10s %9s %9s %12s %12s %8s\n",
+		"beamlines", "gpus", "policy", "median s", "max s", "<10s")
+	for _, n := range []int{2, 4, 6, 8} {
+		for _, reserved := range []bool{false, true} {
+			res := core.RunStreamingContention(epoch, n, 4, 8, 20*time.Second, reserved)
+			policy := "shared"
+			if reserved {
+				policy = "reserved"
+			}
+			fmt.Printf("%10d %9d %9s %12.1f %12.1f %7.0f%%\n",
+				n, res.GPUs, policy, res.Latency.Median, res.Latency.Max, res.Under10s*100)
+		}
+	}
+	fmt.Println("\npaper rationale (§6): \"At scale, compute could be reserved for each")
+	fmt.Println("beamline to prevent resource contention.\"")
+}

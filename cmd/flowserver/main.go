@@ -1,0 +1,97 @@
+// Command flowserver stands up the service plane of the infrastructure on
+// real HTTP ports: the orchestration (Prefect-style) stats API populated
+// from a simulated production campaign, the SciCat metadata catalog, the
+// Tiled array service with a demo volume, and the SFAPI compute facade
+// with a registered reconstruction command — the same surfaces the
+// beamline web applications talk to.
+//
+//	flowserver -addr 127.0.0.1:8832 -scans 100
+//
+// Endpoints (all under the one address):
+//
+//	/api/flows, /api/flows/{name}/stats, /api/flows/{name}/runs
+//	/api/datasets (SciCat)
+//	/api/volumes  (Tiled)
+//	/api/v1/...   (SFAPI; Authorization: Bearer <token>)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/facility"
+	"repro/internal/phantom"
+	"repro/internal/tiled"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowserver: ")
+
+	addr := flag.String("addr", "127.0.0.1:8832", "listen address")
+	scans := flag.Int("scans", 100, "simulated campaign size for flow statistics")
+	token := flag.String("token", "demo-token", "SFAPI bearer token")
+	oneshot := flag.Bool("oneshot", false, "print a status summary and exit (for smoke tests)")
+	flag.Parse()
+
+	// Populate the orchestration history from a simulated campaign.
+	epoch := time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+	b := core.NewBeamline(epoch, core.DefaultSimConfig())
+	res := b.RunProductionCampaign(*scans, *scans)
+	log.Printf("campaign complete: %d scans through both branches", *scans)
+
+	// Metadata catalog was filled by the campaign; add an access-layer
+	// demo volume.
+	access := tiled.NewServer()
+	access.RegisterVolume("demo-shepp", phantom.SheppLogan3D(64, 32), 3)
+
+	// SFAPI facade with a no-op reconstruction command.
+	api := facility.NewSFAPI(*token)
+	api.Register("streaming_service", func(ctx context.Context, args map[string]string) error {
+		select {
+		case <-time.After(100 * time.Millisecond):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/api/flows", b.Flows.Handler())
+	mux.Handle("/api/flows/", b.Flows.Handler())
+	mux.Handle("/api/datasets", b.Catalog.Handler())
+	mux.Handle("/api/datasets/", b.Catalog.Handler())
+	mux.Handle("/api/volumes", access.Handler())
+	mux.Handle("/api/volumes/", access.Handler())
+	mux.Handle("/api/v1/", api.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, statusText(b, res))
+	})
+
+	if *oneshot {
+		fmt.Print(statusText(b, res))
+		return
+	}
+	log.Printf("listening on http://%s/", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func statusText(b *core.Beamline, res *core.Table2Result) string {
+	var sb strings.Builder
+	sb.WriteString("splash-flows service plane\n\n")
+	sb.WriteString(core.FormatTable2(res))
+	sb.WriteString(fmt.Sprintf("\ncataloged datasets: %d\n", b.Catalog.Count()))
+	sb.WriteString(fmt.Sprintf("perlmutter jobs: %d, polaris executions: %d\n",
+		len(b.Perlmutter.Jobs()), b.Polaris.Executions))
+	return sb.String()
+}

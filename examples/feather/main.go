@@ -1,0 +1,63 @@
+// Case study 1 (§5.1.1): feather morphology comparison. Scans a chicken
+// and a sandgrouse feather phantom through the full pipeline and compares
+// the reconstructed microstructures — the sandgrouse's coiled barbules
+// enclose far more near-keratin void (its desert water-storage
+// adaptation), which the water-storage index makes quantitative. The
+// mount → scan → reconstruct → compare loop the paper says now takes
+// 20 minutes runs here in seconds at laptop scale.
+//
+//	go run ./examples/feather
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/phantom"
+	"repro/internal/tomo"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	type result struct {
+		species phantom.FeatherSpecies
+		index   float64
+		elapsed time.Duration
+	}
+	var results []result
+
+	for _, species := range []phantom.FeatherSpecies{phantom.Chicken, phantom.Sandgrouse} {
+		t0 := time.Now()
+		truth := phantom.Feather(phantom.DefaultFeather(species), 64, 24)
+		res, err := core.RunScanPipeline(context.Background(),
+			"feather-"+species.String(), truth, tomo.UniformAngles(96),
+			tomo.AcquireOptions{I0: 5e4, Seed: 42},
+			core.PipelineOptions{
+				Recon: tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// CoilSpreadIndex is robust to reconstruction blur; the
+		// water-storage index on the ground truth confirms the same
+		// ordering.
+		idx := phantom.CoilSpreadIndex(res.Volume, 0.5)
+		wsi := phantom.WaterStorageIndex(truth, 0.5)
+		results = append(results, result{species, idx, time.Since(t0)})
+		fmt.Printf("%-11s reconstructed in %-8v coil-spread %.3f (truth water-storage %.4f)\n",
+			species, time.Since(t0).Round(time.Millisecond), idx, wsi)
+	}
+
+	if !(results[1].index > results[0].index) {
+		log.Fatalf("expected sandgrouse (%.4f) > chicken (%.4f): coiled barbules spread across slices",
+			results[1].index, results[0].index)
+	}
+	fmt.Printf("\nmorphological contrast: sandgrouse/chicken coil spread = %.2f×\n",
+		results[1].index/results[0].index)
+	fmt.Println("the sandgrouse's coiled barbule structure — its desert adaptation — is")
+	fmt.Println("immediately visible in the reconstructions, as in the paper's Figure 1.")
+}

@@ -1,0 +1,95 @@
+// Streaming-branch demo: the full real-time topology of the paper's
+// Figure 3 left branch — detector IOC → PVA mirror → remote streaming
+// service (in-memory frame cache + FBP) → three-slice preview back over
+// the message queue — with per-scan latency printed for several scans in
+// a row, as during a beamtime shift.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/msgq"
+	"repro/internal/phantom"
+	"repro/internal/pva"
+	"repro/internal/tomo"
+	"repro/internal/vol"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Beamline acquisition layer: detector IOC and its mirror server.
+	ioc, err := pva.NewServer("127.0.0.1:0", 8192)
+	must(err)
+	defer ioc.Close()
+	mirrorSrv, err := pva.NewServer("127.0.0.1:0", 8192)
+	must(err)
+	defer mirrorSrv.Close()
+	mirror, err := pva.NewMirror(ioc.Addr(), "bl832:det", mirrorSrv)
+	must(err)
+	go mirror.Run()
+
+	// Beamline preview sink (what ImageJ displays within 10 s in the
+	// paper).
+	sink, err := msgq.NewPull("127.0.0.1:0")
+	must(err)
+	defer sink.Close()
+
+	// "NERSC" side: the streaming service subscribes to the mirror.
+	svc := &core.StreamingService{
+		PVAAddr: mirrorSrv.Addr(), Channel: "bl832:det", PreviewAddr: sink.Addr(),
+		Recon: tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
+	}
+	go svc.Run(context.Background())
+	waitMonitors(mirrorSrv, "bl832:det")
+	waitMonitors(ioc, "bl832:det")
+
+	scans := []string{"shepp", "feather", "proppant"}
+	for i, name := range scans {
+		truth := sampleVolume(name)
+		theta := tomo.UniformAngles(64)
+		acq := tomo.Acquire(truth, theta, truth.W, tomo.AcquireOptions{I0: 4e4, Seed: int64(i + 1)})
+		scanID := fmt.Sprintf("shift_%02d_%s", i+1, name)
+
+		must(core.PublishAcquisition(ioc, "bl832:det", scanID, acq, 0))
+		msg, err := sink.Recv(60 * time.Second)
+		must(err)
+		h, slices, err := core.DecodePreview(msg)
+		must(err)
+		lo, hi := slices[0].MinMax()
+		fmt.Printf("%-22s %3d angles  preview in %7.1f ms  central slice [%.3f, %.3f]  missed %d\n",
+			h.ScanID, h.NAngles, h.LatencyMS, lo, hi, h.Missed)
+	}
+	fmt.Printf("\n%d scans previewed; the paper's production service does the same for\n", len(scans))
+	fmt.Println("~20 GB scans in under 10 s on a 4-GPU Perlmutter node.")
+}
+
+func sampleVolume(name string) *vol.Volume {
+	switch name {
+	case "feather":
+		return phantom.Feather(phantom.DefaultFeather(phantom.Sandgrouse), 48, 12)
+	case "proppant":
+		return phantom.Proppant(phantom.DefaultProppant(), 48, 12)
+	default:
+		return phantom.SheppLogan3D(48, 12)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitMonitors(srv *pva.Server, channel string) {
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Monitors(channel) < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,62 @@
+// Time-resolved (4D) demo — the paper's first future direction (§6):
+// "supporting time-resolved experiments by extending our workflow to
+// handle 4D datasets as sequences of time-stamped volumes." An in-situ
+// propped-fracture creep experiment (the scenario of the paper's cited
+// shale studies) is scanned at several timesteps while the fracture
+// closes; each timestep reconstructs through the standard pipeline and
+// the series reduces to the physical observable — solid fraction rising
+// as the aperture collapses.
+//
+//	go run ./examples/timeresolved
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/phantom"
+	"repro/internal/tomo"
+	"repro/internal/vol"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const steps = 6
+	evolve := func(t float64) *vol.Volume {
+		p := phantom.DefaultProppant()
+		p.FractureW = 0.24 - 0.16*t // aperture closes under load
+		return phantom.Proppant(p, 48, 16)
+	}
+
+	theta := tomo.UniformAngles(64)
+	acqs := core.Acquire4D(evolve, steps, theta, tomo.AcquireOptions{I0: 5e4, Seed: 31})
+	stamps := make([]time.Time, steps)
+	start := time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+	for i := range stamps {
+		stamps[i] = start.Add(time.Duration(i) * 15 * time.Minute)
+	}
+
+	t0 := time.Now()
+	ts, err := core.Reconstruct4D(context.Background(), "creep-insitu", acqs, stamps,
+		tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	solid := ts.Metric(func(v *vol.Volume) float64 { return v.FractionAbove(0.25) })
+	fmt.Printf("%-22s %-10s %s\n", "timestamp", "recon ms", "solid fraction")
+	for i, s := range ts.Steps {
+		fmt.Printf("%-22s %-10.1f %.4f\n",
+			s.Time.Format("2006-01-02 15:04"), s.ReconMS, solid[i])
+	}
+	fmt.Printf("\n%d timesteps reconstructed in %v total\n", steps, time.Since(t0).Round(time.Millisecond))
+	if solid[steps-1] <= solid[0] {
+		log.Fatal("expected solid fraction to rise as the fracture closes")
+	}
+	fmt.Printf("fracture closure signal: solid fraction %.3f → %.3f as aperture collapses\n",
+		solid[0], solid[steps-1])
+}

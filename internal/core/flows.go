@@ -1,0 +1,247 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/flow"
+	"repro/internal/scicat"
+	"repro/internal/sim"
+)
+
+// NewFile832Flow is the flow the file-writer triggers when an acquisition
+// finishes on disk (§4.2.2): it stages the raw file from the acquisition
+// server to the user-accessible beamline data server, verifies it, and
+// ingests the scan metadata into SciCat. Its duration is dominated by the
+// staging copy, which is why the paper's Table 2 row is strongly
+// right-skewed across the 4-orders-of-magnitude file-size mix.
+func (b *Beamline) NewFile832Flow(p *sim.Proc, scan *Scan) error {
+	ctx := b.Flows.Start(FlowNewFile, flow.SimEnv{P: p})
+	path := rawPath(scan)
+
+	// Fixed per-scan overhead before the copy begins: the file-writer
+	// finalizes the HDF5 file, validates the embedded metadata, and the
+	// flow run itself is scheduled onto a worker.
+	p.Sleep(22 * time.Second)
+
+	err := ctx.Task("stage_to_data_server", flow.TaskOptions{
+		Retries: 2, RetryDelay: 15 * time.Second,
+		IdempotencyKey: "stage:" + scan.ID,
+	}, func() error {
+		f, err := b.Detector.Get(p, path)
+		if err != nil {
+			return err
+		}
+		if err := b.DataSrv.Put(p, path, f.Size, f.Checksum); err != nil {
+			return err
+		}
+		// Shared-NFS contention occasionally slows the copy well below
+		// the volume's nominal throughput.
+		if b.rng.Float64() < b.Cfg.StagingSlowProb {
+			factor := 1 + b.rng.Float64()*(b.Cfg.StagingSlowMax-1)
+			nominal := float64(f.Size) / b.Cfg.StagingBandwidth
+			p.Sleep(time.Duration(nominal * (factor - 1) * float64(time.Second)))
+		}
+		return nil
+	})
+	if err != nil {
+		ctx.Complete(err)
+		return err
+	}
+
+	err = ctx.Task("validate_checksum", flow.TaskOptions{}, func() error {
+		src, err := b.Detector.Stat(path)
+		if err != nil {
+			return err
+		}
+		dst, err := b.DataSrv.Stat(path)
+		if err != nil {
+			return err
+		}
+		if src.Checksum != dst.Checksum {
+			return &ChecksumError{Scan: scan.ID}
+		}
+		p.Sleep(5 * time.Second) // checksum pass over the file
+		return nil
+	})
+	if err != nil {
+		ctx.Complete(err)
+		return err
+	}
+
+	err = ctx.Task("ingest_scicat", flow.TaskOptions{Retries: 1, RetryDelay: 5 * time.Second}, func() error {
+		p.Sleep(3 * time.Second) // catalog API round trips
+		_, ierr := b.Catalog.Ingest(scicat.Dataset{
+			ScanID: scan.ID, Sample: scan.Sample, Beamline: "8.3.2",
+			Owner: "als-user", SizeBytes: scan.RawBytes,
+			CreatedAt: scan.Acquired, SourcePath: path,
+		})
+		return ierr
+	})
+	ctx.Complete(err)
+	return err
+}
+
+// ChecksumError reports end-to-end verification failure.
+type ChecksumError struct{ Scan string }
+
+func (e *ChecksumError) Error() string { return "core: checksum mismatch for scan " + e.Scan }
+
+// NERSCReconFlow is the file-based reconstruction at NERSC (§4.2.4): copy
+// the raw file to CFS with Globus, submit a realtime-QOS Slurm job through
+// SFAPI that stages CFS→pscratch for I/O, runs the TomoPy-style
+// reconstruction on an exclusive 128-core node, writes the TIFF stack and
+// multiscale Zarr, and copies results back to the beamline.
+func (b *Beamline) NERSCReconFlow(p *sim.Proc, scan *Scan) error {
+	ctx := b.Flows.Start(FlowNERSC, flow.SimEnv{P: p})
+	raw := rawPath(scan)
+
+	err := ctx.Task("globus_to_cfs", flow.TaskOptions{
+		Retries: 2, RetryDelay: 30 * time.Second,
+		IdempotencyKey: "cfs:" + scan.ID,
+	}, func() error {
+		_, terr := b.Transfer.Submit(p, "raw→cfs "+scan.ID, EPBeamline, EPCFS, []string{raw})
+		return terr
+	})
+	if err != nil {
+		ctx.Complete(err)
+		return err
+	}
+
+	err = ctx.Task("slurm_recon_job", flow.TaskOptions{}, func() error {
+		// The realtime QOS gives priority scheduling, but the shared
+		// reservation is sometimes occupied by an earlier job.
+		if b.rng.Float64() < b.Cfg.RealtimeBusyProb {
+			p.Sleep(time.Duration(b.rng.Float64() * float64(b.Cfg.RealtimeBusyMax)))
+		}
+		_, jerr := b.Perlmutter.Submit(p, facility.JobSpec{
+			Name: "tomopy-" + scan.ID, Partition: "cpu", QOS: "realtime", Nodes: 1,
+			Run: func(p *sim.Proc) error {
+				// Stage CFS → pscratch for I/O performance.
+				if _, err := b.Transfer.Submit(p, "cfs→pscratch "+scan.ID,
+					EPCFS, EPScratch, []string{raw}); err != nil {
+					return err
+				}
+				// Reconstruction walltime: fixed setup plus
+				// throughput-limited compute.
+				p.Sleep(b.Cfg.NERSCReconFixed +
+					time.Duration(float64(scan.RawBytes)/b.Cfg.NERSCReconRate*float64(time.Second)))
+				// Write derived products to CFS.
+				derived := scan.DerivedBytes()
+				if err := b.CFS.Put(p, reconFile(scan), derived*2/3, "sha256:zarr-"+scan.ID); err != nil {
+					return err
+				}
+				return b.CFS.Put(p, tiffPath(scan), derived/3, "sha256:tiff-"+scan.ID)
+			},
+		})
+		return jerr
+	})
+	if err != nil {
+		ctx.Complete(err)
+		return err
+	}
+
+	err = ctx.Task("globus_results_back", flow.TaskOptions{Retries: 2, RetryDelay: 30 * time.Second}, func() error {
+		_, terr := b.Transfer.Submit(p, "rec→beamline "+scan.ID, EPCFS, EPBeamline,
+			[]string{reconPath(scan)})
+		return terr
+	})
+	ctx.Complete(err)
+	return err
+}
+
+// ALCFReconFlow is the serverless reconstruction at ALCF (§4.2.4): copy
+// raw data to Eagle, execute the reconstruction function on a warm Globus
+// Compute pilot worker on Polaris (no per-job batch wait), and copy
+// results back. Warm workers are why this flow's variance is less than
+// half of the NERSC flow's in Table 2.
+func (b *Beamline) ALCFReconFlow(p *sim.Proc, scan *Scan) error {
+	ctx := b.Flows.Start(FlowALCF, flow.SimEnv{P: p})
+	raw := rawPath(scan)
+
+	err := ctx.Task("globus_to_eagle", flow.TaskOptions{
+		Retries: 2, RetryDelay: 30 * time.Second,
+		IdempotencyKey: "eagle:" + scan.ID,
+	}, func() error {
+		_, terr := b.Transfer.Submit(p, "raw→eagle "+scan.ID, EPBeamline, EPEagle, []string{raw})
+		return terr
+	})
+	if err != nil {
+		ctx.Complete(err)
+		return err
+	}
+
+	err = ctx.Task("globus_compute_recon", flow.TaskOptions{}, func() error {
+		return b.Polaris.Execute(p, func(p *sim.Proc) error {
+			// Occasional slow pilot node (shared filesystem or
+			// straggler effects) gives the row its right tail.
+			if b.rng.Float64() < 0.10 {
+				p.Sleep(time.Duration(b.rng.Float64() * float64(700*time.Second)))
+			}
+			p.Sleep(b.Cfg.ALCFReconFixed +
+				time.Duration(float64(scan.RawBytes)/b.Cfg.ALCFReconRate*float64(time.Second)))
+			derived := scan.DerivedBytes()
+			if err := b.Eagle.Put(p, reconFile(scan), derived*2/3, "sha256:zarr-"+scan.ID); err != nil {
+				return err
+			}
+			return b.Eagle.Put(p, tiffPath(scan), derived/3, "sha256:tiff-"+scan.ID)
+		})
+	})
+	if err != nil {
+		ctx.Complete(err)
+		return err
+	}
+
+	err = ctx.Task("globus_results_back", flow.TaskOptions{Retries: 2, RetryDelay: 30 * time.Second}, func() error {
+		_, terr := b.Transfer.Submit(p, "rec→beamline "+scan.ID, EPEagle, EPBeamline,
+			[]string{reconPath(scan)})
+		return terr
+	})
+	ctx.Complete(err)
+	return err
+}
+
+// ArchiveFlow migrates a scan's raw data to HPSS tape for long-term
+// retention (§4.3) and removes it from CFS.
+func (b *Beamline) ArchiveFlow(p *sim.Proc, scan *Scan) error {
+	ctx := b.Flows.Start("hpss_archive_flow", flow.SimEnv{P: p})
+	err := ctx.Task("archive_to_hpss", flow.TaskOptions{Retries: 1, RetryDelay: time.Minute}, func() error {
+		f, err := b.CFS.Get(p, rawPath(scan))
+		if err != nil {
+			return err
+		}
+		return b.HPSS.Put(p, archivePath(scan), f.Size, f.Checksum)
+	})
+	if err == nil {
+		err = ctx.Task("release_cfs_raw", flow.TaskOptions{}, func() error {
+			return b.CFS.Delete(rawPath(scan))
+		})
+	}
+	ctx.Complete(err)
+	return err
+}
+
+// StreamingPreviewSim models the streaming branch's latency for one scan
+// (§5.2): frames are already resident in the NERSC GPU node's memory cache
+// when acquisition ends (they streamed during the scan), so the
+// time-to-preview is reconstruction on four GPUs plus sending three slices
+// back. It records a run under FlowStreaming and returns the latency.
+func (b *Beamline) StreamingPreviewSim(p *sim.Proc, scan *Scan) (time.Duration, error) {
+	ctx := b.Flows.Start(FlowStreaming, flow.SimEnv{P: p})
+	start := p.Now()
+
+	err := ctx.Task("gpu_backprojection", flow.TaskOptions{}, func() error {
+		p.Sleep(time.Duration(float64(scan.RawBytes) / b.Cfg.StreamGPURate * float64(time.Second)))
+		return nil
+	})
+	if err == nil {
+		err = ctx.Task("send_preview_slices", flow.TaskOptions{}, func() error {
+			// Three 2160×2560 float32 slices ≈ 66 MB over the WAN.
+			sliceBytes := int64(3 * 4 * scan.Rows * scan.Cols)
+			_, terr := b.Network.Transfer(p, SiteNERSC, SiteALS, sliceBytes)
+			return terr
+		})
+	}
+	ctx.Complete(err)
+	return p.Now().Sub(start), err
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// Flow name for the periodic health round.
+const FlowHealth = "health_check_flow"
+
+// RegisterHealthChecks installs the probes the production deployment runs
+// every 12–24 hours (§5.3): storage tiers below saturation, transfer
+// success rate, orchestration success rates, and catalog availability.
+func (b *Beamline) RegisterHealthChecks(hc *monitor.HealthChecker) {
+	hc.Register("storage_headroom", func() error {
+		for _, st := range []interface {
+			Used() int64
+		}{b.DataSrv, b.CFS, b.Scratch} {
+			_ = st
+		}
+		// The beamline data server is the tier that saturates in
+		// practice; alarm at 90% of a 200 TB volume.
+		const dataSrvCapacity = 200e12
+		if float64(b.DataSrv.Used()) > 0.9*dataSrvCapacity {
+			return fmt.Errorf("beamline data server at %.0f%% of capacity",
+				100*float64(b.DataSrv.Used())/dataSrvCapacity)
+		}
+		return nil
+	})
+	hc.Register("transfer_success", func() error {
+		tasks := b.Transfer.Tasks()
+		if len(tasks) == 0 {
+			return nil
+		}
+		ok := b.Transfer.SucceededCount()
+		rate := float64(ok) / float64(len(tasks))
+		if rate < 0.95 {
+			return fmt.Errorf("transfer success rate %.0f%% below 95%%", rate*100)
+		}
+		return nil
+	})
+	hc.Register("flow_success", func() error {
+		for _, name := range []string{FlowNewFile, FlowNERSC, FlowALCF} {
+			if runs := b.Flows.Runs(name); len(runs) > 0 {
+				if rate := b.Flows.SuccessRate(name); rate < 0.9 {
+					return fmt.Errorf("%s success rate %.0f%%", name, rate*100)
+				}
+			}
+		}
+		return nil
+	})
+	hc.Register("catalog_reachable", func() error {
+		// A search against the catalog proves the metadata service is
+		// answering.
+		b.Catalog.Count()
+		return nil
+	})
+}
+
+// StartHealthMonitoring spawns a simulated process that runs the health
+// round every `interval` for `total` of virtual time, recording each round
+// as a flow run so operators see it in the same dashboard as everything
+// else. It returns the checker for inspection after Engine.Run.
+func (b *Beamline) StartHealthMonitoring(interval, total time.Duration) *monitor.HealthChecker {
+	hc := monitor.NewHealthChecker()
+	b.RegisterHealthChecks(hc)
+	b.Engine.Go("health-monitor", func(p *sim.Proc) {
+		for elapsed := time.Duration(0); elapsed < total; elapsed += interval {
+			p.Sleep(interval)
+			ctx := b.Flows.Start(FlowHealth, flow.SimEnv{P: p})
+			results := hc.RunAll(p.Now())
+			var firstErr error
+			for _, r := range results {
+				if !r.OK && firstErr == nil {
+					firstErr = fmt.Errorf("%s: %s", r.Name, r.Err)
+				}
+			}
+			ctx.Complete(firstErr)
+		}
+	})
+	return hc
+}
+
+// SampleWANBandwidth spawns a simulated process that samples the
+// ALS→NERSC link's cumulative byte counter every `interval` for `total`,
+// returning the raw samples; convert with monitor.BandwidthSeries for the
+// Grafana-style transfer-bandwidth plot the paper demonstrates.
+func (b *Beamline) SampleWANBandwidth(interval, total time.Duration) *[]monitor.Sample {
+	samples := &[]monitor.Sample{}
+	b.Engine.Go("bandwidth-sampler", func(p *sim.Proc) {
+		link, err := b.Network.Link(SiteALS, SiteNERSC)
+		if err != nil {
+			return
+		}
+		for elapsed := time.Duration(0); elapsed <= total; elapsed += interval {
+			*samples = append(*samples, monitor.Sample{
+				At: p.Now(), Value: float64(link.TotalBytes),
+			})
+			p.Sleep(interval)
+		}
+	})
+	return samples
+}

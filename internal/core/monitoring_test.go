@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+func TestHealthMonitoringDuringCampaign(t *testing.T) {
+	b := newTestBeamline()
+	hc := b.StartHealthMonitoring(1*time.Hour, 6*time.Hour)
+	// Drive scans alongside so the checks have real state to probe.
+	b.Engine.Go("scans", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			scan, err := b.NewScan(p, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.NewFile832Flow(p, scan); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(4 * time.Minute)
+		}
+	})
+	b.Engine.Run()
+	if !hc.Healthy() {
+		results, _ := hc.LastResults()
+		t.Fatalf("healthy campaign should pass checks: %v", results)
+	}
+	rounds := b.Flows.Runs(FlowHealth)
+	if len(rounds) != 6 {
+		t.Fatalf("health rounds = %d, want 6 hourly rounds in 6h", len(rounds))
+	}
+	if b.Flows.SuccessRate(FlowHealth) != 1 {
+		t.Fatal("health flow should be all-green")
+	}
+}
+
+func TestHealthCheckDetectsTransferFailures(t *testing.T) {
+	b := newTestBeamline()
+	hc := monitor.NewHealthChecker()
+	b.RegisterHealthChecks(hc)
+	// Fabricate a bad success rate by issuing transfers against missing
+	// files.
+	b.Engine.Go("bad", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			b.Transfer.Submit(p, "missing", EPBeamline, EPCFS, []string{"nope"})
+		}
+	})
+	b.Engine.Run()
+	results := hc.RunAll(epoch)
+	ok := true
+	for _, r := range results {
+		if r.Name == "transfer_success" {
+			ok = r.OK
+		}
+	}
+	if ok {
+		t.Fatal("all-failed transfers should trip the transfer_success check")
+	}
+}
+
+func TestWANBandwidthSeries(t *testing.T) {
+	b := newTestBeamline()
+	samples := b.SampleWANBandwidth(time.Minute, time.Hour)
+	b.Engine.Go("scans", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			scan, err := b.NewScan(p, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if b.NewFile832Flow(p, scan) == nil {
+				b.NERSCReconFlow(p, scan)
+			}
+			p.Sleep(3 * time.Minute)
+		}
+	})
+	b.Engine.Run()
+	if len(*samples) < 10 {
+		t.Fatalf("samples = %d", len(*samples))
+	}
+	series := monitor.BandwidthSeries(*samples)
+	var peak float64
+	var active int
+	for _, s := range series {
+		if s.Value > peak {
+			peak = s.Value
+		}
+		if s.Value > 0 {
+			active++
+		}
+	}
+	if peak <= 0 {
+		t.Fatal("no WAN traffic observed during campaign")
+	}
+	// Bandwidth never exceeds the configured 10 Gbps link.
+	if peak > b.Cfg.WANBandwidth*1.01 {
+		t.Fatalf("peak %v exceeds link bandwidth %v", peak, b.Cfg.WANBandwidth)
+	}
+	if active == 0 {
+		t.Fatal("series shows no active intervals")
+	}
+}

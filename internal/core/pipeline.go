@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/dxfile"
+	"repro/internal/scicat"
+	"repro/internal/tiff"
+	"repro/internal/tiled"
+	"repro/internal/tomo"
+	"repro/internal/vol"
+	"repro/internal/zarr"
+)
+
+// PipelineOptions configures a real end-to-end run of the file-based
+// branch at laptop scale: the same stages the production flows execute,
+// with actual data.
+type PipelineOptions struct {
+	// WorkDir holds the intermediate artifacts; a temp dir when empty.
+	WorkDir string
+	// Recon configures the reconstruction (algorithm, filter, COR).
+	Recon tomo.ReconOptions
+	// ZarrChunk is the multiscale chunk edge (default 32).
+	ZarrChunk int
+	// WriteTIFF also emits the ImageJ-compatible TIFF stack the
+	// production flows produce alongside the Zarr volume.
+	WriteTIFF bool
+	// Catalog, when set, receives the scan metadata (SciCat ingest).
+	Catalog *scicat.Catalog
+	// Tiled, when set, gets the reconstructed volume registered for
+	// web access under the scan id.
+	Tiled *tiled.Server
+}
+
+// PipelineResult reports what the pipeline produced.
+type PipelineResult struct {
+	ScanID     string
+	RawPath    string
+	ZarrPath   string
+	TIFFPath   string // empty unless WriteTIFF was set
+	RawBytes   int64
+	ZarrBytes  int64
+	Volume     *vol.Volume
+	PID        string // SciCat persistent identifier (when cataloged)
+	AcquireDur time.Duration
+	WriteDur   time.Duration
+	ReconDur   time.Duration
+	OutputDur  time.Duration
+}
+
+// RunScanPipeline executes the full file-based branch on real data:
+// simulate the acquisition of `truth`, write the DXchange file the
+// file-writer would produce, read it back (the HPC side), normalize,
+// reconstruct every slice in parallel, write the multiscale Zarr pyramid,
+// and register metadata and access. It is the engine behind the
+// quickstart and case-study examples.
+func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, theta []float64, acqOpts tomo.AcquireOptions, opts PipelineOptions) (*PipelineResult, error) {
+	res := &PipelineResult{ScanID: scanID}
+	dir := opts.WorkDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "splash-"+scanID)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// Acquisition.
+	t0 := time.Now()
+	acq := tomo.Acquire(truth, theta, truth.W, acqOpts)
+	res.AcquireDur = time.Since(t0)
+
+	// File-writer: DXchange file with embedded metadata.
+	t0 = time.Now()
+	res.RawPath = filepath.Join(dir, scanID+".dxf")
+	meta := dxfile.ScanMeta{
+		ScanID: scanID, Beamline: "8.3.2", Sample: scanID,
+		Instrument: "microCT", Operator: "als-user",
+		StartTime: time.Now().UTC().Format(time.RFC3339), Energy: "25",
+	}
+	if err := dxfile.WriteDXchange(res.RawPath, acq, meta); err != nil {
+		return nil, fmt.Errorf("core: write raw: %w", err)
+	}
+	if st, err := os.Stat(res.RawPath); err == nil {
+		res.RawBytes = st.Size()
+	}
+	res.WriteDur = time.Since(t0)
+
+	// HPC side: read back, preprocess, reconstruct in parallel.
+	t0 = time.Now()
+	loaded, loadedMeta, err := dxfile.ReadDXchange(res.RawPath)
+	if err != nil {
+		return nil, fmt.Errorf("core: read raw: %w", err)
+	}
+	if loadedMeta.ScanID != scanID {
+		return nil, fmt.Errorf("core: metadata mismatch: %q != %q", loadedMeta.ScanID, scanID)
+	}
+	li := tomo.MinusLog(tomo.Normalize(loaded.Raw, loaded.Flat, loaded.Dark))
+	volume, err := tomo.ReconstructVolume(ctx, li, opts.Recon)
+	if err != nil {
+		return nil, fmt.Errorf("core: reconstruct: %w", err)
+	}
+	res.Volume = volume
+	res.ReconDur = time.Since(t0)
+
+	// Outputs: multiscale Zarr, catalog, access layer.
+	t0 = time.Now()
+	res.ZarrPath = filepath.Join(dir, scanID+".zarr")
+	chunk := opts.ZarrChunk
+	if chunk <= 0 {
+		chunk = 32
+	}
+	if _, err := zarr.Write(res.ZarrPath, volume, chunk, 0); err != nil {
+		return nil, fmt.Errorf("core: write zarr: %w", err)
+	}
+	if sz, err := zarr.SizeBytes(res.ZarrPath); err == nil {
+		res.ZarrBytes = sz
+	}
+	if opts.WriteTIFF {
+		res.TIFFPath = filepath.Join(dir, scanID+"_tiff")
+		if err := tiff.WriteStack(res.TIFFPath, volume, tiff.F32); err != nil {
+			return nil, fmt.Errorf("core: write tiff stack: %w", err)
+		}
+	}
+	if opts.Catalog != nil {
+		d, err := opts.Catalog.Ingest(scicat.Dataset{
+			ScanID: scanID, Sample: loadedMeta.Sample, Beamline: loadedMeta.Beamline,
+			Owner: loadedMeta.Operator, SizeBytes: res.RawBytes,
+			CreatedAt: time.Now(), SourcePath: res.RawPath,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: catalog ingest: %w", err)
+		}
+		res.PID = d.PID
+	}
+	if opts.Tiled != nil {
+		if err := opts.Tiled.RegisterZarr(scanID, res.ZarrPath); err != nil {
+			return nil, fmt.Errorf("core: tiled register: %w", err)
+		}
+	}
+	res.OutputDur = time.Since(t0)
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/phantom"
+	"repro/internal/scicat"
+	"repro/internal/stats"
+	"repro/internal/tiff"
+	"repro/internal/tiled"
+	"repro/internal/tomo"
+	"repro/internal/zarr"
+)
+
+func TestRunScanPipelineEndToEnd(t *testing.T) {
+	truth := phantom.SheppLogan3D(32, 8)
+	theta := tomo.UniformAngles(64)
+	catalog := scicat.New()
+	srv := tiled.NewServer()
+
+	res, err := RunScanPipeline(context.Background(), "pipe-001", truth, theta,
+		tomo.AcquireOptions{I0: 5e4, Seed: 11},
+		PipelineOptions{
+			WorkDir: t.TempDir(),
+			Recon:   tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
+			Catalog: catalog,
+			Tiled:   srv,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawBytes == 0 || res.ZarrBytes == 0 {
+		t.Fatalf("artifact sizes: raw=%d zarr=%d", res.RawBytes, res.ZarrBytes)
+	}
+	if res.Volume.W != 32 || res.Volume.D != 8 {
+		t.Fatalf("volume dims %dx%dx%d", res.Volume.W, res.Volume.H, res.Volume.D)
+	}
+	// Quality: reconstruction resembles ground truth.
+	corr := stats.Pearson(res.Volume.Slice(4).Pix, truth.Slice(4).Pix)
+	if corr < 0.7 {
+		t.Fatalf("reconstruction correlation %v", corr)
+	}
+	// Catalog ingested with a PID.
+	if res.PID == "" || catalog.Count() != 1 {
+		t.Fatalf("catalog: pid=%q count=%d", res.PID, catalog.Count())
+	}
+	// Zarr pyramid readable and multiscale.
+	st, err := zarr.Open(res.ZarrPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Meta.Levels < 1 {
+		t.Fatal("no pyramid levels")
+	}
+	// Registered with the access layer.
+	keys := srv.Keys()
+	if len(keys) != 1 || keys[0] != "pipe-001" {
+		t.Fatalf("tiled keys %v", keys)
+	}
+}
+
+func TestRunScanPipelineDefaultsAndNoSinks(t *testing.T) {
+	truth := phantom.SheppLogan3D(16, 4)
+	res, err := RunScanPipeline(context.Background(), "pipe-002", truth,
+		tomo.UniformAngles(24), tomo.AcquireOptions{I0: 1e4, Seed: 1},
+		PipelineOptions{WorkDir: filepath.Join(t.TempDir(), "w")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PID != "" {
+		t.Fatal("no catalog configured but PID set")
+	}
+	if res.ReconDur <= 0 || res.WriteDur <= 0 {
+		t.Fatal("stage durations not recorded")
+	}
+}
+
+func TestRunScanPipelineCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	truth := phantom.SheppLogan3D(16, 8)
+	if _, err := RunScanPipeline(ctx, "pipe-003", truth,
+		tomo.UniformAngles(24), tomo.AcquireOptions{I0: 1e4, Seed: 1},
+		PipelineOptions{WorkDir: t.TempDir()}); err == nil {
+		t.Fatal("cancelled pipeline should fail")
+	}
+}
+
+func TestRunScanPipelineTIFFStack(t *testing.T) {
+	truth := phantom.SheppLogan3D(16, 4)
+	res, err := RunScanPipeline(context.Background(), "pipe-tiff", truth,
+		tomo.UniformAngles(24), tomo.AcquireOptions{I0: 1e4, Seed: 1},
+		PipelineOptions{WorkDir: t.TempDir(), WriteTIFF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TIFFPath == "" {
+		t.Fatal("TIFF path not set")
+	}
+	stack, err := tiff.ReadStack(res.TIFFPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.D != 4 || stack.W != 16 {
+		t.Fatalf("stack dims %dx%dx%d", stack.W, stack.H, stack.D)
+	}
+	// The stack must match the reconstructed volume (f32 precision).
+	for i := range res.Volume.Data {
+		if float32(stack.Data[i]) != float32(res.Volume.Data[i]) {
+			t.Fatal("TIFF stack diverges from reconstruction")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/msgq"
+	"repro/internal/phantom"
+	"repro/internal/pva"
+	"repro/internal/tomo"
+)
+
+// TestStreamingServiceLaunchedViaSFAPI reproduces the user-experience path
+// of Figure 2B: the beamline web app launches the NERSC streaming service
+// through the Superfacility API, then a scan streams through and the
+// preview returns. The SFAPI job wraps the real StreamingService.
+func TestStreamingServiceLaunchedViaSFAPI(t *testing.T) {
+	ioc, err := pva.NewServer("127.0.0.1:0", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ioc.Close()
+	sink, err := msgq.NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	api := facility.NewSFAPI("als-collab-token")
+	api.Register("streaming_service", func(ctx context.Context, args map[string]string) error {
+		svc := &StreamingService{
+			PVAAddr:     args["pva_addr"],
+			Channel:     args["channel"],
+			PreviewAddr: args["preview_addr"],
+			Recon:       tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
+		}
+		return svc.Run(ctx)
+	})
+
+	// The web app's "start streaming service" button.
+	job, err := api.Submit("streaming_service", map[string]string{
+		"pva_addr": ioc.Addr(), "channel": "bl832:det", "preview_addr": sink.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ioc.Monitors("bl832:det") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("service never subscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The user starts a scan.
+	truth := phantom.SheppLogan3D(24, 4)
+	acq := tomo.Acquire(truth, tomo.UniformAngles(32), 24, tomo.AcquireOptions{I0: 2e4, Seed: 4})
+	if err := PublishAcquisition(ioc, "bl832:det", "sfapi-scan", acq, 0); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := sink.Recv(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := DecodePreview(msg)
+	if err != nil || h.ScanID != "sfapi-scan" {
+		t.Fatalf("preview %+v err %v", h, err)
+	}
+
+	// Shutting the stream ends the job cleanly; its SFAPI record
+	// completes.
+	ioc.Close()
+	final, err := api.Wait(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != facility.Completed {
+		t.Fatalf("job state %v (%s)", final.State, final.Error)
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/msgq"
+	"repro/internal/pva"
+	"repro/internal/tiled"
+	"repro/internal/tomo"
+	"repro/internal/vol"
+)
+
+// PreviewHeader describes a streamed three-slice preview message.
+type PreviewHeader struct {
+	ScanID    string  `json:"scan_id"`
+	NAngles   int     `json:"n_angles"`
+	Missed    int     `json:"missed_frames"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// EncodePreview packs the header and the three orthogonal preview slices
+// into one wire message: 4-byte header length, JSON header, then the three
+// slices in tiled wire format, each length-prefixed.
+func EncodePreview(h PreviewHeader, xy, xz, yz *vol.Image) ([]byte, error) {
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(hdr)+1<<16)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(hdr)))
+	out = append(out, n[:]...)
+	out = append(out, hdr...)
+	for _, im := range []*vol.Image{xy, xz, yz} {
+		blob := tiled.EncodeSlice(im)
+		binary.LittleEndian.PutUint32(n[:], uint32(len(blob)))
+		out = append(out, n[:]...)
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// DecodePreview unpacks a preview message.
+func DecodePreview(raw []byte) (PreviewHeader, []*vol.Image, error) {
+	var h PreviewHeader
+	if len(raw) < 4 {
+		return h, nil, fmt.Errorf("core: preview message too short")
+	}
+	hlen := int(binary.LittleEndian.Uint32(raw))
+	raw = raw[4:]
+	if len(raw) < hlen {
+		return h, nil, fmt.Errorf("core: truncated preview header")
+	}
+	if err := json.Unmarshal(raw[:hlen], &h); err != nil {
+		return h, nil, err
+	}
+	raw = raw[hlen:]
+	var slices []*vol.Image
+	for i := 0; i < 3; i++ {
+		if len(raw) < 4 {
+			return h, nil, fmt.Errorf("core: truncated preview slice %d", i)
+		}
+		blen := int(binary.LittleEndian.Uint32(raw))
+		raw = raw[4:]
+		if len(raw) < blen {
+			return h, nil, fmt.Errorf("core: truncated preview slice %d payload", i)
+		}
+		im, err := tiled.DecodeSlice(raw[:blen])
+		if err != nil {
+			return h, nil, err
+		}
+		slices = append(slices, im)
+		raw = raw[blen:]
+	}
+	return h, slices, nil
+}
+
+// StreamingService is the real-time analogue of the paper's NERSC
+// streaming reconstruction service: it monitors a PVA channel, caches
+// frames in memory during acquisition, and when the end-of-scan marker
+// arrives it reconstructs the three-slice preview and pushes it back to
+// the beamline over the message queue.
+type StreamingService struct {
+	PVAAddr     string
+	Channel     string
+	PreviewAddr string
+	Recon       tomo.ReconOptions
+
+	// ScansDone and LastLatency report progress for tests and the demo.
+	ScansDone   int
+	LastLatency time.Duration
+	LastMissed  int
+}
+
+// scanCache accumulates one acquisition's frames.
+type scanCache struct {
+	scanID string
+	rows   int
+	cols   int
+	angles []float64
+	projs  [][]uint16
+	flats  [][]uint16
+	darks  [][]uint16
+}
+
+// Run consumes the channel until the stream closes or ctx is cancelled,
+// reconstructing a preview for every completed scan. It returns nil when
+// the source closed after at least one completed scan.
+func (s *StreamingService) Run(ctx context.Context) error {
+	mon, err := pva.NewMonitor(s.PVAAddr, s.Channel)
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	push := msgq.NewPush(s.PreviewAddr)
+	defer push.Close()
+
+	var cache *scanCache
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f, err := mon.Next(2 * time.Second)
+		if err != nil {
+			if s.ScansDone > 0 {
+				return nil // source drained after a completed scan
+			}
+			return err
+		}
+		if f.Kind == pva.KindEndOfScan {
+			if cache == nil {
+				continue
+			}
+			t0 := time.Now()
+			if err := s.reconstructAndSend(push, cache, mon.Missed, t0); err != nil {
+				return err
+			}
+			s.ScansDone++
+			cache = nil
+			continue
+		}
+		if err := f.Validate(); err != nil {
+			continue // the file-writer drops invalid frames; so do we
+		}
+		if cache == nil || cache.scanID != f.ScanID {
+			cache = &scanCache{scanID: f.ScanID, rows: f.Rows, cols: f.Cols}
+		}
+		if f.Rows != cache.rows || f.Cols != cache.cols {
+			continue // geometry change mid-scan: drop frame
+		}
+		switch f.Kind {
+		case pva.KindFlat:
+			cache.flats = append(cache.flats, f.Data)
+		case pva.KindDark:
+			cache.darks = append(cache.darks, f.Data)
+		default:
+			cache.angles = append(cache.angles, f.AngleRad)
+			cache.projs = append(cache.projs, f.Data)
+		}
+	}
+}
+
+func (s *StreamingService) reconstructAndSend(push *msgq.Push, c *scanCache, missed int, t0 time.Time) error {
+	if len(c.projs) == 0 {
+		return fmt.Errorf("core: scan %s completed with no projections", c.scanID)
+	}
+	ps := tomo.NewProjectionSet(c.angles, c.rows, c.cols)
+	for a, proj := range c.projs {
+		dst := ps.Projection(a)
+		for i, v := range proj {
+			dst[i] = float64(v)
+		}
+	}
+	// Flat/dark correction from the cached reference frames (averaged),
+	// falling back to idealized references when absent.
+	flat := averageFrames(c.flats, c.rows*c.cols, 1)
+	dark := averageFrames(c.darks, c.rows*c.cols, 0)
+	li := tomo.MinusLog(tomo.Normalize(ps, flat, dark))
+
+	xy, xz, yz, err := tomo.QuickPreview(context.Background(), li, s.Recon)
+	if err != nil {
+		return err
+	}
+	lat := time.Since(t0)
+	s.LastLatency = lat
+	s.LastMissed = missed
+	msg, err := EncodePreview(PreviewHeader{
+		ScanID: c.scanID, NAngles: len(c.angles), Missed: missed,
+		LatencyMS: float64(lat.Microseconds()) / 1000,
+	}, xy, xz, yz)
+	if err != nil {
+		return err
+	}
+	return push.Send(msg)
+}
+
+// averageFrames averages reference frames; when none exist it returns a
+// constant frame of fallback (so normalization degrades gracefully).
+func averageFrames(frames [][]uint16, n int, fallback float64) []float64 {
+	out := make([]float64, n)
+	if len(frames) == 0 {
+		for i := range out {
+			out[i] = fallback
+		}
+		return out
+	}
+	for _, f := range frames {
+		for i, v := range f {
+			out[i] += float64(v)
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(frames))
+	}
+	return out
+}
+
+// PublishAcquisition plays a simulated acquisition through a PVA server as
+// the detector IOC would: flats and darks first, then one frame per
+// projection angle, then the end-of-scan marker. interFrame throttles the
+// stream (0 = as fast as possible).
+func PublishAcquisition(srv *pva.Server, channel, scanID string, acq *tomo.Acquisition, interFrame time.Duration) error {
+	raw := acq.Raw
+	seq := uint64(0)
+	send := func(f *pva.Frame) error {
+		seq++
+		f.Seq = seq
+		f.ScanID = scanID
+		f.Rows = raw.NRows
+		f.Cols = raw.NCols
+		f.Timestamp = time.Now().UnixNano()
+		return srv.Publish(channel, f)
+	}
+	toU16 := func(xs []float64) []uint16 {
+		out := make([]uint16, len(xs))
+		for i, v := range xs {
+			if v < 0 {
+				v = 0
+			}
+			if v > 65535 {
+				v = 65535
+			}
+			out[i] = uint16(v)
+		}
+		return out
+	}
+	if err := send(&pva.Frame{Kind: pva.KindFlat, Data: toU16(acq.Flat)}); err != nil {
+		return err
+	}
+	if err := send(&pva.Frame{Kind: pva.KindDark, Data: toU16(acq.Dark)}); err != nil {
+		return err
+	}
+	n := raw.NRows * raw.NCols
+	for a := 0; a < raw.NAngles; a++ {
+		frame := &pva.Frame{
+			Kind: pva.KindProjection, AngleRad: raw.Theta[a],
+			Data: toU16(raw.Data[a*n : (a+1)*n]),
+		}
+		if err := send(frame); err != nil {
+			return err
+		}
+		if interFrame > 0 {
+			time.Sleep(interFrame)
+		}
+	}
+	return send(&pva.Frame{Kind: pva.KindEndOfScan})
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/msgq"
+	"repro/internal/phantom"
+	"repro/internal/pva"
+	"repro/internal/stats"
+	"repro/internal/tomo"
+	"repro/internal/vol"
+)
+
+func TestPreviewEncodeDecode(t *testing.T) {
+	xy := vol.NewImage(4, 4)
+	xy.Fill(1)
+	xz := vol.NewImage(4, 2)
+	yz := vol.NewImage(2, 4)
+	h := PreviewHeader{ScanID: "s1", NAngles: 90, Missed: 2, LatencyMS: 1234.5}
+	raw, err := EncodePreview(h, xy, xz, yz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotH, slices, err := DecodePreview(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("header %+v", gotH)
+	}
+	if len(slices) != 3 || slices[0].W != 4 || slices[1].H != 2 || slices[2].W != 2 {
+		t.Fatalf("slices %v", slices)
+	}
+	if slices[0].At(0, 0) != 1 {
+		t.Fatal("slice content lost")
+	}
+	// Corruption paths.
+	if _, _, err := DecodePreview(raw[:3]); err == nil {
+		t.Fatal("short message should fail")
+	}
+	if _, _, err := DecodePreview(raw[:len(raw)-5]); err == nil {
+		t.Fatal("truncated slice should fail")
+	}
+}
+
+// TestStreamingEndToEnd runs the full real-time streaming branch: a
+// detector IOC publishes a scan over PVA, a mirror republishes it, the
+// streaming service caches and reconstructs, and the preview arrives back
+// over the message queue — the paper's Figure 3 streaming path in
+// miniature.
+func TestStreamingEndToEnd(t *testing.T) {
+	// Beamline side: IOC and mirror servers, preview sink.
+	ioc, err := pva.NewServer("127.0.0.1:0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ioc.Close()
+	mirrorSrv, err := pva.NewServer("127.0.0.1:0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mirrorSrv.Close()
+	mirror, err := pva.NewMirror(ioc.Addr(), "bl832:det", mirrorSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go mirror.Run()
+
+	sink, err := msgq.NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	// NERSC side: streaming service on the mirror.
+	svc := &StreamingService{
+		PVAAddr: mirrorSrv.Addr(), Channel: "bl832:det",
+		PreviewAddr: sink.Addr(),
+		Recon:       tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
+	}
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- svc.Run(context.Background()) }()
+
+	// Give the service time to connect before frames flow.
+	waitForMonitors(t, mirrorSrv, "bl832:det", 1)
+	waitForMonitors(t, ioc, "bl832:det", 1)
+
+	// Detector: acquire and publish a small scan.
+	truth := phantom.SheppLogan3D(32, 6)
+	theta := tomo.UniformAngles(48)
+	acq := tomo.Acquire(truth, theta, 32, tomo.AcquireOptions{I0: 2e4, Seed: 9})
+	if err := PublishAcquisition(ioc, "bl832:det", "scan-e2e", acq, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// The preview must arrive.
+	msg, err := sink.Recv(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, slices, err := DecodePreview(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ScanID != "scan-e2e" || h.NAngles != 48 {
+		t.Fatalf("header %+v", h)
+	}
+	if len(slices) != 3 {
+		t.Fatalf("slices = %d", len(slices))
+	}
+	// The central XY slice should correlate with the ground truth.
+	xy := slices[0]
+	truthMid := truth.Slice(3)
+	corr := stats.Pearson(centerRegion(xy), centerRegion(truthMid))
+	if corr < 0.7 {
+		t.Fatalf("preview correlation %v with ground truth", corr)
+	}
+
+	ioc.Close() // end the stream; the service exits cleanly
+	if err := <-svcDone; err != nil {
+		t.Fatalf("service exit: %v", err)
+	}
+	if svc.ScansDone != 1 {
+		t.Fatalf("scans done = %d", svc.ScansDone)
+	}
+	if svc.LastLatency <= 0 {
+		t.Fatal("no latency recorded")
+	}
+}
+
+func centerRegion(im *vol.Image) []float64 {
+	var out []float64
+	for y := im.H / 4; y < im.H*3/4; y++ {
+		for x := im.W / 4; x < im.W*3/4; x++ {
+			out = append(out, im.At(x, y))
+		}
+	}
+	return out
+}
+
+func waitForMonitors(t *testing.T, srv *pva.Server, channel string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Monitors(channel) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("channel %s has %d monitors, want %d", channel, srv.Monitors(channel), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStreamingServiceRejectsEmptyScan(t *testing.T) {
+	ioc, _ := pva.NewServer("127.0.0.1:0", 64)
+	defer ioc.Close()
+	sink, _ := msgq.NewPull("127.0.0.1:0")
+	defer sink.Close()
+	svc := &StreamingService{PVAAddr: ioc.Addr(), Channel: "c", PreviewAddr: sink.Addr()}
+	done := make(chan error, 1)
+	go func() { done <- svc.Run(context.Background()) }()
+	waitForMonitors(t, ioc, "c", 1)
+	// End-of-scan with no cached frames: ignored, then invalid frames:
+	// also ignored; the service keeps running until the source closes.
+	ioc.Publish("c", &pva.Frame{Kind: pva.KindEndOfScan, ScanID: "x"})
+	ioc.Publish("c", &pva.Frame{Kind: pva.KindProjection}) // invalid: no id
+	time.Sleep(50 * time.Millisecond)
+	ioc.Close()
+	if err := <-done; err == nil {
+		t.Fatal("service with zero completed scans should report the stream error")
+	}
+}
+
+func TestStreamingServiceContextCancel(t *testing.T) {
+	ioc, _ := pva.NewServer("127.0.0.1:0", 64)
+	defer ioc.Close()
+	sink, _ := msgq.NewPull("127.0.0.1:0")
+	defer sink.Close()
+	svc := &StreamingService{PVAAddr: ioc.Addr(), Channel: "c", PreviewAddr: sink.Addr()}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- svc.Run(ctx) }()
+	waitForMonitors(t, ioc, "c", 1)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled service should return an error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("service did not stop on cancel")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/phantom"
+	"repro/internal/tomo"
+	"repro/internal/vol"
+)
+
+// evolveProppant returns a propped fracture whose aperture closes over
+// time — the §6 / in-situ creep scenario: the fracture narrows from 24%
+// to 8% of the volume height.
+func evolveProppant(t float64) *vol.Volume {
+	p := phantom.DefaultProppant()
+	p.FractureW = 0.24 - 0.16*t
+	return phantom.Proppant(p, 32, 12)
+}
+
+func TestReconstruct4DTracksEvolution(t *testing.T) {
+	theta := tomo.UniformAngles(48)
+	acqs := Acquire4D(evolveProppant, 4, theta, tomo.AcquireOptions{I0: 5e4, Seed: 1})
+	stamps := make([]time.Time, 4)
+	for i := range stamps {
+		stamps[i] = epoch.Add(time.Duration(i) * 10 * time.Minute)
+	}
+	ts, err := Reconstruct4D(context.Background(), "creep-4d", acqs, stamps,
+		tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Steps) != 4 {
+		t.Fatalf("steps = %d", len(ts.Steps))
+	}
+	for i, s := range ts.Steps {
+		if s.Volume.W != 32 || s.Volume.D != 12 {
+			t.Fatalf("step %d dims %dx%dx%d", i, s.Volume.W, s.Volume.H, s.Volume.D)
+		}
+		if !s.Time.Equal(stamps[i]) {
+			t.Fatalf("step %d time %v", i, s.Time)
+		}
+		if s.ReconMS <= 0 {
+			t.Fatal("recon time not recorded")
+		}
+	}
+	// The physical signal: solid fraction increases monotonically as the
+	// fracture closes.
+	solid := ts.Metric(func(v *vol.Volume) float64 { return v.FractionAbove(0.25) })
+	if solid[len(solid)-1] <= solid[0]+0.05 {
+		t.Fatalf("solid fraction did not rise as fracture closes: %v", solid)
+	}
+	for i := 1; i < len(solid); i++ {
+		// Allow small noise-induced dips, not reversals.
+		if solid[i] < solid[i-1]-0.02 {
+			t.Fatalf("solid fraction reversed at step %d: %v", i, solid)
+		}
+	}
+}
+
+func TestReconstruct4DDefaultsAndErrors(t *testing.T) {
+	if _, err := Reconstruct4D(context.Background(), "x", nil, nil, tomo.ReconOptions{}); err == nil {
+		t.Fatal("empty series should error")
+	}
+	theta := tomo.UniformAngles(16)
+	acqs := Acquire4D(evolveProppant, 2, theta, tomo.AcquireOptions{I0: 1e4, Seed: 1})
+	if _, err := Reconstruct4D(context.Background(), "x", acqs, make([]time.Time, 1), tomo.ReconOptions{}); err == nil {
+		t.Fatal("timestamp length mismatch should error")
+	}
+	// nil stamps allowed.
+	ts, err := Reconstruct4D(context.Background(), "x", acqs, nil, tomo.ReconOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Steps) != 2 {
+		t.Fatalf("steps = %d", len(ts.Steps))
+	}
+	// Context cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Reconstruct4D(ctx, "x", acqs, nil, tomo.ReconOptions{}); err == nil {
+		t.Fatal("cancelled 4D should error")
+	}
+}
+
+func TestAcquire4DDistinctSeeds(t *testing.T) {
+	theta := tomo.UniformAngles(8)
+	acqs := Acquire4D(func(t float64) *vol.Volume {
+		return phantom.SheppLogan3D(16, 2) // static sample
+	}, 2, theta, tomo.AcquireOptions{I0: 1e4, Seed: 5})
+	same := true
+	for i := range acqs[0].Raw.Data {
+		if acqs[0].Raw.Data[i] != acqs[1].Raw.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("timesteps should have independent noise realizations")
+	}
+}

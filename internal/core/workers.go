@@ -1,0 +1,91 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/sim"
+)
+
+// WorkerPools models the paper's Prefect worker configuration: generous
+// concurrency for scan staging, deliberately low concurrency for HPC job
+// submission "to prevent queue conflicts".
+type WorkerPools struct {
+	Staging *flow.SimLimiter // new_file_832 staging tasks
+	HPC     *flow.SimLimiter // nersc/alcf submission tasks
+	Prune   *flow.SimLimiter // scheduled pruning tasks
+}
+
+// NewWorkerPools creates the pools with the production-like sizes.
+func NewWorkerPools(e *sim.Engine) *WorkerPools {
+	return &WorkerPools{
+		Staging: flow.NewSimLimiter(e, 8),
+		HPC:     flow.NewSimLimiter(e, 2),
+		Prune:   flow.NewSimLimiter(e, 4),
+	}
+}
+
+// RunGatedCampaign drives n scans like RunProductionCampaign but routes
+// every flow through its worker pool, so HPC submissions queue behind the
+// low-concurrency gate exactly as the production workers enforce.
+func (b *Beamline) RunGatedCampaign(pools *WorkerPools, n int) *Table2Result {
+	b.Engine.Go("campaign", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			scan, err := b.NewScan(p, i)
+			if err != nil {
+				continue
+			}
+			sc := scan
+			b.Engine.Go("pipeline-"+sc.ID, func(p *sim.Proc) {
+				pools.Staging.Acquire(flow.SimEnv{P: p})
+				err := b.NewFile832Flow(p, sc)
+				pools.Staging.Release()
+				if err != nil {
+					return
+				}
+				b.Engine.Go("nersc-"+sc.ID, func(p *sim.Proc) {
+					pools.HPC.Acquire(flow.SimEnv{P: p})
+					defer pools.HPC.Release()
+					b.NERSCReconFlow(p, sc)
+				})
+				b.Engine.Go("alcf-"+sc.ID, func(p *sim.Proc) {
+					pools.HPC.Acquire(flow.SimEnv{P: p})
+					defer pools.HPC.Release()
+					b.ALCFReconFlow(p, sc)
+				})
+			})
+			p.Sleep(3*time.Minute + time.Duration(b.rng.Float64()*float64(2*time.Minute)))
+		}
+	})
+	b.Engine.Run()
+	res := &Table2Result{SuccessRate: map[string]float64{}}
+	for _, name := range []string{FlowNewFile, FlowNERSC, FlowALCF} {
+		res.Rows = append(res.Rows, Table2Row{Flow: name, Summary: b.Flows.Summary(name, n)})
+		res.SuccessRate[name] = b.Flows.SuccessRate(name)
+	}
+	return res
+}
+
+// StartPruningFlows schedules the storage-saturation guard: every
+// `interval` of virtual time (for `total`), a prune flow sweeps the
+// age-based retention policy across the beamline and scratch tiers,
+// recording a FlowPrune run.
+func (b *Beamline) StartPruningFlows(interval, total time.Duration) {
+	b.Engine.Go("prune-scheduler", func(p *sim.Proc) {
+		for elapsed := time.Duration(0); elapsed < total; elapsed += interval {
+			p.Sleep(interval)
+			ctx := b.Flows.Start(FlowPrune, flow.SimEnv{P: p})
+			err := ctx.Task("prune_tiers", flow.TaskOptions{}, func() error {
+				now := p.Now()
+				for _, st := range []interface {
+					PruneExpired(time.Time) (int, int64)
+				}{b.Detector, b.DataSrv, b.Scratch} {
+					st.PruneExpired(now)
+				}
+				p.Sleep(30 * time.Second) // sweep cost
+				return nil
+			})
+			ctx.Complete(err)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/sim"
+	"repro/internal/transfer"
+)
+
+func TestGatedCampaignBoundsHPCConcurrency(t *testing.T) {
+	b := newTestBeamline()
+	pools := NewWorkerPools(b.Engine)
+	res := b.RunGatedCampaign(pools, 30)
+	for _, row := range res.Rows {
+		if row.Summary.N != 30 {
+			t.Fatalf("%s: N=%d", row.Flow, row.Summary.N)
+		}
+	}
+	for name, rate := range res.SuccessRate {
+		if rate != 1 {
+			t.Errorf("%s success rate %v", name, rate)
+		}
+	}
+	// With 60 HPC flows through 2 slots, the pool must have queued.
+	if pools.HPC.PeakQueue() == 0 {
+		t.Error("HPC pool never queued; the concurrency gate did nothing")
+	}
+	// Staging at width 8 with ~1-2 min flows and 3-5 min cadence should
+	// queue rarely or never.
+	if pools.Staging.PeakQueue() > pools.HPC.PeakQueue() {
+		t.Errorf("staging queue %d exceeds HPC queue %d; gating inverted",
+			pools.Staging.PeakQueue(), pools.HPC.PeakQueue())
+	}
+}
+
+func TestScheduledPruningKeepsTiersBounded(t *testing.T) {
+	b := newTestBeamline()
+	// Shrink retention so pruning visibly reclaims within the test
+	// horizon.
+	b.Detector.Retention = 2 * time.Hour
+	b.DataSrv.Retention = 2 * time.Hour
+	b.StartPruningFlows(1*time.Hour, 12*time.Hour)
+	b.Engine.Go("scans", func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			scan, err := b.NewScan(p, i)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b.NewFile832Flow(p, scan)
+			p.Sleep(10 * time.Minute)
+		}
+	})
+	b.Engine.Run()
+	if b.Detector.PrunedBytes == 0 || b.DataSrv.PrunedBytes == 0 {
+		t.Fatalf("pruning reclaimed nothing: detector %d, datasrv %d",
+			b.Detector.PrunedBytes, b.DataSrv.PrunedBytes)
+	}
+	runs := b.Flows.Runs(FlowPrune)
+	if len(runs) != 12 {
+		t.Fatalf("prune rounds = %d, want 12 hourly rounds", len(runs))
+	}
+	// The tiers hold far less than the total produced.
+	if b.Detector.Used() >= 40*18e9 {
+		t.Fatalf("detector still holds %d bytes; retention not enforced", b.Detector.Used())
+	}
+}
+
+func TestCampaignWithTransientFaultsStillSucceeds(t *testing.T) {
+	// Transient WAN faults are absorbed by transfer retries and flow
+	// retries: the success rate stays 100% but retries are recorded.
+	b := newTestBeamline()
+	b.Transfer.RetryDelay = 5 * time.Second
+	n := 0
+	b.Transfer.Fault = func(task *transfer.Task, path string, attempt int) error {
+		n++
+		if n%7 == 0 && attempt == 0 {
+			return errors.New("transient network blip")
+		}
+		return nil
+	}
+	res := b.RunProductionCampaign(20, 20)
+	for name, rate := range res.SuccessRate {
+		if rate != 1 {
+			t.Errorf("%s success rate %v with transient faults", name, rate)
+		}
+	}
+	// Retries must appear in the transfer accounting.
+	var retries int
+	for _, task := range b.Transfer.Tasks() {
+		retries += task.Retries
+	}
+	if retries == 0 {
+		t.Fatal("no retries recorded despite injected faults")
+	}
+}
+
+func TestCampaignWithPermanentFaultsShowsInSuccessRate(t *testing.T) {
+	// A permanently broken path fails its flows; the orchestration
+	// dashboard shows the degraded success rate (§5.1.3).
+	b := newTestBeamline()
+	b.Transfer.Fault = func(task *transfer.Task, path string, attempt int) error {
+		if strings.Contains(task.Label, "raw→eagle") {
+			return &transfer.PermanentError{Err: errors.New("eagle export down")}
+		}
+		return nil
+	}
+	res := b.RunProductionCampaign(10, 10)
+	if res.SuccessRate[FlowALCF] != 0 {
+		t.Fatalf("alcf success rate %v, want 0 with eagle down", res.SuccessRate[FlowALCF])
+	}
+	if res.SuccessRate[FlowNERSC] != 1 {
+		t.Fatalf("nersc success rate %v; unrelated flows must be unaffected", res.SuccessRate[FlowNERSC])
+	}
+	// Failed runs carry the error through the API.
+	for _, run := range b.Flows.Runs(FlowALCF) {
+		if run.State != flow.Failed || !strings.Contains(run.Err, "eagle export down") {
+			t.Fatalf("run %+v", run)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package dxfile
+
+import (
+	"fmt"
+
+	"repro/internal/tomo"
+)
+
+// DXchange dataset paths, matching the layout the ALS file-writer embeds.
+const (
+	PathData  = "exchange/data"
+	PathWhite = "exchange/data_white"
+	PathDark  = "exchange/data_dark"
+	PathTheta = "exchange/theta"
+)
+
+// ScanMeta is the instrument metadata the file-writer validates and embeds
+// with every acquisition (the per-scan subset of what SciCat later
+// catalogs).
+type ScanMeta struct {
+	ScanID     string
+	Beamline   string
+	Sample     string
+	Instrument string
+	Operator   string
+	StartTime  string // RFC3339
+	Energy     string // keV, as recorded by the controls system
+}
+
+// attrs returns the metadata as path/key pairs under the "measurement"
+// group.
+func (m ScanMeta) attrs() map[string]string {
+	return map[string]string{
+		"scan_id":    m.ScanID,
+		"beamline":   m.Beamline,
+		"sample":     m.Sample,
+		"instrument": m.Instrument,
+		"operator":   m.Operator,
+		"start_time": m.StartTime,
+		"energy":     m.Energy,
+	}
+}
+
+// WriteDXchange writes a raw acquisition in DXchange layout: detector
+// counts as uint16 (the native sample type), flat/dark references, the
+// angle list, and scan metadata.
+func WriteDXchange(path string, acq *tomo.Acquisition, meta ScanMeta) error {
+	if err := acq.Raw.Validate(); err != nil {
+		return fmt.Errorf("dxfile: invalid acquisition: %w", err)
+	}
+	w, err := Create(path)
+	if err != nil {
+		return err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			w.Close()
+		}
+	}()
+	raw := acq.Raw
+	if err := w.WriteUint16(PathData, []int{raw.NAngles, raw.NRows, raw.NCols}, raw.Data); err != nil {
+		return err
+	}
+	if err := w.WriteUint16(PathWhite, []int{raw.NRows, raw.NCols}, acq.Flat); err != nil {
+		return err
+	}
+	if err := w.WriteUint16(PathDark, []int{raw.NRows, raw.NCols}, acq.Dark); err != nil {
+		return err
+	}
+	if err := w.WriteFloat64(PathTheta, []int{raw.NAngles}, raw.Theta); err != nil {
+		return err
+	}
+	for k, v := range meta.attrs() {
+		w.SetAttr("measurement", k, v)
+	}
+	ok = true
+	return w.Close()
+}
+
+// ReadDXchange reads a DXchange-layout file back into an acquisition
+// (without ground truth) and its metadata.
+func ReadDXchange(path string) (*tomo.Acquisition, ScanMeta, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, ScanMeta{}, err
+	}
+	defer r.Close()
+
+	dims, data, err := r.ReadFloat64(PathData)
+	if err != nil {
+		return nil, ScanMeta{}, err
+	}
+	if len(dims) != 3 {
+		return nil, ScanMeta{}, fmt.Errorf("dxfile: %s has %d dims, want 3", PathData, len(dims))
+	}
+	_, theta, err := r.ReadFloat64(PathTheta)
+	if err != nil {
+		return nil, ScanMeta{}, err
+	}
+	if len(theta) != dims[0] {
+		return nil, ScanMeta{}, fmt.Errorf("dxfile: theta length %d != %d angles", len(theta), dims[0])
+	}
+	_, flat, err := r.ReadFloat64(PathWhite)
+	if err != nil {
+		return nil, ScanMeta{}, err
+	}
+	_, dark, err := r.ReadFloat64(PathDark)
+	if err != nil {
+		return nil, ScanMeta{}, err
+	}
+	ps := &tomo.ProjectionSet{
+		NAngles: dims[0], NRows: dims[1], NCols: dims[2],
+		Theta: theta, Data: data,
+	}
+	if err := ps.Validate(); err != nil {
+		return nil, ScanMeta{}, err
+	}
+	get := func(k string) string {
+		v, _ := r.Attr("measurement", k)
+		return v
+	}
+	meta := ScanMeta{
+		ScanID:     get("scan_id"),
+		Beamline:   get("beamline"),
+		Sample:     get("sample"),
+		Instrument: get("instrument"),
+		Operator:   get("operator"),
+		StartTime:  get("start_time"),
+		Energy:     get("energy"),
+	}
+	return &tomo.Acquisition{Raw: ps, Flat: flat, Dark: dark}, meta, nil
+}

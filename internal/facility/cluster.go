@@ -1,0 +1,210 @@
+// Package facility models the two HPC centers' compute access paths. The
+// NERSC path is a batch scheduler with QOS-priority queueing (the paper's
+// Slurm "realtime" QOS jobs submitted through SFAPI); the ALCF path is a
+// Globus-Compute-style pilot-job endpoint whose warm workers skip the
+// batch queue entirely. Both run on the discrete-event kernel so queue
+// waits and walltimes are deterministic; a separate real-time SFAPI HTTP
+// facade (sfapi.go) serves the live streaming-service examples.
+package facility
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// JobState is the lifecycle state of a batch job.
+type JobState string
+
+// Job states, matching the Slurm vocabulary.
+const (
+	Pending   JobState = "PENDING"
+	Running   JobState = "RUNNING"
+	Completed JobState = "COMPLETED"
+	JobFailed JobState = "FAILED"
+	Cancelled JobState = "CANCELLED"
+)
+
+// Job records one batch job.
+type Job struct {
+	ID        int
+	Name      string
+	Partition string
+	QOS       string
+	Nodes     int
+	State     JobState
+	Submitted time.Time
+	Started   time.Time
+	Ended     time.Time
+	Err       string
+}
+
+// QueueWait returns the pending time before the job started.
+func (j *Job) QueueWait() time.Duration { return j.Started.Sub(j.Submitted) }
+
+// Walltime returns the execution time.
+func (j *Job) Walltime() time.Duration { return j.Ended.Sub(j.Started) }
+
+// Partition is a pool of identical nodes with QOS priorities.
+type Partition struct {
+	Name  string
+	Total int
+	// QOSPriority maps QOS names to priorities; higher runs first. The
+	// zero priority is used for unknown QOS names.
+	QOSPriority map[string]int
+
+	free    int
+	pending []*pendingJob
+}
+
+type pendingJob struct {
+	job      *Job
+	priority int
+	seq      int
+	grant    *sim.Signal
+}
+
+// Cluster is a simulated batch system.
+type Cluster struct {
+	Name string
+
+	e          *sim.Engine
+	partitions map[string]*Partition
+	jobs       []*Job
+	nextID     int
+}
+
+// NewCluster creates an empty cluster on the engine.
+func NewCluster(e *sim.Engine, name string) *Cluster {
+	return &Cluster{Name: name, e: e, partitions: map[string]*Partition{}}
+}
+
+// AddPartition installs a partition with the given node count and QOS
+// priority table.
+func (c *Cluster) AddPartition(name string, nodes int, qosPriority map[string]int) *Partition {
+	p := &Partition{Name: name, Total: nodes, free: nodes, QOSPriority: qosPriority}
+	c.partitions[name] = p
+	return p
+}
+
+// Jobs returns every job record in submission order.
+func (c *Cluster) Jobs() []*Job { return c.jobs }
+
+// QueueDepth returns the number of pending jobs in a partition.
+func (c *Cluster) QueueDepth(partition string) int {
+	p, ok := c.partitions[partition]
+	if !ok {
+		return 0
+	}
+	return len(p.pending)
+}
+
+// JobSpec describes a job submission.
+type JobSpec struct {
+	Name      string
+	Partition string
+	QOS       string
+	Nodes     int
+	// Run is the job body; it executes on the virtual clock while the
+	// nodes are held. A non-nil error marks the job FAILED.
+	Run func(p *sim.Proc) error
+}
+
+// Submit enqueues a job and blocks the calling process until it finishes,
+// returning its record. Scheduling is priority-then-FIFO per partition:
+// the paper's "realtime" QOS jumps the regular queue.
+func (c *Cluster) Submit(proc *sim.Proc, spec JobSpec) (*Job, error) {
+	part, ok := c.partitions[spec.Partition]
+	if !ok {
+		return nil, fmt.Errorf("facility: %s: unknown partition %q", c.Name, spec.Partition)
+	}
+	if spec.Nodes < 1 {
+		spec.Nodes = 1
+	}
+	if spec.Nodes > part.Total {
+		return nil, fmt.Errorf("facility: %s: job %q wants %d nodes, partition %q has %d",
+			c.Name, spec.Name, spec.Nodes, spec.Partition, part.Total)
+	}
+	c.nextID++
+	job := &Job{
+		ID: c.nextID, Name: spec.Name, Partition: spec.Partition,
+		QOS: spec.QOS, Nodes: spec.Nodes, State: Pending, Submitted: proc.Now(),
+	}
+	c.jobs = append(c.jobs, job)
+
+	// Queue and wait for a grant.
+	pj := &pendingJob{
+		job:      job,
+		priority: part.QOSPriority[spec.QOS],
+		seq:      job.ID,
+		grant:    sim.NewSignal(c.e),
+	}
+	part.pending = append(part.pending, pj)
+	c.dispatch(part)
+	pj.grant.Wait(proc)
+
+	job.State = Running
+	job.Started = proc.Now()
+	var err error
+	if spec.Run != nil {
+		err = spec.Run(proc)
+	}
+	job.Ended = proc.Now()
+	if err != nil {
+		job.State = JobFailed
+		job.Err = err.Error()
+	} else {
+		job.State = Completed
+	}
+	part.free += job.Nodes
+	c.dispatch(part)
+	return job, err
+}
+
+// dispatch grants nodes to the highest-priority (then oldest) pending jobs
+// that fit. It does not backfill past a blocked higher-priority job, which
+// matches a conservative Slurm configuration.
+func (c *Cluster) dispatch(part *Partition) {
+	sort.SliceStable(part.pending, func(i, j int) bool {
+		if part.pending[i].priority != part.pending[j].priority {
+			return part.pending[i].priority > part.pending[j].priority
+		}
+		return part.pending[i].seq < part.pending[j].seq
+	})
+	for len(part.pending) > 0 {
+		head := part.pending[0]
+		if head.job.Nodes > part.free {
+			return
+		}
+		part.free -= head.job.Nodes
+		part.pending = part.pending[1:]
+		head.grant.Fire()
+	}
+}
+
+// BackgroundLoad keeps a partition partially occupied by other users' jobs:
+// it spawns a generator process that submits `width`-node filler jobs with
+// the given duration sampler, keeping roughly `target` nodes busy. It is
+// how the Table 2 experiment reproduces NERSC queue-wait variance.
+func (c *Cluster) BackgroundLoad(partition, qos string, target, width int, dur func() time.Duration) {
+	if width < 1 {
+		width = 1
+	}
+	slots := target / width
+	for i := 0; i < slots; i++ {
+		c.e.Go(fmt.Sprintf("%s-bg-%d", c.Name, i), func(p *sim.Proc) {
+			for {
+				d := dur()
+				if d <= 0 {
+					return // sampler signals shutdown
+				}
+				c.Submit(p, JobSpec{
+					Name: "background", Partition: partition, QOS: qos, Nodes: width,
+					Run: func(p *sim.Proc) error { p.Sleep(d); return nil },
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,53 @@
+package facility
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// PilotEndpoint models a Globus-Compute-style function-as-a-service
+// endpoint: a pool of pilot workers that, once provisioned through the
+// demand queue, stay warm and execute remote functions immediately. This
+// is why the paper's ALCF flow shows lower variance than the NERSC batch
+// path: after the first cold start there is no per-job scheduler wait.
+type PilotEndpoint struct {
+	Name string
+	// ColdStart is the provisioning delay for a new worker (demand-queue
+	// wait plus container start).
+	ColdStart time.Duration
+	// IdleTimeout releases a warm worker after this much idle time
+	// (0 = keep forever).
+	IdleTimeout time.Duration
+
+	e       *sim.Engine
+	workers *sim.Resource
+	warmed  int // workers already provisioned
+
+	// Stats.
+	Executions int
+	ColdStarts int
+}
+
+// NewPilotEndpoint creates an endpoint with the given worker pool size.
+func NewPilotEndpoint(e *sim.Engine, name string, workers int, coldStart time.Duration) *PilotEndpoint {
+	return &PilotEndpoint{
+		Name: name, ColdStart: coldStart,
+		e: e, workers: sim.NewResource(e, workers),
+	}
+}
+
+// Execute runs fn on a pilot worker, blocking the calling process for any
+// provisioning delay plus fn's own virtual time. The first use of each
+// worker slot pays the cold-start penalty; subsequent uses are immediate.
+func (pe *PilotEndpoint) Execute(p *sim.Proc, fn func(p *sim.Proc) error) error {
+	pe.workers.Acquire(p)
+	defer pe.workers.Release()
+	if pe.warmed < pe.workers.Capacity() {
+		pe.warmed++
+		pe.ColdStarts++
+		p.Sleep(pe.ColdStart)
+	}
+	pe.Executions++
+	return fn(p)
+}

@@ -1,0 +1,151 @@
+package facility
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestAPI(t *testing.T) (*SFAPI, *httptest.Server) {
+	t.Helper()
+	api := NewSFAPI("tok")
+	api.Register("ok", func(ctx context.Context, args map[string]string) error { return nil })
+	api.Register("sleep", func(ctx context.Context, args map[string]string) error {
+		select {
+		case <-time.After(10 * time.Second):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	})
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+	return api, srv
+}
+
+func doReq(t *testing.T, method, url, token string, body interface{}) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHTTPAuthRequired(t *testing.T) {
+	_, srv := newTestAPI(t)
+	resp := doReq(t, "GET", srv.URL+"/api/v1/status", "", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token: status %d", resp.StatusCode)
+	}
+	resp2 := doReq(t, "GET", srv.URL+"/api/v1/status", "wrong", nil)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("bad token: status %d", resp2.StatusCode)
+	}
+}
+
+func TestHTTPStatus(t *testing.T) {
+	_, srv := newTestAPI(t)
+	resp := doReq(t, "GET", srv.URL+"/api/v1/status", "tok", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body map[string]string
+	json.NewDecoder(resp.Body).Decode(&body)
+	if body["status"] != "active" {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestHTTPSubmitAndPoll(t *testing.T) {
+	api, srv := newTestAPI(t)
+	resp := doReq(t, "POST", srv.URL+"/api/v1/compute/jobs", "tok",
+		map[string]interface{}{"command": "ok", "args": map[string]string{"a": "1"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var job SFJob
+	json.NewDecoder(resp.Body).Decode(&job)
+	if job.ID == 0 || job.Command != "ok" {
+		t.Fatalf("job = %+v", job)
+	}
+	if _, err := api.Wait(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	poll := doReq(t, "GET", fmt.Sprintf("%s/api/v1/compute/jobs/%d", srv.URL, job.ID), "tok", nil)
+	defer poll.Body.Close()
+	var got SFJob
+	json.NewDecoder(poll.Body).Decode(&got)
+	if got.State != Completed {
+		t.Fatalf("state = %v", got.State)
+	}
+}
+
+func TestHTTPCancel(t *testing.T) {
+	api, srv := newTestAPI(t)
+	resp := doReq(t, "POST", srv.URL+"/api/v1/compute/jobs", "tok",
+		map[string]interface{}{"command": "sleep"})
+	defer resp.Body.Close()
+	var job SFJob
+	json.NewDecoder(resp.Body).Decode(&job)
+	c := doReq(t, "POST", fmt.Sprintf("%s/api/v1/compute/jobs/%d/cancel", srv.URL, job.ID), "tok", nil)
+	defer c.Body.Close()
+	if c.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", c.StatusCode)
+	}
+	final, _ := api.Wait(job.ID)
+	if final.State != Cancelled {
+		t.Fatalf("state = %v", final.State)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newTestAPI(t)
+	// Unknown command.
+	resp := doReq(t, "POST", srv.URL+"/api/v1/compute/jobs", "tok",
+		map[string]interface{}{"command": "nope"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown command status %d", resp.StatusCode)
+	}
+	// Bad method.
+	r2 := doReq(t, "GET", srv.URL+"/api/v1/compute/jobs", "tok", nil)
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on jobs collection status %d", r2.StatusCode)
+	}
+	// Bad job id.
+	r3 := doReq(t, "GET", srv.URL+"/api/v1/compute/jobs/abc", "tok", nil)
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", r3.StatusCode)
+	}
+	// Missing job.
+	r4 := doReq(t, "GET", srv.URL+"/api/v1/compute/jobs/424242", "tok", nil)
+	defer r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job status %d", r4.StatusCode)
+	}
+}

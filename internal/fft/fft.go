@@ -1,0 +1,184 @@
+// Package fft implements the radix-2 fast Fourier transforms needed by the
+// tomographic reconstruction kernels: the ramp-filter convolution in
+// filtered back projection and the polar-to-Cartesian resampling in the
+// gridrec-style Fourier reconstruction. Only power-of-two lengths are
+// supported; callers pad with NextPow2.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// Forward computes the in-place forward DFT of x. len(x) must be a power of
+// two. The transform is unnormalized: Inverse(Forward(x)) == x.
+func Forward(x []complex128) {
+	transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization. len(x) must be a power of two.
+func Inverse(x []complex128) {
+	transform(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// transform is an iterative Cooley-Tukey radix-2 FFT.
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// ForwardReal transforms a real signal into its complex spectrum of the
+// same (power-of-two) length. The input is not modified.
+func ForwardReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	Forward(c)
+	return c
+}
+
+// InverseReal inverts a spectrum and returns the real part, discarding the
+// (numerically tiny, for conjugate-symmetric input) imaginary residue.
+func InverseReal(c []complex128) []float64 {
+	tmp := append([]complex128(nil), c...)
+	Inverse(tmp)
+	out := make([]float64, len(tmp))
+	for i, v := range tmp {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Convolve returns the circular convolution of a and b via the frequency
+// domain. Both must have the same power-of-two length.
+func Convolve(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("fft: Convolve length mismatch")
+	}
+	fa := ForwardReal(a)
+	fb := ForwardReal(b)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	return InverseReal(fa)
+}
+
+// FreqIndex returns the signed frequency bin for index i of an n-point DFT,
+// i.e. i for i < n/2 and i-n otherwise.
+func FreqIndex(i, n int) int {
+	if i <= n/2 {
+		return i
+	}
+	return i - n
+}
+
+// Shift2D applies an fftshift-style quadrant swap to a square n×n complex
+// image stored row-major, moving the zero frequency to the center (or back;
+// the operation is its own inverse for even n).
+func Shift2D(img []complex128, n int) {
+	if len(img) != n*n {
+		panic("fft: Shift2D size mismatch")
+	}
+	h := n / 2
+	for y := 0; y < h; y++ {
+		for x := 0; x < n; x++ {
+			x2 := (x + h) % n
+			y2 := y + h
+			img[y*n+x], img[y2*n+x2] = img[y2*n+x2], img[y*n+x]
+		}
+	}
+}
+
+// Forward2D computes the forward DFT of a square n×n row-major image by
+// transforming rows then columns. n must be a power of two.
+func Forward2D(img []complex128, n int) {
+	transform2D(img, n, false)
+}
+
+// Inverse2D computes the inverse DFT (normalized) of a square n×n image.
+func Inverse2D(img []complex128, n int) {
+	transform2D(img, n, true)
+}
+
+func transform2D(img []complex128, n int, inverse bool) {
+	if len(img) != n*n {
+		panic("fft: transform2D size mismatch")
+	}
+	// Rows.
+	for y := 0; y < n; y++ {
+		row := img[y*n : (y+1)*n]
+		if inverse {
+			Inverse(row)
+		} else {
+			Forward(row)
+		}
+	}
+	// Columns, via a scratch buffer.
+	col := make([]complex128, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = img[y*n+x]
+		}
+		if inverse {
+			Inverse(col)
+		} else {
+			Forward(col)
+		}
+		for y := 0; y < n; y++ {
+			img[y*n+x] = col[y]
+		}
+	}
+}

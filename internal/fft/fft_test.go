@@ -1,0 +1,279 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{-3: 1, 0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestForwardKnownImpulse(t *testing.T) {
+	// DFT of an impulse is flat.
+	x := make([]complex128, 8)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestForwardKnownCosine(t *testing.T) {
+	// cos(2πk/N) concentrates energy in bins 1 and N-1.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(2*math.Pi*float64(i)/float64(n)), 0)
+	}
+	Forward(x)
+	for i, v := range x {
+		want := 0.0
+		if i == 1 || i == n-1 {
+			want = float64(n) / 2
+		}
+		if math.Abs(cmplx.Abs(v)-want) > 1e-9 {
+			t.Fatalf("bin %d magnitude = %v, want %v", i, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 64, 512} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		Forward(x)
+		Inverse(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: roundtrip mismatch at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy in time domain equals energy in frequency domain / N.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 << (1 + rng.Intn(8))
+		x := make([]complex128, n)
+		var et float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		Forward(x)
+		var ef float64
+		for _, v := range x {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(et-ef/float64(n)) > 1e-6*et {
+			t.Fatalf("Parseval violated: %v vs %v", et, ef/float64(n))
+		}
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 128
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = complex(rng.NormFloat64(), 0)
+		b[i] = complex(rng.NormFloat64(), 0)
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	Forward(a)
+	Forward(b)
+	Forward(sum)
+	for i := 0; i < n; i++ {
+		want := 2*a[i] + 3*b[i]
+		if cmplx.Abs(sum[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestForwardPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	Forward(make([]complex128, 3))
+}
+
+func TestForwardRealMatchesComplex(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	c := ForwardReal(x)
+	if len(c) != len(x) {
+		t.Fatal("length mismatch")
+	}
+	back := InverseReal(c)
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-10 {
+			t.Fatalf("roundtrip real mismatch at %d: %v", i, back[i])
+		}
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	// Convolution with a unit impulse is the identity.
+	n := 16
+	a := make([]float64, n)
+	d := make([]float64, n)
+	d[0] = 1
+	for i := range a {
+		a[i] = float64(i) - 3.5
+	}
+	got := Convolve(a, d)
+	for i := range a {
+		if math.Abs(got[i]-a[i]) > 1e-10 {
+			t.Fatalf("identity convolution mismatch at %d", i)
+		}
+	}
+}
+
+func TestConvolveShift(t *testing.T) {
+	// Convolution with a shifted impulse circularly shifts the signal.
+	n := 8
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	d := make([]float64, n)
+	d[2] = 1
+	got := Convolve(a, d)
+	for i := range a {
+		want := a[(i-2+n)%n]
+		if math.Abs(got[i]-want) > 1e-10 {
+			t.Fatalf("shift convolution mismatch at %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestConvolvePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Convolve(make([]float64, 4), make([]float64, 8))
+}
+
+func TestFreqIndex(t *testing.T) {
+	n := 8
+	wants := []int{0, 1, 2, 3, 4, -3, -2, -1}
+	for i, want := range wants {
+		if got := FreqIndex(i, n); got != want {
+			t.Errorf("FreqIndex(%d,%d) = %d, want %d", i, n, got, want)
+		}
+	}
+}
+
+func TestShift2DInvolution(t *testing.T) {
+	n := 8
+	img := make([]complex128, n*n)
+	rng := rand.New(rand.NewSource(4))
+	orig := make([]complex128, n*n)
+	for i := range img {
+		img[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = img[i]
+	}
+	Shift2D(img, n)
+	// Zero freq moved to center.
+	if img[(n/2)*n+n/2] != orig[0] {
+		t.Fatal("zero frequency not moved to center")
+	}
+	Shift2D(img, n)
+	for i := range img {
+		if img[i] != orig[i] {
+			t.Fatal("Shift2D not an involution for even n")
+		}
+	}
+}
+
+func TestForward2DRoundTrip(t *testing.T) {
+	n := 16
+	img := make([]complex128, n*n)
+	rng := rand.New(rand.NewSource(5))
+	orig := make([]complex128, n*n)
+	for i := range img {
+		img[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = img[i]
+	}
+	Forward2D(img, n)
+	Inverse2D(img, n)
+	for i := range img {
+		if cmplx.Abs(img[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestForward2DDC(t *testing.T) {
+	// The DC bin of a constant image is n²·c.
+	n := 8
+	img := make([]complex128, n*n)
+	for i := range img {
+		img[i] = 3
+	}
+	Forward2D(img, n)
+	if cmplx.Abs(img[0]-complex(3*float64(n*n), 0)) > 1e-9 {
+		t.Fatalf("DC bin = %v", img[0])
+	}
+	for i := 1; i < n*n; i++ {
+		if cmplx.Abs(img[i]) > 1e-9 {
+			t.Fatalf("non-DC bin %d = %v", i, img[i])
+		}
+	}
+}
+
+func BenchmarkForward1K(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Forward(x)
+	}
+}
+
+func BenchmarkForward2D256(b *testing.B) {
+	n := 256
+	img := make([]complex128, n*n)
+	for i := range img {
+		img[i] = complex(float64(i%13), 0)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Forward2D(img, n)
+	}
+}

@@ -1,0 +1,81 @@
+package flow
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler exposes the run history over HTTP, mirroring how the paper's
+// software engineers query the Prefect API for flow statistics and logs:
+//
+//	GET /api/flows                      → list of flow names
+//	GET /api/flows/{name}/stats?last=N  → summary statistics
+//	GET /api/flows/{name}/runs          → run records
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/flows", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.FlowNames())
+	})
+	mux.HandleFunc("/api/flows/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/api/flows/")
+		parts := strings.SplitN(rest, "/", 2)
+		if len(parts) != 2 {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		name := parts[0]
+		switch parts[1] {
+		case "stats":
+			last := 0
+			if q := r.URL.Query().Get("last"); q != "" {
+				// Ignore parse errors; 0 means "all runs".
+				if n, err := strconv.Atoi(q); err == nil {
+					last = n
+				}
+			}
+			sum := s.Summary(name, last)
+			writeJSON(w, http.StatusOK, map[string]interface{}{
+				"flow": name, "n": sum.N,
+				"mean_s": sum.Mean, "sd_s": sum.SD, "median_s": sum.Median,
+				"min_s": sum.Min, "max_s": sum.Max,
+				"success_rate": s.SuccessRate(name),
+			})
+		case "runs":
+			type runJSON struct {
+				ID         int     `json:"id"`
+				State      State   `json:"state"`
+				DurationS  float64 `json:"duration_s"`
+				Err        string  `json:"error,omitempty"`
+				TaskCount  int     `json:"tasks"`
+				RetryCount int     `json:"retries"`
+			}
+			runs := s.Runs(name)
+			out := make([]runJSON, 0, len(runs))
+			for _, run := range runs {
+				retries := 0
+				for _, t := range run.Tasks {
+					if t.Attempts > 1 {
+						retries += t.Attempts - 1
+					}
+				}
+				out = append(out, runJSON{
+					ID: run.ID, State: run.State,
+					DurationS: run.Duration().Seconds(), Err: run.Err,
+					TaskCount: len(run.Tasks), RetryCount: retries,
+				})
+			}
+			writeJSON(w, http.StatusOK, out)
+		default:
+			http.Error(w, "not found", http.StatusNotFound)
+		}
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,274 @@
+// Package flow is the orchestration layer of the reproduction — the role
+// Prefect plays in the paper. Flows are plain Go functions that record
+// their execution through a Ctx: per-task state, bounded retries with
+// exponential backoff, idempotency keys so retried flows skip work that
+// already completed (the paper's "idempotent semantics that support safe
+// retries"), structured logs, and a queryable run history whose aggregate
+// statistics are exactly what the paper extracts for Table 2.
+//
+// The engine is clock-agnostic: an Env backed by the discrete-event kernel
+// drives facility-scale simulations, while RealEnv drives the live
+// services. Flow bodies are identical in both modes.
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Env abstracts time so flows run on either the virtual or the real clock.
+type Env interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealEnv runs flows on the wall clock.
+type RealEnv struct{}
+
+// Now returns the wall-clock time.
+func (RealEnv) Now() time.Time { return time.Now() }
+
+// Sleep blocks the goroutine for d.
+func (RealEnv) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SimEnv runs flows on a discrete-event process.
+type SimEnv struct{ P *sim.Proc }
+
+// Now returns the virtual time.
+func (s SimEnv) Now() time.Time { return s.P.Now() }
+
+// Sleep advances the virtual clock.
+func (s SimEnv) Sleep(d time.Duration) { s.P.Sleep(d) }
+
+// State is a flow or task run state, matching Prefect's vocabulary.
+type State string
+
+// Run and task states.
+const (
+	Running   State = "RUNNING"
+	Completed State = "COMPLETED"
+	Failed    State = "FAILED"
+)
+
+// LogEntry is one structured log line attached to a run.
+type LogEntry struct {
+	Time  time.Time
+	Level string
+	Msg   string
+}
+
+// TaskRun records one task execution within a flow run.
+type TaskRun struct {
+	Name     string
+	State    State
+	Attempts int
+	Start    time.Time
+	End      time.Time
+	Err      string
+	// Cached is true when an idempotency key matched a previously
+	// completed task and the body was skipped.
+	Cached bool
+}
+
+// Duration returns the task's elapsed time.
+func (t *TaskRun) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// Run records one flow run.
+type Run struct {
+	ID    int
+	Flow  string
+	State State
+	Start time.Time
+	End   time.Time
+	Err   string
+	Tasks []*TaskRun
+	Logs  []LogEntry
+}
+
+// Duration returns the run's elapsed time.
+func (r *Run) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Server is the orchestration server: it owns run history, idempotency
+// state, and the statistics API.
+type Server struct {
+	mu     sync.Mutex
+	runs   []*Run
+	nextID int
+	idemp  map[string]bool
+}
+
+// NewServer creates an empty orchestration server.
+func NewServer() *Server {
+	return &Server{idemp: map[string]bool{}}
+}
+
+// Ctx is the handle a running flow uses to record tasks and logs.
+type Ctx struct {
+	Env    Env
+	Run    *Run
+	server *Server
+}
+
+// Start begins a flow run on the given environment.
+func (s *Server) Start(flowName string, env Env) *Ctx {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	run := &Run{ID: s.nextID, Flow: flowName, State: Running, Start: env.Now()}
+	s.runs = append(s.runs, run)
+	return &Ctx{Env: env, Run: run, server: s}
+}
+
+// Complete finalizes the run; err marks it FAILED.
+func (c *Ctx) Complete(err error) {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	c.Run.End = c.Env.Now()
+	if err != nil {
+		c.Run.State = Failed
+		c.Run.Err = err.Error()
+	} else {
+		c.Run.State = Completed
+	}
+}
+
+// Logf appends a structured log line to the run.
+func (c *Ctx) Logf(level, format string, args ...interface{}) {
+	c.server.mu.Lock()
+	defer c.server.mu.Unlock()
+	c.Run.Logs = append(c.Run.Logs, LogEntry{
+		Time: c.Env.Now(), Level: level, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// TaskOptions configures retry and idempotency behaviour for one task.
+type TaskOptions struct {
+	// Retries is the number of re-attempts after the first failure.
+	Retries int
+	// RetryDelay is the base backoff between attempts, doubled each time.
+	RetryDelay time.Duration
+	// IdempotencyKey, when non-empty, causes the task to be skipped if a
+	// task with the same key already completed on this server (across
+	// all runs) — making flow-level retries safe.
+	IdempotencyKey string
+}
+
+// Task executes fn with the configured retry policy and records the
+// result. It returns fn's final error.
+func (c *Ctx) Task(name string, opts TaskOptions, fn func() error) error {
+	tr := &TaskRun{Name: name, State: Running, Start: c.Env.Now()}
+	c.server.mu.Lock()
+	c.Run.Tasks = append(c.Run.Tasks, tr)
+	cached := opts.IdempotencyKey != "" && c.server.idemp[opts.IdempotencyKey]
+	c.server.mu.Unlock()
+
+	if cached {
+		tr.Cached = true
+		tr.State = Completed
+		tr.End = c.Env.Now()
+		return nil
+	}
+
+	var err error
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if attempt > 0 {
+			c.Logf("WARN", "task %s attempt %d after error: %v", name, attempt+1, err)
+			c.Env.Sleep(opts.RetryDelay << (attempt - 1))
+		}
+		tr.Attempts++
+		err = fn()
+		if err == nil {
+			break
+		}
+	}
+	tr.End = c.Env.Now()
+	if err != nil {
+		tr.State = Failed
+		tr.Err = err.Error()
+		return err
+	}
+	tr.State = Completed
+	if opts.IdempotencyKey != "" {
+		c.server.mu.Lock()
+		c.server.idemp[opts.IdempotencyKey] = true
+		c.server.mu.Unlock()
+	}
+	return nil
+}
+
+// Runs returns all runs of a flow (all flows if name is empty), in start
+// order.
+func (s *Server) Runs(name string) []*Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Run
+	for _, r := range s.runs {
+		if name == "" || r.Flow == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FlowNames returns the distinct flow names seen, sorted.
+func (s *Server) FlowNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	for _, r := range s.runs {
+		seen[r.Flow] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Durations returns completed-run durations in seconds for a flow,
+// optionally limited to the most recent n runs (n ≤ 0 means all) — the
+// query behind "the last 100 successful flow runs".
+func (s *Server) Durations(name string, n int) []float64 {
+	runs := s.Runs(name)
+	var out []float64
+	for _, r := range runs {
+		if r.State == Completed {
+			out = append(out, r.Duration().Seconds())
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Summary returns Table 2 style statistics over the last n successful
+// runs of a flow.
+func (s *Server) Summary(name string, n int) stats.Summary {
+	return stats.Summarize(s.Durations(name, n))
+}
+
+// SuccessRate returns the fraction of finished runs that completed.
+func (s *Server) SuccessRate(name string) float64 {
+	runs := s.Runs(name)
+	var done, ok int
+	for _, r := range runs {
+		switch r.State {
+		case Completed:
+			done++
+			ok++
+		case Failed:
+			done++
+		}
+	}
+	if done == 0 {
+		return 0
+	}
+	return float64(ok) / float64(done)
+}

@@ -1,0 +1,292 @@
+package flow
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+var epoch = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+func TestFlowRunLifecycle(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		ctx := s.Start("new_file_832", SimEnv{p})
+		err := ctx.Task("copy", TaskOptions{}, func() error {
+			p.Sleep(30 * time.Second)
+			return nil
+		})
+		ctx.Complete(err)
+	})
+	e.Run()
+	runs := s.Runs("new_file_832")
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	r := runs[0]
+	if r.State != Completed || r.Duration() != 30*time.Second {
+		t.Fatalf("run %+v", r)
+	}
+	if len(r.Tasks) != 1 || r.Tasks[0].State != Completed || r.Tasks[0].Attempts != 1 {
+		t.Fatalf("task %+v", r.Tasks[0])
+	}
+}
+
+func TestTaskRetryBackoff(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	var calls int
+	e.Go("f", func(p *sim.Proc) {
+		ctx := s.Start("flaky", SimEnv{p})
+		err := ctx.Task("t", TaskOptions{Retries: 3, RetryDelay: 10 * time.Second}, func() error {
+			calls++
+			if calls < 3 {
+				return errors.New("blip")
+			}
+			return nil
+		})
+		ctx.Complete(err)
+	})
+	end := e.Run()
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	// Backoffs: 10 + 20 = 30 s.
+	if end.Sub(epoch) != 30*time.Second {
+		t.Fatalf("elapsed %v, want 30s of backoff", end.Sub(epoch))
+	}
+	r := s.Runs("flaky")[0]
+	if r.State != Completed || r.Tasks[0].Attempts != 3 {
+		t.Fatalf("run %+v task %+v", r, r.Tasks[0])
+	}
+	if len(r.Logs) != 2 {
+		t.Fatalf("expected 2 retry warnings, got %d", len(r.Logs))
+	}
+}
+
+func TestTaskFailureAfterRetries(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		ctx := s.Start("doomed", SimEnv{p})
+		err := ctx.Task("t", TaskOptions{Retries: 2}, func() error {
+			return errors.New("hard down")
+		})
+		ctx.Complete(err)
+	})
+	e.Run()
+	r := s.Runs("doomed")[0]
+	if r.State != Failed || r.Err != "hard down" {
+		t.Fatalf("run %+v", r)
+	}
+	if r.Tasks[0].Attempts != 3 || r.Tasks[0].State != Failed {
+		t.Fatalf("task %+v", r.Tasks[0])
+	}
+	if s.SuccessRate("doomed") != 0 {
+		t.Fatalf("success rate %v", s.SuccessRate("doomed"))
+	}
+}
+
+func TestIdempotencySkipsCompletedWork(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	var executions int
+	runOnce := func(p *sim.Proc) error {
+		ctx := s.Start("recon", SimEnv{p})
+		err := ctx.Task("copy", TaskOptions{IdempotencyKey: "copy:scan42"}, func() error {
+			executions++
+			p.Sleep(time.Minute)
+			return nil
+		})
+		ctx.Complete(err)
+		return err
+	}
+	e.Go("first", func(p *sim.Proc) { runOnce(p) })
+	e.Go("second", func(p *sim.Proc) { p.Sleep(2 * time.Minute); runOnce(p) })
+	e.Run()
+	if executions != 1 {
+		t.Fatalf("task body ran %d times, want 1 (idempotent retry)", executions)
+	}
+	second := s.Runs("recon")[1]
+	if !second.Tasks[0].Cached || second.Tasks[0].State != Completed {
+		t.Fatalf("second task %+v should be cached", second.Tasks[0])
+	}
+}
+
+func TestIdempotencyNotSetOnFailure(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	calls := 0
+	e.Go("f", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			ctx := s.Start("r", SimEnv{p})
+			err := ctx.Task("t", TaskOptions{IdempotencyKey: "k"}, func() error {
+				calls++
+				if calls == 1 {
+					return errors.New("fail once")
+				}
+				return nil
+			})
+			ctx.Complete(err)
+		}
+	})
+	e.Run()
+	if calls != 2 {
+		t.Fatalf("failed task should not poison the idempotency key: calls=%d", calls)
+	}
+}
+
+func TestDurationsLastN(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		for i := 1; i <= 5; i++ {
+			ctx := s.Start("w", SimEnv{p})
+			d := time.Duration(i) * time.Second
+			ctx.Task("t", TaskOptions{}, func() error { p.Sleep(d); return nil })
+			ctx.Complete(nil)
+		}
+		// One failed run must be excluded.
+		ctx := s.Start("w", SimEnv{p})
+		ctx.Complete(errors.New("x"))
+	})
+	e.Run()
+	all := s.Durations("w", 0)
+	if len(all) != 5 {
+		t.Fatalf("durations = %v", all)
+	}
+	last3 := s.Durations("w", 3)
+	if len(last3) != 3 || last3[0] != 3 || last3[2] != 5 {
+		t.Fatalf("last3 = %v", last3)
+	}
+	sum := s.Summary("w", 0)
+	if sum.N != 5 || sum.Mean != 3 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if got := s.SuccessRate("w"); got != 5.0/6.0 {
+		t.Fatalf("success rate %v", got)
+	}
+}
+
+func TestFlowNames(t *testing.T) {
+	s := NewServer()
+	env := RealEnv{}
+	s.Start("b", env).Complete(nil)
+	s.Start("a", env).Complete(nil)
+	s.Start("b", env).Complete(nil)
+	names := s.FlowNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if s.SuccessRate("missing") != 0 {
+		t.Fatal("unknown flow success rate should be 0")
+	}
+}
+
+func TestRealEnv(t *testing.T) {
+	env := RealEnv{}
+	t0 := env.Now()
+	env.Sleep(time.Millisecond)
+	if !env.Now().After(t0) {
+		t.Fatal("real clock did not advance")
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			ctx := s.Start("nersc_recon_flow", SimEnv{p})
+			err := ctx.Task("recon", TaskOptions{Retries: 1}, func() error {
+				p.Sleep(25 * time.Minute)
+				return nil
+			})
+			ctx.Complete(err)
+		}
+	})
+	e.Run()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/flows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var names []string
+	json.NewDecoder(resp.Body).Decode(&names)
+	if len(names) != 1 || names[0] != "nersc_recon_flow" {
+		t.Fatalf("names = %v", names)
+	}
+
+	r2, errr2 := http.Get(srv.URL + "/api/flows/nersc_recon_flow/stats?last=100")
+	if errr2 != nil {
+		t.Fatal(errr2)
+	}
+	defer r2.Body.Close()
+	var st map[string]interface{}
+	json.NewDecoder(r2.Body).Decode(&st)
+	if st["n"].(float64) != 3 || st["mean_s"].(float64) != 1500 {
+		t.Fatalf("stats = %v", st)
+	}
+	if st["success_rate"].(float64) != 1 {
+		t.Fatalf("success rate = %v", st["success_rate"])
+	}
+
+	r3, errr3 := http.Get(srv.URL + "/api/flows/nersc_recon_flow/runs")
+	if errr3 != nil {
+		t.Fatal(errr3)
+	}
+	defer r3.Body.Close()
+	var runs []map[string]interface{}
+	json.NewDecoder(r3.Body).Decode(&runs)
+	if len(runs) != 3 || runs[0]["state"].(string) != "COMPLETED" {
+		t.Fatalf("runs = %v", runs)
+	}
+
+	r4, errr4 := http.Get(srv.URL + "/api/flows/x")
+	if errr4 != nil {
+		t.Fatal(errr4)
+	}
+	defer r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad path status = %d", r4.StatusCode)
+	}
+	r5, errr5 := http.Get(srv.URL + "/api/flows/x/bogus")
+	if errr5 != nil {
+		t.Fatal(errr5)
+	}
+	defer r5.Body.Close()
+	if r5.StatusCode != http.StatusNotFound {
+		t.Fatalf("bogus subresource status = %d", r5.StatusCode)
+	}
+}
+
+func TestConcurrentRunsThreadSafe(t *testing.T) {
+	// Real-time smoke test for the mutex paths: many goroutines record
+	// runs simultaneously.
+	s := NewServer()
+	done := make(chan struct{})
+	for i := 0; i < 20; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			ctx := s.Start("par", RealEnv{})
+			ctx.Logf("INFO", "hello")
+			ctx.Task("t", TaskOptions{}, func() error { return nil })
+			ctx.Complete(nil)
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		<-done
+	}
+	if len(s.Runs("par")) != 20 {
+		t.Fatalf("runs = %d", len(s.Runs("par")))
+	}
+}

@@ -1,0 +1,66 @@
+package flow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSimLimiterBoundsConcurrency(t *testing.T) {
+	e := sim.New(epoch)
+	lim := NewSimLimiter(e, 2)
+	inFlight, peak := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("w", func(p *sim.Proc) {
+			lim.Acquire(SimEnv{P: p})
+			inFlight++
+			if inFlight > peak {
+				peak = inFlight
+			}
+			p.Sleep(time.Minute)
+			inFlight--
+			lim.Release()
+		})
+	}
+	e.Run()
+	if peak != 2 {
+		t.Fatalf("peak concurrency %d, want 2", peak)
+	}
+	if lim.PeakQueue() != 4 {
+		t.Fatalf("peak queue %d, want 4", lim.PeakQueue())
+	}
+}
+
+func TestSimLimiterPanicsOnRealEnv(t *testing.T) {
+	e := sim.New(epoch)
+	lim := NewSimLimiter(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lim.Acquire(RealEnv{})
+}
+
+func TestRealLimiter(t *testing.T) {
+	lim := NewRealLimiter(0) // floored to 1
+	done := make(chan struct{})
+	lim.Acquire(RealEnv{})
+	go func() {
+		lim.Acquire(RealEnv{}) // blocks until release
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second acquire should have blocked")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lim.Release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("release did not unblock waiter")
+	}
+	lim.Release()
+}

@@ -1,0 +1,213 @@
+// Package monitor provides the observability the paper's operations
+// depend on: a metrics registry with an HTTP exposition endpoint (the
+// Grafana dashboards that watch Globus transfer bandwidth), a bandwidth
+// sampler that turns link counters into time series, and the named health
+// checks the production deployment runs every 12–24 hours.
+package monitor
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a thread-safe set of named metrics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]float64{}, gauges: map[string]float64{}}
+}
+
+// Add increments a counter.
+func (r *Registry) Add(name string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Set stores a gauge value.
+func (r *Registry) Set(name string, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = value
+}
+
+// Counter returns a counter's current value.
+func (r *Registry) Counter(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Gauge returns a gauge's current value.
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Snapshot returns all metrics as a sorted name→value map rendering.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for k, v := range r.counters {
+		out[k] = v
+	}
+	for k, v := range r.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Handler exposes the metrics in a Prometheus-style text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		names := make([]string, 0, len(snap))
+		for k := range snap {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		for _, k := range names {
+			fmt.Fprintf(w, "%s %g\n", k, snap[k])
+		}
+	})
+}
+
+// Sample is one point of a bandwidth time series.
+type Sample struct {
+	At    time.Time
+	Value float64
+}
+
+// BandwidthSeries converts cumulative byte counters into per-interval
+// bandwidth (bytes/second), the series the Grafana transfer dashboard
+// plots. points[i] pairs a timestamp with the cumulative total at that
+// instant.
+func BandwidthSeries(points []Sample) []Sample {
+	if len(points) < 2 {
+		return nil
+	}
+	out := make([]Sample, 0, len(points)-1)
+	for i := 1; i < len(points); i++ {
+		dt := points[i].At.Sub(points[i-1].At).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		out = append(out, Sample{
+			At:    points[i].At,
+			Value: (points[i].Value - points[i-1].Value) / dt,
+		})
+	}
+	return out
+}
+
+// Check is a named health probe.
+type Check struct {
+	Name string
+	Run  func() error
+}
+
+// CheckResult is the outcome of one probe.
+type CheckResult struct {
+	Name string
+	OK   bool
+	Err  string
+}
+
+// HealthChecker runs a set of probes — the paper's "automated health
+// monitoring every 12-24 hours".
+type HealthChecker struct {
+	mu     sync.Mutex
+	checks []Check
+	last   []CheckResult
+	lastAt time.Time
+}
+
+// NewHealthChecker creates an empty checker.
+func NewHealthChecker() *HealthChecker {
+	return &HealthChecker{}
+}
+
+// Register adds a probe.
+func (h *HealthChecker) Register(name string, run func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks = append(h.checks, Check{Name: name, Run: run})
+}
+
+// RunAll executes every probe and returns the results; `at` stamps the
+// round (callers on the virtual clock pass sim time).
+func (h *HealthChecker) RunAll(at time.Time) []CheckResult {
+	h.mu.Lock()
+	checks := append([]Check(nil), h.checks...)
+	h.mu.Unlock()
+
+	results := make([]CheckResult, 0, len(checks))
+	for _, c := range checks {
+		res := CheckResult{Name: c.Name, OK: true}
+		if err := c.Run(); err != nil {
+			res.OK = false
+			res.Err = err.Error()
+		}
+		results = append(results, res)
+	}
+	h.mu.Lock()
+	h.last = results
+	h.lastAt = at
+	h.mu.Unlock()
+	return results
+}
+
+// Healthy reports whether the last round passed entirely (false before
+// any round has run).
+func (h *HealthChecker) Healthy() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.last == nil {
+		return false
+	}
+	for _, r := range h.last {
+		if !r.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// LastResults returns the most recent round and its timestamp.
+func (h *HealthChecker) LastResults() ([]CheckResult, time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]CheckResult(nil), h.last...), h.lastAt
+}
+
+// Handler exposes the last health round as JSON-ish plain text plus an
+// HTTP status: 200 when healthy, 503 otherwise.
+func (h *HealthChecker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		results, at := h.LastResults()
+		code := http.StatusOK
+		if !h.Healthy() {
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		fmt.Fprintf(w, "last_run %s\n", at.Format(time.RFC3339))
+		for _, r := range results {
+			status := "ok"
+			if !r.OK {
+				status = "FAIL " + r.Err
+			}
+			fmt.Fprintf(w, "%s %s\n", r.Name, status)
+		}
+	})
+}

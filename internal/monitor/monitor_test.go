@@ -1,0 +1,169 @@
+package monitor
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Add("transfers_total", 1)
+	r.Add("transfers_total", 2)
+	r.Set("queue_depth", 7)
+	r.Set("queue_depth", 3)
+	if r.Counter("transfers_total") != 3 {
+		t.Fatalf("counter = %v", r.Counter("transfers_total"))
+	}
+	if r.Gauge("queue_depth") != 3 {
+		t.Fatalf("gauge = %v", r.Gauge("queue_depth"))
+	}
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap["transfers_total"] != 3 {
+		t.Fatalf("snapshot %v", snap)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add("c", 1)
+				r.Set("g", float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("c") != 1000 {
+		t.Fatalf("counter = %v", r.Counter("c"))
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Add("b_total", 5)
+	r.Set("a_gauge", 1.5)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	// Sorted output, both metrics present.
+	if !strings.Contains(text, "a_gauge 1.5") || !strings.Contains(text, "b_total 5") {
+		t.Fatalf("body = %q", text)
+	}
+	if strings.Index(text, "a_gauge") > strings.Index(text, "b_total") {
+		t.Fatal("metrics not sorted")
+	}
+}
+
+func TestBandwidthSeries(t *testing.T) {
+	points := []Sample{
+		{t0, 0},
+		{t0.Add(10 * time.Second), 100e9},
+		{t0.Add(20 * time.Second), 100e9}, // idle interval
+		{t0.Add(30 * time.Second), 400e9},
+	}
+	bw := BandwidthSeries(points)
+	if len(bw) != 3 {
+		t.Fatalf("series length %d", len(bw))
+	}
+	if bw[0].Value != 10e9 {
+		t.Errorf("first interval %v B/s, want 10e9", bw[0].Value)
+	}
+	if bw[1].Value != 0 {
+		t.Errorf("idle interval %v", bw[1].Value)
+	}
+	if bw[2].Value != 30e9 {
+		t.Errorf("third interval %v", bw[2].Value)
+	}
+	if BandwidthSeries(points[:1]) != nil {
+		t.Error("single point should give no series")
+	}
+	// Zero-dt points are skipped.
+	deg := []Sample{{t0, 0}, {t0, 5}}
+	if len(BandwidthSeries(deg)) != 0 {
+		t.Error("zero-dt interval should be skipped")
+	}
+}
+
+func TestHealthChecker(t *testing.T) {
+	h := NewHealthChecker()
+	if h.Healthy() {
+		t.Fatal("unchecked system should not report healthy")
+	}
+	broken := true
+	h.Register("storage", func() error { return nil })
+	h.Register("transfer", func() error {
+		if broken {
+			return errors.New("endpoint unreachable")
+		}
+		return nil
+	})
+	res := h.RunAll(t0)
+	if len(res) != 2 || res[0].OK != true || res[1].OK != false {
+		t.Fatalf("results %v", res)
+	}
+	if h.Healthy() {
+		t.Fatal("failing check should make system unhealthy")
+	}
+	broken = false
+	h.RunAll(t0.Add(12 * time.Hour))
+	if !h.Healthy() {
+		t.Fatal("all-pass round should be healthy")
+	}
+	last, at := h.LastResults()
+	if len(last) != 2 || !at.Equal(t0.Add(12*time.Hour)) {
+		t.Fatalf("last results %v at %v", last, at)
+	}
+}
+
+func TestHealthHandlerStatusCodes(t *testing.T) {
+	h := NewHealthChecker()
+	h.Register("always-fail", func() error { return errors.New("down") })
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	h.RunAll(t0)
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy status %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "FAIL down") {
+		t.Fatalf("body %q", body)
+	}
+
+	h2 := NewHealthChecker()
+	h2.Register("ok", func() error { return nil })
+	h2.RunAll(t0)
+	srv2 := httptest.NewServer(h2.Handler())
+	defer srv2.Close()
+	r2, err := http.Get(srv2.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("healthy status %d", r2.StatusCode)
+	}
+}

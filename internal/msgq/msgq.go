@@ -1,0 +1,437 @@
+// Package msgq implements the messaging patterns the paper wires its
+// streaming results and control plane with (ZeroMQ's role): PUSH/PULL
+// pipelines, PUB/SUB fan-out with a high-water mark that drops rather than
+// blocks, and REQ/REP round trips — all over plain TCP with 4-byte
+// length-prefixed frames.
+package msgq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrameBytes bounds a single frame (1 GiB) to catch corrupt lengths.
+const MaxFrameBytes = 1 << 30
+
+// ErrClosed is returned by operations on a closed socket.
+var ErrClosed = errors.New("msgq: socket closed")
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("msgq: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("msgq: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Push is the sending end of a pipeline. It connects to a Pull listener
+// and retries the connection with backoff when sends fail.
+type Push struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+}
+
+// NewPush creates a push socket targeting addr (dialing is lazy).
+func NewPush(addr string) *Push {
+	return &Push{addr: addr}
+}
+
+// Send delivers one frame, dialing or re-dialing as needed. It tries up to
+// three connection attempts before giving up.
+func (p *Push) Send(payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		if p.conn == nil {
+			c, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
+			if err != nil {
+				lastErr = err
+				time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+				continue
+			}
+			p.conn = c
+		}
+		if err := writeFrame(p.conn, payload); err != nil {
+			p.conn.Close()
+			p.conn = nil
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("msgq: push to %s failed: %w", p.addr, lastErr)
+}
+
+// Close closes the socket.
+func (p *Push) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	if p.conn != nil {
+		return p.conn.Close()
+	}
+	return nil
+}
+
+// Pull is the receiving end of a pipeline: it accepts any number of
+// pushers and fans their frames into a single Recv stream.
+type Pull struct {
+	ln     net.Listener
+	msgs   chan []byte
+	closed chan struct{}
+	once   sync.Once
+
+	mu    sync.Mutex
+	conns map[net.Conn]bool
+}
+
+// NewPull listens on addr ("127.0.0.1:0" picks a free port).
+func NewPull(addr string) (*Pull, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pull{ln: ln, msgs: make(chan []byte, 256), closed: make(chan struct{}),
+		conns: map[net.Conn]bool{}}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the bound address.
+func (p *Pull) Addr() string { return p.ln.Addr().String() }
+
+func (p *Pull) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.conns[conn] = true
+		p.mu.Unlock()
+		go func() {
+			defer func() {
+				conn.Close()
+				p.mu.Lock()
+				delete(p.conns, conn)
+				p.mu.Unlock()
+			}()
+			for {
+				frame, err := readFrame(conn)
+				if err != nil {
+					return
+				}
+				select {
+				case p.msgs <- frame:
+				case <-p.closed:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Recv returns the next frame, blocking up to timeout (0 means block
+// forever).
+func (p *Pull) Recv(timeout time.Duration) ([]byte, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case m := <-p.msgs:
+		return m, nil
+	case <-p.closed:
+		return nil, ErrClosed
+	case <-timer:
+		return nil, fmt.Errorf("msgq: recv timeout after %v", timeout)
+	}
+}
+
+// Close shuts the listener, severs every accepted connection (so pushers
+// observe the failure and reconnect), and unblocks Recv.
+func (p *Pull) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	p.mu.Lock()
+	for conn := range p.conns {
+		conn.Close()
+	}
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+// Pub is a fan-out publisher with per-subscriber high-water marks:
+// a slow subscriber loses frames instead of stalling the beamline.
+type Pub struct {
+	ln  net.Listener
+	hwm int
+
+	mu      sync.Mutex
+	subs    map[int]*subscriber
+	nextID  int
+	dropped int
+	closed  bool
+}
+
+type subscriber struct {
+	ch chan []byte
+}
+
+// NewPub listens on addr with the given per-subscriber buffer (high-water
+// mark; minimum 1).
+func NewPub(addr string, hwm int) (*Pub, error) {
+	if hwm < 1 {
+		hwm = 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pub{ln: ln, hwm: hwm, subs: map[int]*subscriber{}}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the bound address.
+func (p *Pub) Addr() string { return p.ln.Addr().String() }
+
+func (p *Pub) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		sub := &subscriber{ch: make(chan []byte, p.hwm)}
+		p.mu.Lock()
+		p.nextID++
+		id := p.nextID
+		p.subs[id] = sub
+		p.mu.Unlock()
+		go func() {
+			defer func() {
+				conn.Close()
+				p.mu.Lock()
+				delete(p.subs, id)
+				p.mu.Unlock()
+			}()
+			for frame := range sub.ch {
+				if err := writeFrame(conn, frame); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Publish sends a topic-tagged frame to every subscriber, dropping for
+// those at their high-water mark.
+func (p *Pub) Publish(topic string, payload []byte) error {
+	frame := make([]byte, 0, len(topic)+1+len(payload))
+	frame = append(frame, topic...)
+	frame = append(frame, 0)
+	frame = append(frame, payload...)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	for _, sub := range p.subs {
+		select {
+		case sub.ch <- frame:
+		default:
+			p.dropped++ // HWM reached: drop, never block
+		}
+	}
+	return nil
+}
+
+// Subscribers returns the current subscriber count.
+func (p *Pub) Subscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.subs)
+}
+
+// Dropped returns the number of frames dropped at high-water marks.
+func (p *Pub) Dropped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Close shuts down the publisher and all subscriber channels.
+func (p *Pub) Close() error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for id, sub := range p.subs {
+			close(sub.ch)
+			delete(p.subs, id)
+		}
+	}
+	p.mu.Unlock()
+	return p.ln.Close()
+}
+
+// Sub is a subscriber filtering on a topic prefix.
+type Sub struct {
+	conn   net.Conn
+	prefix string
+}
+
+// NewSub connects to a Pub and filters to topics with the given prefix
+// (empty subscribes to everything).
+func NewSub(addr, topicPrefix string) (*Sub, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Sub{conn: conn, prefix: topicPrefix}, nil
+}
+
+// Recv returns the next (topic, payload) matching the subscription,
+// blocking up to timeout (0 = forever).
+func (s *Sub) Recv(timeout time.Duration) (string, []byte, error) {
+	for {
+		if timeout > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(timeout))
+		} else {
+			s.conn.SetReadDeadline(time.Time{})
+		}
+		frame, err := readFrame(s.conn)
+		if err != nil {
+			return "", nil, err
+		}
+		sep := -1
+		for i, b := range frame {
+			if b == 0 {
+				sep = i
+				break
+			}
+		}
+		if sep < 0 {
+			continue // malformed frame; skip
+		}
+		topic := string(frame[:sep])
+		if len(topic) >= len(s.prefix) && topic[:len(s.prefix)] == s.prefix {
+			return topic, frame[sep+1:], nil
+		}
+	}
+}
+
+// Close closes the subscription.
+func (s *Sub) Close() error { return s.conn.Close() }
+
+// Rep serves request/reply: handler is invoked per request frame and its
+// return value is sent back on the same connection.
+type Rep struct {
+	ln net.Listener
+}
+
+// NewRep listens on addr and serves requests with handler, each
+// connection on its own goroutine.
+func NewRep(addr string, handler func([]byte) []byte) (*Rep, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rep{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					req, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					if err := writeFrame(conn, handler(req)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return r, nil
+}
+
+// Addr returns the bound address.
+func (r *Rep) Addr() string { return r.ln.Addr().String() }
+
+// Close stops the listener.
+func (r *Rep) Close() error { return r.ln.Close() }
+
+// Req is the client side of request/reply.
+type Req struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewReq connects to a Rep server.
+func NewReq(addr string) (*Req, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &Req{conn: conn}, nil
+}
+
+// Do performs one round trip with the given timeout (0 = no deadline).
+func (r *Req) Do(request []byte, timeout time.Duration) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if timeout > 0 {
+		r.conn.SetDeadline(time.Now().Add(timeout))
+	} else {
+		r.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(r.conn, request); err != nil {
+		return nil, err
+	}
+	return readFrame(r.conn)
+}
+
+// Close closes the connection.
+func (r *Req) Close() error { return r.conn.Close() }

@@ -1,0 +1,288 @@
+package msgq
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPushPullRoundTrip(t *testing.T) {
+	pull, err := NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pull.Close()
+	push := NewPush(pull.Addr())
+	defer push.Close()
+
+	want := []byte("three-slice preview payload")
+	if err := push.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pull.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPushPullManyMessagesOrdered(t *testing.T) {
+	pull, _ := NewPull("127.0.0.1:0")
+	defer pull.Close()
+	push := NewPush(pull.Addr())
+	defer push.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := push.Send([]byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := pull.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("m%03d", i); string(got) != want {
+			t.Fatalf("out of order: got %s want %s", got, want)
+		}
+	}
+}
+
+func TestPullFanIn(t *testing.T) {
+	pull, _ := NewPull("127.0.0.1:0")
+	defer pull.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			push := NewPush(pull.Addr())
+			defer push.Close()
+			for j := 0; j < 10; j++ {
+				if err := push.Send([]byte{byte(i)}); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	counts := map[byte]int{}
+	for i := 0; i < 30; i++ {
+		m, err := pull.Recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[m[0]]++
+	}
+	for i := byte(0); i < 3; i++ {
+		if counts[i] != 10 {
+			t.Fatalf("pusher %d delivered %d", i, counts[i])
+		}
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	pull, _ := NewPull("127.0.0.1:0")
+	defer pull.Close()
+	if _, err := pull.Recv(50 * time.Millisecond); err == nil {
+		t.Fatal("expected timeout")
+	}
+}
+
+func TestRecvAfterClose(t *testing.T) {
+	pull, _ := NewPull("127.0.0.1:0")
+	pull.Close()
+	if _, err := pull.Recv(time.Second); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPushToNowhereFails(t *testing.T) {
+	push := NewPush("127.0.0.1:1") // nothing listens on port 1
+	defer push.Close()
+	if err := push.Send([]byte("x")); err == nil {
+		t.Fatal("send to dead address should fail")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	pull, _ := NewPull("127.0.0.1:0")
+	defer pull.Close()
+	push := NewPush(pull.Addr())
+	push.Close()
+	if err := push.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestPushReconnects(t *testing.T) {
+	pull, _ := NewPull("127.0.0.1:0")
+	addr := pull.Addr()
+	push := NewPush(addr)
+	defer push.Close()
+	if err := push.Send([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pull.Recv(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the listener; sends should fail, then recover after a new
+	// listener appears on the same port.
+	pull.Close()
+	time.Sleep(50 * time.Millisecond)
+	pull2, err := NewPull(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer pull2.Close()
+	// The first send may fail while the stale connection drains; retry.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := push.Send([]byte("b")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("push never reconnected")
+		}
+	}
+	if _, err := pull2.Recv(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPubSubTopicFilter(t *testing.T) {
+	pub, err := NewPub("127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	subAll, _ := NewSub(pub.Addr(), "")
+	defer subAll.Close()
+	subPrev, _ := NewSub(pub.Addr(), "preview")
+	defer subPrev.Close()
+	waitSubs(t, pub, 2)
+
+	pub.Publish("status", []byte("s1"))
+	pub.Publish("preview/xy", []byte("p1"))
+
+	// subAll sees both.
+	tp, _, err := subAll.Recv(2 * time.Second)
+	if err != nil || tp != "status" {
+		t.Fatalf("subAll first: %v %v", tp, err)
+	}
+	tp, body, err := subAll.Recv(2 * time.Second)
+	if err != nil || tp != "preview/xy" || string(body) != "p1" {
+		t.Fatalf("subAll second: %v %q %v", tp, body, err)
+	}
+	// subPrev sees only the preview.
+	tp, body, err = subPrev.Recv(2 * time.Second)
+	if err != nil || tp != "preview/xy" || string(body) != "p1" {
+		t.Fatalf("subPrev: %v %q %v", tp, body, err)
+	}
+}
+
+func waitSubs(t *testing.T, pub *Pub, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for pub.Subscribers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d subscribers", pub.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPubHWMDropsNotBlocks(t *testing.T) {
+	pub, _ := NewPub("127.0.0.1:0", 1)
+	defer pub.Close()
+	sub, _ := NewSub(pub.Addr(), "")
+	defer sub.Close()
+	waitSubs(t, pub, 1)
+
+	// Publish a burst without the subscriber reading: must not block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			pub.Publish("t", []byte{byte(i)})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("publish blocked on slow subscriber")
+	}
+	if pub.Dropped() == 0 {
+		t.Fatal("expected drops at HWM")
+	}
+}
+
+func TestPublishAfterClose(t *testing.T) {
+	pub, _ := NewPub("127.0.0.1:0", 1)
+	pub.Close()
+	if err := pub.Publish("t", nil); err != ErrClosed {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReqRep(t *testing.T) {
+	rep, err := NewRep("127.0.0.1:0", func(req []byte) []byte {
+		return append([]byte("echo:"), req...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	req, err := NewReq(rep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer req.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := req.Do([]byte(fmt.Sprintf("r%d", i)), 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(resp) != fmt.Sprintf("echo:r%d", i) {
+			t.Fatalf("resp = %q", resp)
+		}
+	}
+}
+
+func TestReqTimeout(t *testing.T) {
+	rep, _ := NewRep("127.0.0.1:0", func(req []byte) []byte {
+		time.Sleep(time.Second)
+		return req
+	})
+	defer rep.Close()
+	req, _ := NewReq(rep.Addr())
+	defer req.Close()
+	if _, err := req.Do([]byte("x"), 30*time.Millisecond); err == nil {
+		t.Fatal("expected deadline error")
+	}
+}
+
+func TestLargeFrame(t *testing.T) {
+	pull, _ := NewPull("127.0.0.1:0")
+	defer pull.Close()
+	push := NewPush(pull.Addr())
+	defer push.Close()
+	big := make([]byte, 4<<20) // a 4 MiB preview slice
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := push.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pull.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large frame corrupted")
+	}
+}

@@ -1,0 +1,318 @@
+package pva
+
+import (
+	"math"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkFrame(seq uint64, kind FrameKind) *Frame {
+	rows, cols := 4, 6
+	data := make([]uint16, rows*cols)
+	for i := range data {
+		data[i] = uint16(i + int(seq))
+	}
+	return &Frame{
+		Seq: seq, ScanID: "scan-001", AngleRad: 0.5, Rows: rows, Cols: cols,
+		Timestamp: 1234567890, Kind: kind, Data: data,
+	}
+}
+
+func TestFrameEncodeDecode(t *testing.T) {
+	f := mkFrame(42, KindProjection)
+	got, err := DecodeFrame(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != f.Seq || got.ScanID != f.ScanID || got.AngleRad != f.AngleRad ||
+		got.Rows != f.Rows || got.Cols != f.Cols || got.Timestamp != f.Timestamp ||
+		got.Kind != f.Kind {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range f.Data {
+		if got.Data[i] != f.Data[i] {
+			t.Fatal("payload mismatch")
+		}
+	}
+}
+
+func TestFrameEncodeDecodeProperty(t *testing.T) {
+	f := func(seq uint64, angle float64, id string, n uint8) bool {
+		if math.IsNaN(angle) || math.IsInf(angle, 0) {
+			return true
+		}
+		if len(id) > 255 {
+			id = id[:255]
+		}
+		data := make([]uint16, int(n))
+		for i := range data {
+			data[i] = uint16(i * 7)
+		}
+		fr := &Frame{Seq: seq, ScanID: id, AngleRad: angle,
+			Rows: 1, Cols: int(n), Data: data}
+		got, err := DecodeFrame(fr.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Seq != seq || got.ScanID != id || got.AngleRad != angle || got.Cols != int(n) {
+			return false
+		}
+		for i := range data {
+			if got.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFrame([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+	// Truncated scan id.
+	f := mkFrame(1, KindProjection)
+	raw := f.Encode()
+	if _, err := DecodeFrame(raw[:35]); err == nil {
+		t.Fatal("truncated id should fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := mkFrame(1, KindProjection)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := mkFrame(1, KindProjection)
+	bad.Data = bad.Data[:3]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("size mismatch should fail validation")
+	}
+	noID := mkFrame(1, KindProjection)
+	noID.ScanID = ""
+	if err := noID.Validate(); err == nil {
+		t.Fatal("missing scan id should fail")
+	}
+	nan := mkFrame(1, KindProjection)
+	nan.AngleRad = math.NaN()
+	if err := nan.Validate(); err == nil {
+		t.Fatal("NaN angle should fail")
+	}
+	zero := mkFrame(1, KindProjection)
+	zero.Rows = 0
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero rows should fail")
+	}
+	end := &Frame{Kind: KindEndOfScan}
+	if err := end.Validate(); err != nil {
+		t.Fatal("end-of-scan marker needs no payload")
+	}
+}
+
+func TestServerMonitorStream(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mon, err := NewMonitor(srv.Addr(), "det1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	waitMonitors(t, srv, "det1", 1)
+
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := srv.Publish("det1", mkFrame(seq, KindProjection)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		f, err := mon.Next(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Seq != seq {
+			t.Fatalf("seq = %d, want %d", f.Seq, seq)
+		}
+	}
+	if mon.Missed != 0 {
+		t.Fatalf("missed = %d", mon.Missed)
+	}
+}
+
+func waitMonitors(t *testing.T, srv *Server, channel string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Monitors(channel) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d monitors", srv.Monitors(channel))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMonitorDetectsGaps(t *testing.T) {
+	srv, _ := NewServer("127.0.0.1:0", 64)
+	defer srv.Close()
+	mon, _ := NewMonitor(srv.Addr(), "det1")
+	defer mon.Close()
+	waitMonitors(t, srv, "det1", 1)
+
+	srv.Publish("det1", mkFrame(1, KindProjection))
+	srv.Publish("det1", mkFrame(5, KindProjection)) // 3 missing
+	for i := 0; i < 2; i++ {
+		if _, err := mon.Next(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mon.Missed != 3 {
+		t.Fatalf("missed = %d, want 3", mon.Missed)
+	}
+}
+
+func TestChannelIsolation(t *testing.T) {
+	srv, _ := NewServer("127.0.0.1:0", 64)
+	defer srv.Close()
+	monA, _ := NewMonitor(srv.Addr(), "a")
+	defer monA.Close()
+	monB, _ := NewMonitor(srv.Addr(), "b")
+	defer monB.Close()
+	waitMonitors(t, srv, "a", 1)
+	waitMonitors(t, srv, "b", 1)
+
+	srv.Publish("a", mkFrame(1, KindProjection))
+	f, err := monA.Next(2 * time.Second)
+	if err != nil || f.Seq != 1 {
+		t.Fatalf("monA: %v %v", f, err)
+	}
+	if _, err := monB.Next(50 * time.Millisecond); err == nil {
+		t.Fatal("monB should not receive channel-a frames")
+	}
+}
+
+func TestEndOfScanNeverDropped(t *testing.T) {
+	srv, _ := NewServer("127.0.0.1:0", 1)
+	defer srv.Close()
+	mon, _ := NewMonitor(srv.Addr(), "det1")
+	defer mon.Close()
+	waitMonitors(t, srv, "det1", 1)
+
+	// Saturate the path with a burst the unread client cannot absorb
+	// (the OS socket buffer fills, the relay goroutine blocks, and the
+	// hwm=1 channel overflows), then publish end-of-scan, which must
+	// block until deliverable rather than being dropped.
+	big := make([]uint16, 256*256) // 128 KiB per frame on the wire
+	published := 500
+	for seq := 1; seq <= published; seq++ {
+		f := mkFrame(uint64(seq), KindProjection)
+		f.Rows, f.Cols, f.Data = 256, 256, big
+		if err := srv.Publish("det1", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go srv.Publish("det1", &Frame{Seq: uint64(published + 1), ScanID: "scan-001", Kind: KindEndOfScan})
+
+	sawEnd := false
+	delivered := 0
+	for !sawEnd {
+		f, err := mon.Next(5 * time.Second)
+		if err != nil {
+			t.Fatalf("stream ended before end-of-scan: %v", err)
+		}
+		delivered++
+		if f.Kind == KindEndOfScan {
+			sawEnd = true
+		}
+	}
+	if srv.Dropped() == 0 {
+		t.Fatal("expected projection drops at the high-water mark")
+	}
+	if srv.Dropped()+delivered != published+1 {
+		t.Fatalf("accounting: %d dropped + %d delivered != %d published",
+			srv.Dropped(), delivered, published+1)
+	}
+}
+
+func TestMirrorRelaysStream(t *testing.T) {
+	// IOC → mirror → consumer, the acquisition-layer topology.
+	ioc, _ := NewServer("127.0.0.1:0", 64)
+	defer ioc.Close()
+	mirrorSrv, _ := NewServer("127.0.0.1:0", 64)
+	defer mirrorSrv.Close()
+
+	mirror, err := NewMirror(ioc.Addr(), "det1", mirrorSrv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitMonitors(t, ioc, "det1", 1)
+
+	consumer, _ := NewMonitor(mirrorSrv.Addr(), "det1")
+	defer consumer.Close()
+	waitMonitors(t, mirrorSrv, "det1", 1)
+
+	mirrorDone := make(chan error, 1)
+	go func() { mirrorDone <- mirror.Run() }()
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		ioc.Publish("det1", mkFrame(seq, KindProjection))
+	}
+	ioc.Publish("det1", &Frame{Seq: 4, ScanID: "scan-001", Kind: KindEndOfScan})
+
+	var kinds []FrameKind
+	for i := 0; i < 4; i++ {
+		f, err := consumer.Next(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds = append(kinds, f.Kind)
+	}
+	if kinds[3] != KindEndOfScan {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	ioc.Close() // ends the mirror's source stream
+	if err := <-mirrorDone; err != nil {
+		t.Fatalf("mirror exit: %v", err)
+	}
+	if mirror.Relayed != 4 {
+		t.Fatalf("relayed = %d", mirror.Relayed)
+	}
+}
+
+func TestUnsupportedRequest(t *testing.T) {
+	srv, _ := NewServer("127.0.0.1:0", 4)
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, []byte("PUT something\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := readMsg(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "ERROR unsupported request" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	f := &Frame{Seq: 1, ScanID: "s", AngleRad: 1, Rows: 128, Cols: 128,
+		Data: make([]uint16, 128*128)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		raw := f.Encode()
+		if _, err := DecodeFrame(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package scicat is the metadata catalog of the access layer (SciCat's
+// role in the paper): every scan's instrument metadata is ingested as a
+// dataset record with a persistent identifier, and users search by sample,
+// beamline, or time range. Records are held in memory with an HTTP API in
+// front, which is all the reproduction's flows and examples need.
+package scicat
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Dataset is one cataloged scan.
+type Dataset struct {
+	PID        string            `json:"pid"`
+	ScanID     string            `json:"scan_id"`
+	Sample     string            `json:"sample"`
+	Beamline   string            `json:"beamline"`
+	Owner      string            `json:"owner"`
+	SizeBytes  int64             `json:"size_bytes"`
+	CreatedAt  time.Time         `json:"created_at"`
+	SourcePath string            `json:"source_path"`
+	Fields     map[string]string `json:"fields,omitempty"`
+}
+
+// Catalog is an in-memory SciCat.
+type Catalog struct {
+	mu     sync.RWMutex
+	byPID  map[string]*Dataset
+	order  []string
+	nextID int
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{byPID: map[string]*Dataset{}}
+}
+
+// Ingest registers a dataset, assigning a persistent identifier, and
+// returns the stored record. ScanID is required.
+func (c *Catalog) Ingest(d Dataset) (*Dataset, error) {
+	if d.ScanID == "" {
+		return nil, fmt.Errorf("scicat: dataset missing scan_id")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	d.PID = fmt.Sprintf("als/8.3.2/%06d", c.nextID)
+	stored := d
+	c.byPID[d.PID] = &stored
+	c.order = append(c.order, d.PID)
+	return &stored, nil
+}
+
+// Get returns a dataset by PID.
+func (c *Catalog) Get(pid string) (*Dataset, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.byPID[pid]
+	if !ok {
+		return nil, fmt.Errorf("scicat: no dataset %q", pid)
+	}
+	cp := *d
+	return &cp, nil
+}
+
+// Query filters datasets; zero values match everything.
+type Query struct {
+	Sample   string
+	Beamline string
+	ScanID   string
+	After    time.Time
+	Before   time.Time
+}
+
+// Search returns matching datasets in ingestion order.
+func (c *Catalog) Search(q Query) []*Dataset {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Dataset
+	for _, pid := range c.order {
+		d := c.byPID[pid]
+		if q.Sample != "" && !strings.Contains(strings.ToLower(d.Sample), strings.ToLower(q.Sample)) {
+			continue
+		}
+		if q.Beamline != "" && d.Beamline != q.Beamline {
+			continue
+		}
+		if q.ScanID != "" && d.ScanID != q.ScanID {
+			continue
+		}
+		if !q.After.IsZero() && d.CreatedAt.Before(q.After) {
+			continue
+		}
+		if !q.Before.IsZero() && !d.CreatedAt.Before(q.Before) {
+			continue
+		}
+		cp := *d
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// Count returns the number of cataloged datasets.
+func (c *Catalog) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byPID)
+}
+
+// Samples returns the distinct sample names, sorted.
+func (c *Catalog) Samples() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	seen := map[string]bool{}
+	for _, d := range c.byPID {
+		seen[d.Sample] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler exposes the catalog over HTTP:
+//
+//	POST /api/datasets           → ingest (JSON body)
+//	GET  /api/datasets?sample=&beamline=&scan_id=  → search
+//	GET  /api/datasets/{pid...}  → fetch one
+func (c *Catalog) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/datasets", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			var d Dataset
+			if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			stored, err := c.Ingest(d)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			writeJSON(w, http.StatusCreated, stored)
+		case http.MethodGet:
+			q := Query{
+				Sample:   r.URL.Query().Get("sample"),
+				Beamline: r.URL.Query().Get("beamline"),
+				ScanID:   r.URL.Query().Get("scan_id"),
+			}
+			writeJSON(w, http.StatusOK, c.Search(q))
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/api/datasets/", func(w http.ResponseWriter, r *http.Request) {
+		pid := strings.TrimPrefix(r.URL.Path, "/api/datasets/")
+		d, err := c.Get(pid)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, d)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

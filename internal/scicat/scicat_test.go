@@ -1,0 +1,168 @@
+package scicat
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func ds(scan, sample string, at time.Time) Dataset {
+	return Dataset{ScanID: scan, Sample: sample, Beamline: "8.3.2", CreatedAt: at,
+		SizeBytes: 20 << 30, Owner: "als"}
+}
+
+var t0 = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+func TestIngestAssignsPID(t *testing.T) {
+	c := New()
+	d1, err := c.Ingest(ds("s1", "feather", t0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := c.Ingest(ds("s2", "proppant", t0))
+	if d1.PID == "" || d1.PID == d2.PID {
+		t.Fatalf("pids: %q %q", d1.PID, d2.PID)
+	}
+	got, err := c.Get(d1.PID)
+	if err != nil || got.ScanID != "s1" {
+		t.Fatalf("get: %+v %v", got, err)
+	}
+	if c.Count() != 2 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+func TestIngestRequiresScanID(t *testing.T) {
+	c := New()
+	if _, err := c.Ingest(Dataset{Sample: "x"}); err == nil {
+		t.Fatal("missing scan_id should be rejected")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	c := New()
+	if _, err := c.Get("nope"); err == nil {
+		t.Fatal("missing pid should error")
+	}
+}
+
+func TestSearchFilters(t *testing.T) {
+	c := New()
+	c.Ingest(ds("s1", "chicken feather", t0))
+	c.Ingest(ds("s2", "sandgrouse feather", t0.Add(time.Hour)))
+	c.Ingest(Dataset{ScanID: "s3", Sample: "proppant", Beamline: "7.3.3", CreatedAt: t0.Add(2 * time.Hour)})
+
+	if got := c.Search(Query{Sample: "feather"}); len(got) != 2 {
+		t.Fatalf("sample search = %d", len(got))
+	}
+	if got := c.Search(Query{Sample: "FEATHER"}); len(got) != 2 {
+		t.Fatal("sample search should be case-insensitive")
+	}
+	if got := c.Search(Query{Beamline: "7.3.3"}); len(got) != 1 || got[0].ScanID != "s3" {
+		t.Fatalf("beamline search = %v", got)
+	}
+	if got := c.Search(Query{ScanID: "s2"}); len(got) != 1 {
+		t.Fatalf("scan search = %d", len(got))
+	}
+	if got := c.Search(Query{After: t0.Add(30 * time.Minute)}); len(got) != 2 {
+		t.Fatalf("after search = %d", len(got))
+	}
+	if got := c.Search(Query{Before: t0.Add(30 * time.Minute)}); len(got) != 1 {
+		t.Fatalf("before search = %d", len(got))
+	}
+	if got := c.Search(Query{}); len(got) != 3 {
+		t.Fatalf("match-all = %d", len(got))
+	}
+}
+
+func TestSearchReturnsCopies(t *testing.T) {
+	c := New()
+	c.Ingest(ds("s1", "x", t0))
+	got := c.Search(Query{})[0]
+	got.Sample = "mutated"
+	if c.Search(Query{})[0].Sample == "mutated" {
+		t.Fatal("search results should be copies")
+	}
+}
+
+func TestSamples(t *testing.T) {
+	c := New()
+	c.Ingest(ds("s1", "b", t0))
+	c.Ingest(ds("s2", "a", t0))
+	c.Ingest(ds("s3", "a", t0))
+	s := c.Samples()
+	if len(s) != 2 || s[0] != "a" || s[1] != "b" {
+		t.Fatalf("samples = %v", s)
+	}
+}
+
+func TestHTTPIngestAndSearch(t *testing.T) {
+	c := New()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(ds("s1", "feather", t0))
+	resp, err := http.Post(srv.URL+"/api/datasets", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	var stored Dataset
+	json.NewDecoder(resp.Body).Decode(&stored)
+	if stored.PID == "" {
+		t.Fatal("no pid assigned")
+	}
+
+	r2, err := http.Get(srv.URL + "/api/datasets?sample=feather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var results []Dataset
+	json.NewDecoder(r2.Body).Decode(&results)
+	if len(results) != 1 || results[0].ScanID != "s1" {
+		t.Fatalf("search = %v", results)
+	}
+
+	r3, err := http.Get(srv.URL + "/api/datasets/" + stored.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("get status %d", r3.StatusCode)
+	}
+
+	r4, err := http.Get(srv.URL + "/api/datasets/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r4.Body.Close()
+	if r4.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing status %d", r4.StatusCode)
+	}
+
+	// Bad ingest bodies.
+	r5, err := http.Post(srv.URL+"/api/datasets", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r5.Body.Close()
+	if r5.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json status %d", r5.StatusCode)
+	}
+	r6, err := http.Post(srv.URL+"/api/datasets", "application/json", bytes.NewReader([]byte("{}")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r6.Body.Close()
+	if r6.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty dataset status %d", r6.StatusCode)
+	}
+}

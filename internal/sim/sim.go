@@ -1,0 +1,266 @@
+// Package sim is a deterministic discrete-event simulation kernel in the
+// style of SimPy: simulated processes are goroutines that advance a shared
+// virtual clock cooperatively, so an eight-hour beamline shift of scans,
+// transfers, queue waits, and reconstructions executes in milliseconds and
+// reproduces exactly run to run. The facility-scale experiments (Table 2,
+// the data-lifecycle figure, the prune-incident study) all run on this
+// kernel; only one process executes at a time, so process bodies need no
+// locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// event is a scheduled wakeup in the virtual timeline.
+type event struct {
+	at   time.Time
+	seq  int64 // tie-break: FIFO among same-time events
+	wake chan struct{}
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the event queue. Create with New, add
+// processes with Go, then call Run.
+type Engine struct {
+	now    time.Time
+	events eventQueue
+	seq    int64
+	yield  chan struct{} // the running process signals here when it blocks or ends
+	live   int           // processes started and not yet finished
+}
+
+// New creates an engine whose clock starts at epoch.
+func New(epoch time.Time) *Engine {
+	return &Engine{now: epoch, yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// schedule pushes a wakeup at time t and returns its channel.
+func (e *Engine) schedule(at time.Time) *event {
+	if at.Before(e.now) {
+		at = e.now
+	}
+	e.seq++
+	ev := &event{at: at, seq: e.seq, wake: make(chan struct{})}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Proc is the handle a simulated process uses to interact with virtual
+// time. It is only valid inside the goroutine it was created for.
+type Proc struct {
+	e    *Engine
+	Name string
+	done *Signal
+}
+
+// Go starts a new simulated process. fn runs in its own goroutine but is
+// cooperatively scheduled: it must block only through Proc methods (or
+// Resource/Signal, which use them). The returned Signal fires when fn
+// returns.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Signal {
+	p := &Proc{e: e, Name: name, done: NewSignal(e)}
+	e.live++
+	ev := e.schedule(e.now)
+	go func() {
+		<-ev.wake
+		defer func() {
+			e.live--
+			p.done.Fire()
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	return p.done
+}
+
+// Run executes events until the queue is empty, returning the final
+// virtual time. It panics on deadlock (live processes but no events).
+func (e *Engine) Run() time.Time {
+	return e.RunUntil(time.Time{})
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// after deadline (a zero deadline means run to completion). The clock is
+// left at the last executed event (or the deadline, if later).
+func (e *Engine) RunUntil(deadline time.Time) time.Time {
+	for e.events.Len() > 0 {
+		ev := e.events[0]
+		if !deadline.IsZero() && ev.at.After(deadline) {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.wake <- struct{}{}
+		<-e.yield
+	}
+	if e.live > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d live processes with empty event queue", e.live))
+	}
+	return e.now
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Time { return p.e.Now() }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Sleep suspends the process for d of virtual time (non-positive d yields
+// the scheduler without advancing the clock).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ev := p.e.schedule(p.e.now.Add(d))
+	p.e.yield <- struct{}{}
+	<-ev.wake
+}
+
+// Signal is a one-shot level-triggered event: Wait blocks until Fire has
+// been called; waits after Fire return immediately.
+type Signal struct {
+	e       *Engine
+	fired   bool
+	waiters []*event
+}
+
+// NewSignal creates a signal bound to the engine.
+func NewSignal(e *Engine) *Signal {
+	return &Signal{e: e}
+}
+
+// Fire triggers the signal, waking all current waiters at the current
+// virtual time. Firing twice is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, w := range s.waiters {
+		// Reschedule each waiter as a fresh event at the fire time.
+		w.at = s.e.now
+		s.e.seq++
+		w.seq = s.e.seq
+		heap.Push(&s.e.events, w)
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Wait blocks the calling process until the signal fires.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		return
+	}
+	s.e.seq++
+	ev := &event{at: s.e.now, seq: s.e.seq, wake: make(chan struct{})}
+	s.waiters = append(s.waiters, ev)
+	p.e.yield <- struct{}{}
+	<-ev.wake
+}
+
+// WaitAll blocks until every signal has fired.
+func WaitAll(p *Proc, signals ...*Signal) {
+	for _, s := range signals {
+		s.Wait(p)
+	}
+}
+
+// Resource is a counting semaphore over virtual time: up to Capacity
+// holders at once, FIFO queuing — the primitive behind worker concurrency
+// limits, cluster nodes, and network links.
+type Resource struct {
+	e        *Engine
+	capacity int
+	inUse    int
+	queue    []*event
+	// PeakQueue tracks the maximum number of simultaneous waiters, a
+	// congestion metric the prune-incident experiment reports.
+	PeakQueue int
+}
+
+// NewResource creates a resource with the given capacity (min 1).
+func NewResource(e *Engine, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{e: e, capacity: capacity}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of current holders.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of processes waiting.
+func (r *Resource) Queued() int { return len(r.queue) }
+
+// Acquire blocks the process until a slot is free, then takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.e.seq++
+	ev := &event{at: r.e.now, seq: r.e.seq, wake: make(chan struct{})}
+	r.queue = append(r.queue, ev)
+	if len(r.queue) > r.PeakQueue {
+		r.PeakQueue = len(r.queue)
+	}
+	p.e.yield <- struct{}{}
+	<-ev.wake
+	// The releaser transferred its slot to us: inUse stays constant.
+}
+
+// Release frees a slot, waking the longest-waiting process, if any.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		next.at = r.e.now
+		r.e.seq++
+		next.seq = r.e.seq
+		heap.Push(&r.e.events, next)
+		return // slot handed directly to the waiter
+	}
+	r.inUse--
+	if r.inUse < 0 {
+		panic("sim: Release without Acquire")
+	}
+}
+
+// Use runs fn while holding the resource.
+func (r *Resource) Use(p *Proc, fn func()) {
+	r.Acquire(p)
+	defer r.Release()
+	fn()
+}

@@ -1,0 +1,109 @@
+// Package simnet models the wide-area network between the beamline and the
+// HPC centers (ESnet in the paper) on the discrete-event kernel. Each
+// directed link has a propagation latency and an aggregate bandwidth;
+// concurrent transfers share a link by moving data in fixed-size chunks
+// through a FIFO resource, which approximates fair round-robin sharing
+// without the bookkeeping of exact processor-sharing.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Bandwidth constants in bytes per second.
+const (
+	Gbps = 1e9 / 8
+	Mbps = 1e6 / 8
+)
+
+// DefaultChunkBytes is the granularity at which concurrent transfers
+// interleave on a link.
+const DefaultChunkBytes = 256 << 20
+
+type route struct{ from, to string }
+
+// Link is a directed network path with finite bandwidth.
+type Link struct {
+	Bandwidth  float64 // bytes per second
+	Latency    time.Duration
+	ChunkBytes int64
+
+	res *sim.Resource
+	// TotalBytes accumulates all payload bytes moved over the link.
+	TotalBytes int64
+	// BusyTime accumulates serialization time, for utilization reports.
+	BusyTime time.Duration
+}
+
+// Network is a set of named sites joined by directed links.
+type Network struct {
+	e     *sim.Engine
+	links map[route]*Link
+}
+
+// New creates an empty network on the engine.
+func New(e *sim.Engine) *Network {
+	return &Network{e: e, links: map[route]*Link{}}
+}
+
+// AddLink installs a bidirectional pair of links between two sites with
+// the same bandwidth and latency in both directions, returning the
+// forward-direction link.
+func (n *Network) AddLink(a, b string, bandwidth float64, latency time.Duration) *Link {
+	fwd := &Link{Bandwidth: bandwidth, Latency: latency, ChunkBytes: DefaultChunkBytes,
+		res: sim.NewResource(n.e, 1)}
+	rev := &Link{Bandwidth: bandwidth, Latency: latency, ChunkBytes: DefaultChunkBytes,
+		res: sim.NewResource(n.e, 1)}
+	n.links[route{a, b}] = fwd
+	n.links[route{b, a}] = rev
+	return fwd
+}
+
+// Link returns the directed link from a to b.
+func (n *Network) Link(a, b string) (*Link, error) {
+	l, ok := n.links[route{a, b}]
+	if !ok {
+		return nil, fmt.Errorf("simnet: no link %s → %s", a, b)
+	}
+	return l, nil
+}
+
+// Transfer moves size bytes from site a to site b, blocking the calling
+// process for the propagation latency plus the serialized chunk time, and
+// returns the elapsed virtual duration.
+func (n *Network) Transfer(p *sim.Proc, a, b string, size int64) (time.Duration, error) {
+	l, err := n.Link(a, b)
+	if err != nil {
+		return 0, err
+	}
+	start := p.Now()
+	p.Sleep(l.Latency)
+	chunk := l.ChunkBytes
+	if chunk <= 0 {
+		chunk = DefaultChunkBytes
+	}
+	for remaining := size; remaining > 0; remaining -= chunk {
+		this := chunk
+		if remaining < chunk {
+			this = remaining
+		}
+		d := time.Duration(float64(this) / l.Bandwidth * float64(time.Second))
+		l.res.Acquire(p)
+		p.Sleep(d)
+		l.res.Release()
+		l.BusyTime += d
+	}
+	l.TotalBytes += size
+	return p.Now().Sub(start), nil
+}
+
+// Utilization returns the fraction of the window the link spent busy.
+func (l *Link) Utilization(window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(l.BusyTime) / float64(window)
+}

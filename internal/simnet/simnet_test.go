@@ -1,0 +1,124 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+var epoch = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+func TestSingleTransferTiming(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	n.AddLink("als", "nersc", 10*Gbps, 5*time.Millisecond)
+	var got time.Duration
+	e.Go("t", func(p *sim.Proc) {
+		d, err := n.Transfer(p, "als", "nersc", 25<<30) // 25 GiB
+		if err != nil {
+			t.Error(err)
+		}
+		got = d
+	})
+	e.Run()
+	// 25 GiB at 10 Gbps ≈ 21.5 s plus 5 ms latency.
+	want := float64(25<<30) / (10 * Gbps)
+	if math.Abs(got.Seconds()-want) > 0.1 {
+		t.Fatalf("transfer took %v, want ~%.1fs", got, want)
+	}
+}
+
+func TestBidirectionalLinks(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	n.AddLink("a", "b", Gbps, 0)
+	if _, err := n.Link("b", "a"); err != nil {
+		t.Fatal("reverse link missing")
+	}
+	if _, err := n.Link("a", "c"); err == nil {
+		t.Fatal("missing link should error")
+	}
+}
+
+func TestNoRouteError(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	var err error
+	e.Go("t", func(p *sim.Proc) {
+		_, err = n.Transfer(p, "x", "y", 100)
+	})
+	e.Run()
+	if err == nil {
+		t.Fatal("transfer without a link should fail")
+	}
+}
+
+func TestConcurrentTransfersShareBandwidth(t *testing.T) {
+	// Two equal transfers on one link should each take about twice the
+	// solo duration (chunked round-robin sharing).
+	size := int64(4 << 30)
+	solo := run(t, 1, size)
+	dual := run(t, 2, size)
+	ratio := dual.Seconds() / solo.Seconds()
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("2-way sharing slowdown = %.2f, want ~2", ratio)
+	}
+}
+
+func run(t *testing.T, streams int, size int64) time.Duration {
+	t.Helper()
+	e := sim.New(epoch)
+	n := New(e)
+	n.AddLink("a", "b", 10*Gbps, 0)
+	var last time.Duration
+	for i := 0; i < streams; i++ {
+		e.Go("t", func(p *sim.Proc) {
+			d, err := n.Transfer(p, "a", "b", size)
+			if err != nil {
+				t.Error(err)
+			}
+			if d > last {
+				last = d
+			}
+		})
+	}
+	e.Run()
+	return last
+}
+
+func TestAccounting(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	l := n.AddLink("a", "b", Gbps, 0)
+	e.Go("t", func(p *sim.Proc) {
+		n.Transfer(p, "a", "b", 1<<30)
+		n.Transfer(p, "a", "b", 1<<30)
+	})
+	end := e.Run()
+	if l.TotalBytes != 2<<30 {
+		t.Fatalf("TotalBytes = %d", l.TotalBytes)
+	}
+	u := l.Utilization(end.Sub(epoch))
+	if u < 0.99 || u > 1.01 {
+		t.Fatalf("back-to-back utilization = %v, want ~1", u)
+	}
+	if l.Utilization(0) != 0 {
+		t.Fatal("zero window utilization should be 0")
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	n.AddLink("a", "b", Gbps, 3*time.Millisecond)
+	var d time.Duration
+	e.Go("t", func(p *sim.Proc) {
+		d, _ = n.Transfer(p, "a", "b", 0)
+	})
+	e.Run()
+	if d != 3*time.Millisecond {
+		t.Fatalf("zero-byte transfer took %v, want latency only", d)
+	}
+}

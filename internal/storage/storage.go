@@ -1,0 +1,198 @@
+// Package storage models the tiered file systems of the paper's data
+// lifecycle on the discrete-event kernel: the beamline data server (fast,
+// small, days-to-weeks retention), the NERSC Community File System and
+// ALCF Eagle (months-to-years), Perlmutter scratch (job-local staging),
+// and the HPSS tape archive (indefinite, with mount latency). Stores track
+// per-file checksums and creation times so the pruning flows and transfer
+// verification exercise the same logic the production system runs.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// File is one stored object.
+type File struct {
+	Path     string
+	Size     int64
+	Checksum string
+	Created  time.Time
+}
+
+// Store is a simulated file system tier.
+type Store struct {
+	Name string
+	// WriteBW and ReadBW are sustained throughputs in bytes/second.
+	WriteBW, ReadBW float64
+	// Latency is the per-operation setup cost (tape mount for HPSS).
+	Latency time.Duration
+	// Quota caps total stored bytes; 0 means unlimited.
+	Quota int64
+	// Retention is the age-based pruning horizon used by PruneExpired.
+	Retention time.Duration
+
+	e     *sim.Engine
+	io    *sim.Resource
+	files map[string]*File
+	used  int64
+
+	// PrunedBytes accumulates bytes reclaimed by pruning, for the
+	// lifecycle report.
+	PrunedBytes int64
+}
+
+// Config declares a tier's performance envelope.
+type Config struct {
+	Name            string
+	WriteBW, ReadBW float64
+	Latency         time.Duration
+	Quota           int64
+	Retention       time.Duration
+	// Streams is the number of concurrent I/O operations the tier
+	// sustains before queueing (default 4).
+	Streams int
+}
+
+// New creates a store on the engine.
+func New(e *sim.Engine, cfg Config) *Store {
+	streams := cfg.Streams
+	if streams <= 0 {
+		streams = 4
+	}
+	return &Store{
+		Name:    cfg.Name,
+		WriteBW: cfg.WriteBW, ReadBW: cfg.ReadBW,
+		Latency: cfg.Latency, Quota: cfg.Quota, Retention: cfg.Retention,
+		e:     e,
+		io:    sim.NewResource(e, streams),
+		files: map[string]*File{},
+	}
+}
+
+// ErrQuota is returned when a write would exceed the tier's quota.
+type ErrQuota struct {
+	Store string
+	Need  int64
+	Free  int64
+}
+
+func (e *ErrQuota) Error() string {
+	return fmt.Sprintf("storage: %s: quota exceeded (need %d, free %d)", e.Store, e.Need, e.Free)
+}
+
+// ErrNotFound is returned for missing paths.
+type ErrNotFound struct {
+	Store string
+	Path  string
+}
+
+func (e *ErrNotFound) Error() string {
+	return fmt.Sprintf("storage: %s: no such file %q", e.Store, e.Path)
+}
+
+// Put writes a file, blocking the process for the tier's latency plus the
+// transfer time. Overwrites replace the existing file's accounting.
+func (s *Store) Put(p *sim.Proc, path string, size int64, checksum string) error {
+	if size < 0 {
+		return fmt.Errorf("storage: %s: negative size for %q", s.Name, path)
+	}
+	delta := size
+	if old, ok := s.files[path]; ok {
+		delta -= old.Size
+	}
+	if s.Quota > 0 && s.used+delta > s.Quota {
+		return &ErrQuota{Store: s.Name, Need: delta, Free: s.Quota - s.used}
+	}
+	s.io.Acquire(p)
+	p.Sleep(s.Latency + time.Duration(float64(size)/s.WriteBW*float64(time.Second)))
+	s.io.Release()
+	s.files[path] = &File{Path: path, Size: size, Checksum: checksum, Created: p.Now()}
+	s.used += delta
+	return nil
+}
+
+// Get reads a file, blocking for latency plus read time, and returns its
+// record.
+func (s *Store) Get(p *sim.Proc, path string) (*File, error) {
+	f, ok := s.files[path]
+	if !ok {
+		return nil, &ErrNotFound{Store: s.Name, Path: path}
+	}
+	s.io.Acquire(p)
+	p.Sleep(s.Latency + time.Duration(float64(f.Size)/s.ReadBW*float64(time.Second)))
+	s.io.Release()
+	return f, nil
+}
+
+// Stat returns a file's record without any I/O cost.
+func (s *Store) Stat(path string) (*File, error) {
+	f, ok := s.files[path]
+	if !ok {
+		return nil, &ErrNotFound{Store: s.Name, Path: path}
+	}
+	return f, nil
+}
+
+// Delete removes a file (no-op error if absent).
+func (s *Store) Delete(path string) error {
+	f, ok := s.files[path]
+	if !ok {
+		return &ErrNotFound{Store: s.Name, Path: path}
+	}
+	delete(s.files, path)
+	s.used -= f.Size
+	return nil
+}
+
+// Used returns the stored byte total.
+func (s *Store) Used() int64 { return s.used }
+
+// Count returns the number of stored files.
+func (s *Store) Count() int { return len(s.files) }
+
+// List returns all files sorted by path.
+func (s *Store) List() []*File {
+	out := make([]*File, 0, len(s.files))
+	for _, f := range s.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ExpiredBefore returns the files older than the retention horizon at the
+// given time.
+func (s *Store) ExpiredBefore(now time.Time) []*File {
+	if s.Retention <= 0 {
+		return nil
+	}
+	cutoff := now.Add(-s.Retention)
+	var out []*File
+	for _, f := range s.files {
+		if f.Created.Before(cutoff) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// PruneExpired deletes every file past the retention horizon and returns
+// the count and bytes reclaimed. It is the action behind the scheduled
+// pruning flows that keep the tiers from saturating.
+func (s *Store) PruneExpired(now time.Time) (int, int64) {
+	var n int
+	var bytes int64
+	for _, f := range s.ExpiredBefore(now) {
+		if s.Delete(f.Path) == nil {
+			n++
+			bytes += f.Size
+		}
+	}
+	s.PrunedBytes += bytes
+	return n, bytes
+}

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+var epoch = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+func newStore(e *sim.Engine, quota int64, retention time.Duration) *Store {
+	return New(e, Config{
+		Name: "test", WriteBW: 1 << 30, ReadBW: 2 << 30,
+		Quota: quota, Retention: retention,
+	})
+}
+
+func TestPutGetTiming(t *testing.T) {
+	e := sim.New(epoch)
+	s := newStore(e, 0, 0)
+	var putD, getD time.Duration
+	e.Go("io", func(p *sim.Proc) {
+		t0 := p.Now()
+		if err := s.Put(p, "a", 2<<30, "c1"); err != nil {
+			t.Error(err)
+		}
+		putD = p.Now().Sub(t0)
+		t0 = p.Now()
+		f, err := s.Get(p, "a")
+		if err != nil {
+			t.Error(err)
+		}
+		getD = p.Now().Sub(t0)
+		if f.Checksum != "c1" || f.Size != 2<<30 {
+			t.Errorf("bad file record %+v", f)
+		}
+	})
+	e.Run()
+	if putD != 2*time.Second {
+		t.Errorf("put took %v, want 2s at 1 GiB/s", putD)
+	}
+	if getD != time.Second {
+		t.Errorf("get took %v, want 1s at 2 GiB/s", getD)
+	}
+}
+
+func TestQuota(t *testing.T) {
+	e := sim.New(epoch)
+	s := newStore(e, 100, 0)
+	e.Go("io", func(p *sim.Proc) {
+		if err := s.Put(p, "a", 80, "x"); err != nil {
+			t.Error(err)
+		}
+		err := s.Put(p, "b", 30, "y")
+		var q *ErrQuota
+		if !errors.As(err, &q) {
+			t.Errorf("expected quota error, got %v", err)
+		}
+		// Overwriting an existing file charges only the delta.
+		if err := s.Put(p, "a", 100, "x2"); err != nil {
+			t.Errorf("overwrite within quota failed: %v", err)
+		}
+	})
+	e.Run()
+	if s.Used() != 100 {
+		t.Fatalf("used = %d", s.Used())
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	e := sim.New(epoch)
+	s := newStore(e, 0, 0)
+	e.Go("io", func(p *sim.Proc) {
+		if err := s.Put(p, "a", -1, "x"); err == nil {
+			t.Error("negative size should be rejected")
+		}
+	})
+	e.Run()
+}
+
+func TestStatDeleteCount(t *testing.T) {
+	e := sim.New(epoch)
+	s := newStore(e, 0, 0)
+	e.Go("io", func(p *sim.Proc) {
+		s.Put(p, "x/1", 10, "a")
+		s.Put(p, "x/2", 20, "b")
+		if s.Count() != 2 || s.Used() != 30 {
+			t.Errorf("count=%d used=%d", s.Count(), s.Used())
+		}
+		if _, err := s.Stat("x/1"); err != nil {
+			t.Error(err)
+		}
+		if err := s.Delete("x/1"); err != nil {
+			t.Error(err)
+		}
+		if err := s.Delete("x/1"); err == nil {
+			t.Error("double delete should error")
+		}
+		var nf *ErrNotFound
+		if _, err := s.Get(p, "gone"); !errors.As(err, &nf) {
+			t.Errorf("want ErrNotFound, got %v", err)
+		}
+		if s.Used() != 20 {
+			t.Errorf("used after delete = %d", s.Used())
+		}
+	})
+	e.Run()
+}
+
+func TestListSorted(t *testing.T) {
+	e := sim.New(epoch)
+	s := newStore(e, 0, 0)
+	e.Go("io", func(p *sim.Proc) {
+		s.Put(p, "b", 1, "")
+		s.Put(p, "a", 1, "")
+		s.Put(p, "c", 1, "")
+	})
+	e.Run()
+	l := s.List()
+	if l[0].Path != "a" || l[1].Path != "b" || l[2].Path != "c" {
+		t.Fatalf("not sorted: %v", []string{l[0].Path, l[1].Path, l[2].Path})
+	}
+}
+
+func TestRetentionPruning(t *testing.T) {
+	e := sim.New(epoch)
+	s := newStore(e, 0, time.Hour)
+	e.Go("io", func(p *sim.Proc) {
+		s.Put(p, "old", 100, "")
+		p.Sleep(2 * time.Hour)
+		s.Put(p, "new", 50, "")
+		exp := s.ExpiredBefore(p.Now())
+		if len(exp) != 1 || exp[0].Path != "old" {
+			t.Errorf("expired = %v", exp)
+		}
+		n, bytes := s.PruneExpired(p.Now())
+		if n != 1 || bytes != 100 {
+			t.Errorf("pruned %d files %d bytes", n, bytes)
+		}
+		if _, err := s.Stat("old"); err == nil {
+			t.Error("old file survived prune")
+		}
+		if _, err := s.Stat("new"); err != nil {
+			t.Error("new file pruned prematurely")
+		}
+	})
+	e.Run()
+	if s.PrunedBytes != 100 {
+		t.Fatalf("PrunedBytes = %d", s.PrunedBytes)
+	}
+}
+
+func TestNoRetentionNoPrune(t *testing.T) {
+	e := sim.New(epoch)
+	s := newStore(e, 0, 0)
+	e.Go("io", func(p *sim.Proc) {
+		s.Put(p, "a", 1, "")
+		p.Sleep(1000 * time.Hour)
+		if n, _ := s.PruneExpired(p.Now()); n != 0 {
+			t.Error("retention=0 should never prune")
+		}
+	})
+	e.Run()
+}
+
+func TestIOContention(t *testing.T) {
+	// With 1 stream, two 1-second writes serialize.
+	e := sim.New(epoch)
+	s := New(e, Config{Name: "narrow", WriteBW: 1 << 30, ReadBW: 1 << 30, Streams: 1})
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Go("w", func(p *sim.Proc) {
+			s.Put(p, string(rune('a'+i)), 1<<30, "")
+		})
+	}
+	end := e.Run()
+	if end.Sub(epoch) != 2*time.Second {
+		t.Fatalf("serialized writes took %v, want 2s", end.Sub(epoch))
+	}
+}
+
+func TestHPSSLatencyModel(t *testing.T) {
+	e := sim.New(epoch)
+	hpss := New(e, Config{Name: "hpss", WriteBW: 1 << 30, ReadBW: 1 << 30,
+		Latency: 2 * time.Minute})
+	var d time.Duration
+	e.Go("io", func(p *sim.Proc) {
+		t0 := p.Now()
+		hpss.Put(p, "archive", 1<<30, "")
+		d = p.Now().Sub(t0)
+	})
+	e.Run()
+	if d != 2*time.Minute+time.Second {
+		t.Fatalf("tape write took %v, want mount latency + 1s", d)
+	}
+}
+
+// Property: after any sequence of puts/overwrites/deletes, Used() equals
+// the sum of surviving file sizes and Count() the surviving file count.
+func TestAccountingInvariantProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		e := sim.New(epoch)
+		s := newStore(e, 0, 0)
+		live := map[string]int64{}
+		e.Go("ops", func(p *sim.Proc) {
+			for op := 0; op < 60; op++ {
+				path := fmt.Sprintf("f%d", rng.Intn(10))
+				switch rng.Intn(3) {
+				case 0, 1: // put or overwrite
+					size := int64(rng.Intn(1000))
+					if err := s.Put(p, path, size, "c"); err != nil {
+						t.Error(err)
+						return
+					}
+					live[path] = size
+				case 2:
+					err := s.Delete(path)
+					_, existed := live[path]
+					if existed != (err == nil) {
+						t.Errorf("delete %q: existed=%v err=%v", path, existed, err)
+						return
+					}
+					delete(live, path)
+				}
+			}
+		})
+		e.Run()
+		var want int64
+		for _, sz := range live {
+			want += sz
+		}
+		if s.Used() != want {
+			t.Fatalf("trial %d: used %d, want %d", trial, s.Used(), want)
+		}
+		if s.Count() != len(live) {
+			t.Fatalf("trial %d: count %d, want %d", trial, s.Count(), len(live))
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package tiff implements the minimal subset of the TIFF 6.0 format the
+// file-based branch needs: the reconstruction jobs write a stack of
+// grayscale slices that beamline users open in ImageJ. Images are written
+// as single-strip, uncompressed, little-endian grayscale TIFFs in either
+// 32-bit float (the reconstruction's native precision) or 16-bit unsigned
+// form, and the reader accepts what the writer produces.
+package tiff
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/vol"
+)
+
+// SampleFormat selects the pixel encoding.
+type SampleFormat int
+
+// Supported encodings.
+const (
+	// F32 writes IEEE 754 32-bit float samples (ImageJ-compatible).
+	F32 SampleFormat = iota
+	// U16 writes 16-bit unsigned samples, min/max scaled.
+	U16
+)
+
+// TIFF tag IDs used here.
+const (
+	tagImageWidth    = 256
+	tagImageLength   = 257
+	tagBitsPerSample = 258
+	tagCompression   = 259
+	tagPhotometric   = 262
+	tagStripOffsets  = 273
+	tagRowsPerStrip  = 278
+	tagStripBytes    = 279
+	tagSampleFormat  = 339
+)
+
+// Encode serializes an image as a single-strip grayscale TIFF.
+func Encode(im *vol.Image, format SampleFormat) ([]byte, error) {
+	if im.W <= 0 || im.H <= 0 {
+		return nil, fmt.Errorf("tiff: cannot encode %dx%d image", im.W, im.H)
+	}
+	var bits, sampleFmt int
+	var pixels []byte
+	switch format {
+	case F32:
+		bits, sampleFmt = 32, 3 // IEEE float
+		pixels = make([]byte, 4*len(im.Pix))
+		for i, v := range im.Pix {
+			binary.LittleEndian.PutUint32(pixels[i*4:], math.Float32bits(float32(v)))
+		}
+	case U16:
+		bits, sampleFmt = 16, 1 // unsigned int
+		lo, hi := im.MinMax()
+		scale := 0.0
+		if hi > lo {
+			scale = 65535 / (hi - lo)
+		}
+		pixels = make([]byte, 2*len(im.Pix))
+		for i, v := range im.Pix {
+			binary.LittleEndian.PutUint16(pixels[i*2:], uint16((v-lo)*scale))
+		}
+	default:
+		return nil, fmt.Errorf("tiff: unknown sample format %d", format)
+	}
+
+	// Layout: 8-byte header, pixel strip, IFD.
+	const headerLen = 8
+	stripOffset := headerLen
+	ifdOffset := headerLen + len(pixels)
+
+	type entry struct {
+		tag   uint16
+		typ   uint16 // 3=SHORT, 4=LONG
+		count uint32
+		value uint32
+	}
+	entries := []entry{
+		{tagImageWidth, 4, 1, uint32(im.W)},
+		{tagImageLength, 4, 1, uint32(im.H)},
+		{tagBitsPerSample, 3, 1, uint32(bits)},
+		{tagCompression, 3, 1, 1}, // none
+		{tagPhotometric, 3, 1, 1}, // BlackIsZero
+		{tagStripOffsets, 4, 1, uint32(stripOffset)},
+		{tagRowsPerStrip, 4, 1, uint32(im.H)},
+		{tagStripBytes, 4, 1, uint32(len(pixels))},
+		{tagSampleFormat, 3, 1, uint32(sampleFmt)},
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].tag < entries[j].tag })
+
+	out := make([]byte, 0, ifdOffset+2+12*len(entries)+4)
+	// Header: II, magic 42, IFD offset.
+	out = append(out, 'I', 'I', 42, 0)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(ifdOffset))
+	out = append(out, u32[:]...)
+	out = append(out, pixels...)
+	// IFD.
+	var u16b [2]byte
+	binary.LittleEndian.PutUint16(u16b[:], uint16(len(entries)))
+	out = append(out, u16b[:]...)
+	for _, e := range entries {
+		binary.LittleEndian.PutUint16(u16b[:], e.tag)
+		out = append(out, u16b[:]...)
+		binary.LittleEndian.PutUint16(u16b[:], e.typ)
+		out = append(out, u16b[:]...)
+		binary.LittleEndian.PutUint32(u32[:], e.count)
+		out = append(out, u32[:]...)
+		// SHORT values are stored left-justified in the 4-byte slot.
+		binary.LittleEndian.PutUint32(u32[:], e.value)
+		out = append(out, u32[:]...)
+	}
+	binary.LittleEndian.PutUint32(u32[:], 0) // no next IFD
+	out = append(out, u32[:]...)
+	return out, nil
+}
+
+// Decode parses a TIFF produced by Encode (single-strip, uncompressed,
+// little-endian grayscale; float32 or uint16 samples).
+func Decode(raw []byte) (*vol.Image, error) {
+	if len(raw) < 8 || raw[0] != 'I' || raw[1] != 'I' ||
+		binary.LittleEndian.Uint16(raw[2:]) != 42 {
+		return nil, fmt.Errorf("tiff: bad header")
+	}
+	ifdOff := int(binary.LittleEndian.Uint32(raw[4:]))
+	if ifdOff+2 > len(raw) {
+		return nil, fmt.Errorf("tiff: IFD offset out of range")
+	}
+	n := int(binary.LittleEndian.Uint16(raw[ifdOff:]))
+	if ifdOff+2+12*n+4 > len(raw) {
+		return nil, fmt.Errorf("tiff: truncated IFD")
+	}
+	tags := map[uint16]uint32{}
+	for i := 0; i < n; i++ {
+		base := ifdOff + 2 + 12*i
+		tag := binary.LittleEndian.Uint16(raw[base:])
+		typ := binary.LittleEndian.Uint16(raw[base+2:])
+		val := binary.LittleEndian.Uint32(raw[base+8:])
+		if typ == 3 { // SHORT stored in low bytes
+			val = uint32(binary.LittleEndian.Uint16(raw[base+8:]))
+		}
+		tags[tag] = val
+	}
+	w := int(tags[tagImageWidth])
+	h := int(tags[tagImageLength])
+	bits := int(tags[tagBitsPerSample])
+	offset := int(tags[tagStripOffsets])
+	nbytes := int(tags[tagStripBytes])
+	sampleFmt := tags[tagSampleFormat]
+	if tags[tagCompression] != 1 {
+		return nil, fmt.Errorf("tiff: compression %d unsupported", tags[tagCompression])
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("tiff: bad dimensions %dx%d", w, h)
+	}
+	if offset < 0 || offset+nbytes > len(raw) {
+		return nil, fmt.Errorf("tiff: strip out of range")
+	}
+	if nbytes != w*h*bits/8 {
+		return nil, fmt.Errorf("tiff: strip has %d bytes for %dx%d×%d-bit", nbytes, w, h, bits)
+	}
+	im := vol.NewImage(w, h)
+	strip := raw[offset : offset+nbytes]
+	switch {
+	case bits == 32 && sampleFmt == 3:
+		for i := range im.Pix {
+			im.Pix[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(strip[i*4:])))
+		}
+	case bits == 16 && sampleFmt == 1:
+		for i := range im.Pix {
+			im.Pix[i] = float64(binary.LittleEndian.Uint16(strip[i*2:]))
+		}
+	default:
+		return nil, fmt.Errorf("tiff: %d-bit sample format %d unsupported", bits, sampleFmt)
+	}
+	return im, nil
+}
+
+// WriteFile encodes im to path.
+func WriteFile(path string, im *vol.Image, format SampleFormat) error {
+	raw, err := Encode(im, format)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// ReadFile decodes the TIFF at path.
+func ReadFile(path string) (*vol.Image, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(raw)
+}
+
+// WriteStack writes every slice of v as slice_NNNN.tif under dir — the
+// TIFF stack the reconstruction flows hand to ImageJ users.
+func WriteStack(dir string, v *vol.Volume, format SampleFormat) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for z := 0; z < v.D; z++ {
+		path := filepath.Join(dir, fmt.Sprintf("slice_%04d.tif", z))
+		if err := WriteFile(path, v.Slice(z), format); err != nil {
+			return fmt.Errorf("tiff: slice %d: %w", z, err)
+		}
+	}
+	return nil
+}
+
+// ReadStack reads a directory written by WriteStack back into a volume.
+func ReadStack(dir string) (*vol.Volume, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "slice_*.tif"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("tiff: no slices in %s", dir)
+	}
+	sort.Strings(matches)
+	var v *vol.Volume
+	for z, path := range matches {
+		im, err := ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			v = vol.NewVolume(im.W, im.H, len(matches))
+		}
+		if im.W != v.W || im.H != v.H {
+			return nil, fmt.Errorf("tiff: slice %d is %dx%d, stack is %dx%d",
+				z, im.W, im.H, v.W, v.H)
+		}
+		v.SetSlice(z, im)
+	}
+	return v, nil
+}

@@ -1,0 +1,226 @@
+package tiff
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/phantom"
+	"repro/internal/vol"
+)
+
+func TestFloat32RoundTrip(t *testing.T) {
+	im := vol.NewImage(7, 5)
+	for i := range im.Pix {
+		im.Pix[i] = float64(i)*0.25 - 3
+	}
+	raw, err := Encode(im, F32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 7 || got.H != 5 {
+		t.Fatalf("dims %dx%d", got.W, got.H)
+	}
+	for i := range im.Pix {
+		if got.Pix[i] != im.Pix[i] {
+			t.Fatalf("pix[%d] = %v, want %v", i, got.Pix[i], im.Pix[i])
+		}
+	}
+}
+
+func TestUint16ScalesToFullRange(t *testing.T) {
+	im := vol.NewImage(4, 1)
+	im.Pix = []float64{-1, 0, 1, 3}
+	raw, err := Encode(im, U16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pix[0] != 0 {
+		t.Errorf("min should map to 0, got %v", got.Pix[0])
+	}
+	if got.Pix[3] != 65535 {
+		t.Errorf("max should map to 65535, got %v", got.Pix[3])
+	}
+	// Order preserved.
+	for i := 1; i < 4; i++ {
+		if got.Pix[i] <= got.Pix[i-1] {
+			t.Errorf("ordering lost: %v", got.Pix)
+		}
+	}
+}
+
+func TestUint16ConstantImage(t *testing.T) {
+	im := vol.NewImage(3, 3)
+	im.Fill(7)
+	raw, err := Encode(im, U16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got.Pix {
+		if v != 0 {
+			t.Fatal("zero-range image should encode as zeros, not NaN garbage")
+		}
+	}
+}
+
+func TestEncodeRejectsEmpty(t *testing.T) {
+	if _, err := Encode(vol.NewImage(0, 0), F32); err == nil {
+		t.Fatal("empty image should be rejected")
+	}
+	if _, err := Encode(vol.NewImage(2, 2), SampleFormat(9)); err == nil {
+		t.Fatal("unknown format should be rejected")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("MM"),
+		[]byte("II*\x00\xff\xff\xff\xff"), // IFD offset out of range
+		[]byte("II+\x00\x08\x00\x00\x00\x00\x00"), // wrong magic
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage decoded", i)
+		}
+	}
+	// Truncated IFD.
+	im := vol.NewImage(2, 2)
+	raw, _ := Encode(im, F32)
+	if _, err := Decode(raw[:len(raw)-20]); err == nil {
+		t.Error("truncated IFD decoded")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64) bool {
+		w := int(w8%16) + 1
+		h := int(h8%16) + 1
+		im := vol.NewImage(w, h)
+		x := seed
+		for i := range im.Pix {
+			x = x*6364136223846793005 + 1442695040888963407
+			im.Pix[i] = float64(int16(x >> 48))
+		}
+		raw, err := Encode(im, F32)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(raw)
+		if err != nil || got.W != w || got.H != h {
+			return false
+		}
+		for i := range im.Pix {
+			if got.Pix[i] != im.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	im := phantom.SheppLogan(32)
+	path := filepath.Join(dir, "slice.tif")
+	if err := WriteFile(path, im, F32); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range im.Pix {
+		if math.Abs(got.Pix[i]-im.Pix[i]) > 1e-6 {
+			t.Fatal("file roundtrip mismatch")
+		}
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.tif")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestStackRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "stack")
+	v := phantom.SheppLogan3D(16, 5)
+	if err := WriteStack(dir, v, F32); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "slice_*.tif"))
+	if len(files) != 5 {
+		t.Fatalf("stack has %d files", len(files))
+	}
+	got, err := ReadStack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != 5 || got.W != 16 {
+		t.Fatalf("stack dims %dx%dx%d", got.W, got.H, got.D)
+	}
+	for i := range v.Data {
+		if math.Abs(got.Data[i]-v.Data[i]) > 1e-6 {
+			t.Fatal("stack roundtrip mismatch")
+		}
+	}
+}
+
+func TestReadStackErrors(t *testing.T) {
+	if _, err := ReadStack(t.TempDir()); err == nil {
+		t.Fatal("empty dir should error")
+	}
+	// Mismatched slice size.
+	dir := t.TempDir()
+	WriteFile(filepath.Join(dir, "slice_0000.tif"), vol.NewImage(4, 4), F32)
+	WriteFile(filepath.Join(dir, "slice_0001.tif"), vol.NewImage(5, 4), F32)
+	if _, err := ReadStack(dir); err == nil {
+		t.Fatal("mismatched stack should error")
+	}
+	// Corrupt member.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "slice_0000.tif"), []byte("junk"), 0o644)
+	if _, err := ReadStack(dir2); err == nil {
+		t.Fatal("corrupt member should error")
+	}
+}
+
+func TestImageJCompatibleLayout(t *testing.T) {
+	// Sanity-check the binary layout: II magic, 42, strip directly after
+	// the 8-byte header.
+	im := vol.NewImage(2, 2)
+	im.Pix = []float64{1, 2, 3, 4}
+	raw, _ := Encode(im, F32)
+	if raw[0] != 'I' || raw[1] != 'I' || raw[2] != 42 || raw[3] != 0 {
+		t.Fatalf("header bytes % x", raw[:4])
+	}
+	// First pixel at offset 8 should be float32(1).
+	if raw[8] != 0 || raw[9] != 0 || raw[10] != 0x80 || raw[11] != 0x3f {
+		t.Fatalf("first pixel bytes % x", raw[8:12])
+	}
+}
+
+func BenchmarkEncodeSlice256(b *testing.B) {
+	im := phantom.SheppLogan(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(im, F32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package tomo
+
+import "math"
+
+// FindCenter estimates the center-of-rotation offset (in detector pixels,
+// relative to the geometric detector center) of a 0–180° sinogram. The
+// projection at 180° is the mirror image of the projection at 0° about the
+// rotation axis, so the offset is found by minimizing the sum of squared
+// differences between row 0 and the flipped last row over candidate
+// shifts, refined to sub-pixel precision with a parabolic fit — the same
+// registration approach TomoPy's find_center_pc uses.
+func FindCenter(s *Sinogram, maxShift int) float64 {
+	if s.NAngles < 2 {
+		return 0
+	}
+	p0 := s.Row(0)
+	p180 := s.Row(s.NAngles - 1)
+	n := s.NCols
+	flipped := make([]float64, n)
+	for i := range flipped {
+		flipped[i] = p180[n-1-i]
+	}
+	if maxShift <= 0 {
+		maxShift = n / 4
+	}
+	if maxShift >= n/2 {
+		maxShift = n/2 - 1
+	}
+
+	best := 0
+	bestCost := math.Inf(1)
+	costs := make(map[int]float64)
+	cost := func(shift int) float64 {
+		if c, ok := costs[shift]; ok {
+			return c
+		}
+		// Mirroring about center + offset δ maps column c of p0 to
+		// column c - 2δ of flipped(p180); integer shift approximates 2δ.
+		var ss float64
+		var cnt int
+		for c := 0; c < n; c++ {
+			j := c - shift
+			if j < 0 || j >= n {
+				continue
+			}
+			d := p0[c] - flipped[j]
+			ss += d * d
+			cnt++
+		}
+		if cnt == 0 {
+			return math.Inf(1)
+		}
+		c := ss / float64(cnt)
+		costs[shift] = c
+		return c
+	}
+	for shift := -2 * maxShift; shift <= 2*maxShift; shift++ {
+		if c := cost(shift); c < bestCost {
+			bestCost = c
+			best = shift
+		}
+	}
+	// Sub-pixel refinement: fit a parabola through the minimum and its
+	// neighbors.
+	delta := float64(best)
+	c0 := cost(best)
+	cm := cost(best - 1)
+	cp := cost(best + 1)
+	den := cm - 2*c0 + cp
+	if den > 1e-12 && !math.IsInf(cm, 0) && !math.IsInf(cp, 0) {
+		delta += 0.5 * (cm - cp) / den * -1
+	}
+	// The integer shift approximates 2× the COR offset.
+	return delta / 2
+}
+
+// ShiftSinogram returns a copy of s with every row resampled by -shift
+// detector pixels (linear interpolation, edge clamp), recentring a
+// sinogram whose rotation axis is offset by shift pixels.
+func ShiftSinogram(s *Sinogram, shift float64) *Sinogram {
+	out := NewSinogram(s.Theta, s.NCols)
+	for a := 0; a < s.NAngles; a++ {
+		src := s.Row(a)
+		dst := out.Row(a)
+		for c := range dst {
+			dst[c] = sampleShift(src, float64(c)+shift)
+		}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package tomo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+	"repro/internal/vol"
+)
+
+// Filter selects the apodization window applied to the ramp filter in
+// filtered back projection, trading resolution against noise — the same
+// menu TomoPy exposes.
+type Filter int
+
+const (
+	// RamLak is the pure ramp filter: sharpest, noisiest.
+	RamLak Filter = iota
+	// SheppLoganFilter multiplies the ramp by a sinc window.
+	SheppLoganFilter
+	// Cosine multiplies the ramp by a cosine window.
+	Cosine
+	// Hamming multiplies the ramp by a Hamming window.
+	Hamming
+	// Hann multiplies the ramp by a Hann window: smoothest.
+	Hann
+)
+
+func (f Filter) String() string {
+	switch f {
+	case RamLak:
+		return "ramlak"
+	case SheppLoganFilter:
+		return "shepp"
+	case Cosine:
+		return "cosine"
+	case Hamming:
+		return "hamming"
+	case Hann:
+		return "hann"
+	}
+	return fmt.Sprintf("filter(%d)", int(f))
+}
+
+// ParseFilter converts a filter name (as used by the CLI and flow
+// parameters) into a Filter.
+func ParseFilter(name string) (Filter, error) {
+	switch name {
+	case "ramlak", "ram-lak":
+		return RamLak, nil
+	case "shepp", "shepp-logan":
+		return SheppLoganFilter, nil
+	case "cosine":
+		return Cosine, nil
+	case "hamming":
+		return Hamming, nil
+	case "hann":
+		return Hann, nil
+	}
+	return 0, fmt.Errorf("tomo: unknown filter %q", name)
+}
+
+// rampFilter builds the frequency-domain filter of length m for detector
+// sampling pitch tau, windowed per f.
+func rampFilter(m int, tau float64, f Filter) []float64 {
+	h := make([]float64, m)
+	fNyq := 1 / (2 * tau)
+	for i := 0; i < m; i++ {
+		fi := float64(fft.FreqIndex(i, m)) / (float64(m) * tau)
+		af := math.Abs(fi)
+		if af > fNyq {
+			af = fNyq
+		}
+		w := 1.0
+		r := af / fNyq // 0..1
+		switch f {
+		case RamLak:
+			w = 1
+		case SheppLoganFilter:
+			if r > 0 {
+				x := math.Pi * r / 2
+				w = math.Sin(x) / x
+			}
+		case Cosine:
+			w = math.Cos(math.Pi * r / 2)
+		case Hamming:
+			w = 0.54 + 0.46*math.Cos(math.Pi*r)
+		case Hann:
+			w = 0.5 * (1 + math.Cos(math.Pi*r))
+		}
+		h[i] = af * w
+	}
+	return h
+}
+
+// FilterSinogram returns a copy of s with every projection row convolved
+// with the windowed ramp filter (zero-padded to avoid circular wrap).
+func FilterSinogram(s *Sinogram, f Filter) *Sinogram {
+	out := s.Clone()
+	m := fft.NextPow2(2 * s.NCols)
+	tau := 2.0 / float64(s.NCols)
+	h := rampFilter(m, tau, f)
+	buf := make([]complex128, m)
+	for a := 0; a < s.NAngles; a++ {
+		row := out.Row(a)
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, v := range row {
+			buf[i] = complex(v, 0)
+		}
+		fft.Forward(buf)
+		for i := range buf {
+			buf[i] *= complex(h[i], 0)
+		}
+		fft.Inverse(buf)
+		// q = IFFT(FFT(p)·|f|): the τ from approximating the
+		// continuous transform by the DFT cancels against the Δf of
+		// the inverse frequency integral, so no pitch factor remains.
+		for i := range row {
+			row[i] = real(buf[i])
+		}
+	}
+	return out
+}
+
+// FBPOptions configures a filtered back projection.
+type FBPOptions struct {
+	Filter Filter
+	// Size is the output image side length; 0 means use NCols.
+	Size int
+}
+
+// FBP reconstructs a slice from its sinogram by filtered back projection —
+// the fast algorithm the streaming branch runs for sub-10-second previews.
+func FBP(s *Sinogram, opts FBPOptions) *vol.Image {
+	n := opts.Size
+	if n == 0 {
+		n = s.NCols
+	}
+	return BackProject(FilterSinogram(s, opts.Filter), n)
+}

@@ -1,0 +1,225 @@
+package tomo
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/vol"
+)
+
+// Algorithm names a reconstruction algorithm, matching the identifiers the
+// flow parameters and CLI use.
+type Algorithm string
+
+const (
+	// AlgFBP is filtered back projection — the streaming branch's choice.
+	AlgFBP Algorithm = "fbp"
+	// AlgGridrec is the direct Fourier method — TomoPy's default.
+	AlgGridrec Algorithm = "gridrec"
+	// AlgSIRT is the simultaneous iterative technique — highest quality.
+	AlgSIRT Algorithm = "sirt"
+	// AlgSART is the block-iterative technique.
+	AlgSART Algorithm = "sart"
+)
+
+// ReconOptions configures a (possibly multi-slice) reconstruction.
+type ReconOptions struct {
+	Algorithm  Algorithm
+	Filter     Filter            // for FBP
+	Iterations int               // for SIRT/SART
+	Size       int               // output side; 0 = NCols
+	Preprocess PreprocessOptions // applied before reconstruction
+	// CORShift, if non-zero, recenters each sinogram before
+	// reconstruction. If AutoCOR is set it is estimated per volume from
+	// the middle slice instead.
+	CORShift float64
+	AutoCOR  bool
+	// Workers bounds the slice-level parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// ReconstructSlice reconstructs a single sinogram with the configured
+// algorithm. The sinogram is assumed to already hold line integrals
+// (post -log) unless opts.Preprocess is set, in which case it is treated
+// as normalized transmission and preprocessed first.
+func ReconstructSlice(s *Sinogram, opts ReconOptions) (*vol.Image, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	work := s
+	if opts.Preprocess != (PreprocessOptions{}) {
+		work = Preprocess(work, opts.Preprocess)
+	}
+	if opts.CORShift != 0 {
+		work = ShiftSinogram(work, opts.CORShift)
+	}
+	switch opts.Algorithm {
+	case AlgFBP, "":
+		return FBP(work, FBPOptions{Filter: opts.Filter, Size: opts.Size}), nil
+	case AlgGridrec:
+		return Gridrec(work, opts.Size), nil
+	case AlgSIRT:
+		return SIRT(work, SIRTOptions{
+			Iterations: opts.Iterations, Size: opts.Size, Positivity: true,
+		}), nil
+	case AlgSART:
+		return SART(work, SARTOptions{
+			Iterations: opts.Iterations, Size: opts.Size, Positivity: true,
+		}), nil
+	}
+	return nil, fmt.Errorf("tomo: unknown algorithm %q", opts.Algorithm)
+}
+
+// ReconstructVolume reconstructs every detector row of ps into a volume,
+// fanning slices out over a bounded worker pool — the same decomposition
+// the paper's 128-core NERSC node exploits. ctx cancels outstanding work.
+func ReconstructVolume(ctx context.Context, ps *ProjectionSet, opts ReconOptions) (*vol.Volume, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	n := opts.Size
+	if n == 0 {
+		n = ps.NCols
+	}
+	if opts.AutoCOR {
+		mid := ps.SinogramForRow(ps.NRows / 2)
+		if opts.Preprocess != (PreprocessOptions{}) {
+			mid = Preprocess(mid, opts.Preprocess)
+		}
+		opts.CORShift = FindCenter(mid, 0)
+		opts.AutoCOR = false
+	}
+	out := vol.NewVolume(n, n, ps.NRows)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ps.NRows {
+		workers = ps.NRows
+	}
+
+	rows := make(chan int)
+	errc := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range rows {
+				im, err := ReconstructSlice(ps.SinogramForRow(r), opts)
+				if err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+				out.SetSlice(r, im) // disjoint slices: no lock needed
+			}
+		}()
+	}
+
+feed:
+	for r := 0; r < ps.NRows; r++ {
+		select {
+		case rows <- r:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(rows)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QuickPreview reconstructs only the three orthogonal preview slices the
+// streaming service sends back to the beamline: the central XY slice is
+// reconstructed from its sinogram; the XZ and YZ previews are assembled
+// from FBP reconstructions of every row restricted to the central column —
+// to keep the sub-10-second budget this uses the fast FBP path at reduced
+// lateral resolution.
+func QuickPreview(ctx context.Context, ps *ProjectionSet, opts ReconOptions) (xy, xz, yz *vol.Image, err error) {
+	if err := ps.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	opts.Algorithm = AlgFBP
+	n := opts.Size
+	if n == 0 {
+		n = ps.NCols
+		opts.Size = n
+	}
+
+	// Full-resolution central slice.
+	xy, err = ReconstructSlice(ps.SinogramForRow(ps.NRows/2), opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Cross sections: reconstruct each row at reduced size in parallel
+	// and take the central row/column of each slice.
+	small := opts
+	small.Size = n / 4
+	if small.Size < 16 {
+		small.Size = min(16, n)
+	}
+	m := small.Size
+	xz = vol.NewImage(m, ps.NRows)
+	yz = vol.NewImage(m, ps.NRows)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rows := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range rows {
+				im, e := ReconstructSlice(ps.SinogramForRow(r), small)
+				if e != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = e
+					}
+					mu.Unlock()
+					return
+				}
+				for i := 0; i < m; i++ {
+					xz.Set(i, r, im.At(i, m/2))
+					yz.Set(i, r, im.At(m/2, i))
+				}
+			}
+		}()
+	}
+	for r := 0; r < ps.NRows; r++ {
+		select {
+		case rows <- r:
+		case <-ctx.Done():
+			r = ps.NRows
+		}
+	}
+	close(rows)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	return xy, xz, yz, nil
+}

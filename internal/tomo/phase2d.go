@@ -1,0 +1,166 @@
+package tomo
+
+import (
+	"repro/internal/fft"
+)
+
+// PaganinFilter2D applies single-distance phase retrieval to every full
+// projection image of a set: the 2D low-pass 1/(1 + α(kx² + ky²)) filter
+// in the detector plane, matching TomoPy's retrieve_phase operating on
+// (rows × cols) projections rather than the 1D per-sinogram-row
+// approximation. α ≥ 0; α = 0 returns a copy.
+func PaganinFilter2D(ps *ProjectionSet, alpha float64) *ProjectionSet {
+	out := NewProjectionSet(ps.Theta, ps.NRows, ps.NCols)
+	copy(out.Data, ps.Data)
+	if alpha <= 0 {
+		return out
+	}
+	m := fft.NextPow2(maxInt(ps.NRows, ps.NCols))
+	// Precompute the transfer function on the padded grid.
+	h := make([]float64, m*m)
+	for ky := 0; ky < m; ky++ {
+		fy := float64(fft.FreqIndex(ky, m)) / float64(m)
+		for kx := 0; kx < m; kx++ {
+			fx := float64(fft.FreqIndex(kx, m)) / float64(m)
+			k2 := (fx*fx + fy*fy) * float64(ps.NCols) * float64(ps.NCols)
+			h[ky*m+kx] = 1 / (1 + alpha*k2)
+		}
+	}
+	buf := make([]complex128, m*m)
+	for a := 0; a < ps.NAngles; a++ {
+		proj := out.Projection(a)
+		// Symmetric edge padding into the m×m buffer.
+		for y := 0; y < m; y++ {
+			sy := reflect(y, ps.NRows)
+			for x := 0; x < m; x++ {
+				sx := reflect(x, ps.NCols)
+				buf[y*m+x] = complex(proj[sy*ps.NCols+sx], 0)
+			}
+		}
+		fft.Forward2D(buf, m)
+		for i := range buf {
+			buf[i] *= complex(h[i], 0)
+		}
+		fft.Inverse2D(buf, m)
+		for y := 0; y < ps.NRows; y++ {
+			for x := 0; x < ps.NCols; x++ {
+				proj[y*ps.NCols+x] = real(buf[y*m+x])
+			}
+		}
+	}
+	return out
+}
+
+// reflect maps index i into [0, n) with mirror boundary handling.
+func reflect(i, n int) int {
+	if n == 1 {
+		return 0
+	}
+	period := 2 * (n - 1)
+	i %= period
+	if i < 0 {
+		i += period
+	}
+	if i >= n {
+		i = period - i
+	}
+	return i
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BinSinogram downsamples a sinogram by factor k in the detector axis
+// (averaging k adjacent columns), the standard binning preprocessing that
+// trades resolution for speed and dose statistics. NCols must not be
+// required to divide evenly; a ragged tail column is averaged over the
+// remaining samples.
+func BinSinogram(s *Sinogram, k int) *Sinogram {
+	if k <= 1 {
+		return s.Clone()
+	}
+	ncols := (s.NCols + k - 1) / k
+	out := NewSinogram(s.Theta, ncols)
+	for a := 0; a < s.NAngles; a++ {
+		src := s.Row(a)
+		dst := out.Row(a)
+		for c := 0; c < ncols; c++ {
+			lo := c * k
+			hi := lo + k
+			if hi > s.NCols {
+				hi = s.NCols
+			}
+			var sum float64
+			for i := lo; i < hi; i++ {
+				sum += src[i]
+			}
+			dst[c] = sum / float64(hi-lo)
+		}
+	}
+	return out
+}
+
+// BinProjections bins a projection set by factor k in both detector axes
+// (rows and columns), averaging k×k blocks — the fast-preview decimation
+// the streaming service can apply before reconstruction when the latency
+// budget is tight.
+func BinProjections(ps *ProjectionSet, k int) *ProjectionSet {
+	if k <= 1 {
+		cp := NewProjectionSet(ps.Theta, ps.NRows, ps.NCols)
+		copy(cp.Data, ps.Data)
+		return cp
+	}
+	rows := (ps.NRows + k - 1) / k
+	cols := (ps.NCols + k - 1) / k
+	out := NewProjectionSet(ps.Theta, rows, cols)
+	for a := 0; a < ps.NAngles; a++ {
+		src := ps.Projection(a)
+		dst := out.Projection(a)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				var sum float64
+				var n int
+				for dr := 0; dr < k; dr++ {
+					sr := r*k + dr
+					if sr >= ps.NRows {
+						break
+					}
+					for dc := 0; dc < k; dc++ {
+						sc := c*k + dc
+						if sc >= ps.NCols {
+							break
+						}
+						sum += src[sr*ps.NCols+sc]
+						n++
+					}
+				}
+				dst[r*cols+c] = sum / float64(n)
+			}
+		}
+	}
+	return out
+}
+
+// CropSinogram restricts a sinogram to detector columns [lo, hi) — the
+// "cropped test scan" mode that produces the few-MB files in the paper's
+// size mix.
+func CropSinogram(s *Sinogram, lo, hi int) *Sinogram {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.NCols {
+		hi = s.NCols
+	}
+	if hi <= lo {
+		return NewSinogram(s.Theta, 0)
+	}
+	out := NewSinogram(s.Theta, hi-lo)
+	for a := 0; a < s.NAngles; a++ {
+		copy(out.Row(a), s.Row(a)[lo:hi])
+	}
+	return out
+}

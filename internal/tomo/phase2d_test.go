@@ -1,0 +1,171 @@
+package tomo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phantom"
+)
+
+func TestPaganin2DIdentityAtZero(t *testing.T) {
+	truth := phantom.SheppLogan3D(16, 4)
+	ps := ProjectVolume(truth, UniformAngles(8), 16)
+	out := PaganinFilter2D(ps, 0)
+	for i := range ps.Data {
+		if out.Data[i] != ps.Data[i] {
+			t.Fatal("alpha=0 should copy")
+		}
+	}
+	// And it must be a copy, not an alias.
+	out.Data[0] = 999
+	if ps.Data[0] == 999 {
+		t.Fatal("output aliases input")
+	}
+}
+
+func TestPaganin2DSmoothsBothAxes(t *testing.T) {
+	// A checkerboard (Nyquist in both axes) should be strongly damped;
+	// the mean should be preserved.
+	ps := NewProjectionSet(UniformAngles(1), 16, 16)
+	proj := ps.Projection(0)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			proj[y*16+x] = 1 + 0.5*math.Pow(-1, float64(x+y))
+		}
+	}
+	out := PaganinFilter2D(ps, 0.05)
+	var meanIn, meanOut, varIn, varOut float64
+	po := out.Projection(0)
+	for i := range proj {
+		meanIn += proj[i]
+		meanOut += po[i]
+	}
+	meanIn /= 256
+	meanOut /= 256
+	for i := range proj {
+		varIn += (proj[i] - meanIn) * (proj[i] - meanIn)
+		varOut += (po[i] - meanOut) * (po[i] - meanOut)
+	}
+	if math.Abs(meanOut-meanIn) > 0.01 {
+		t.Errorf("mean shifted: %v -> %v", meanIn, meanOut)
+	}
+	if varOut > varIn*0.2 {
+		t.Errorf("variance %v -> %v; insufficient smoothing", varIn, varOut)
+	}
+}
+
+func TestReflect(t *testing.T) {
+	// n=4: expected pattern 0 1 2 3 2 1 0 1 2 3 ...
+	wants := []int{0, 1, 2, 3, 2, 1, 0, 1, 2, 3}
+	for i, want := range wants {
+		if got := reflect(i, 4); got != want {
+			t.Errorf("reflect(%d,4) = %d, want %d", i, got, want)
+		}
+	}
+	if reflect(5, 1) != 0 {
+		t.Error("n=1 should always map to 0")
+	}
+	if got := reflect(-1, 4); got != 1 {
+		t.Errorf("reflect(-1,4) = %d, want 1", got)
+	}
+}
+
+func TestBinSinogram(t *testing.T) {
+	s := NewSinogram(UniformAngles(2), 6)
+	for a := 0; a < 2; a++ {
+		for c := 0; c < 6; c++ {
+			s.Row(a)[c] = float64(c)
+		}
+	}
+	b := BinSinogram(s, 2)
+	if b.NCols != 3 {
+		t.Fatalf("binned cols = %d", b.NCols)
+	}
+	wants := []float64{0.5, 2.5, 4.5}
+	for c, w := range wants {
+		if b.Row(0)[c] != w {
+			t.Fatalf("bin[%d] = %v, want %v", c, b.Row(0)[c], w)
+		}
+	}
+	// Ragged tail.
+	b3 := BinSinogram(s, 4)
+	if b3.NCols != 2 {
+		t.Fatalf("ragged cols = %d", b3.NCols)
+	}
+	if b3.Row(0)[1] != 4.5 { // avg of cols 4,5
+		t.Fatalf("ragged tail = %v", b3.Row(0)[1])
+	}
+	// k=1 is a copy.
+	c1 := BinSinogram(s, 1)
+	c1.Row(0)[0] = 99
+	if s.Row(0)[0] == 99 {
+		t.Fatal("k=1 should copy")
+	}
+}
+
+func TestBinSinogramPreservesReconstruction(t *testing.T) {
+	// Binning by 2 then reconstructing at half size should still
+	// correlate with the phantom.
+	im := phantom.SheppLogan(64)
+	s := Project(im, UniformAngles(96), 64)
+	b := BinSinogram(s, 2)
+	rec := FBP(b, FBPOptions{Filter: SheppLoganFilter})
+	if rec.W != 32 {
+		t.Fatalf("recon size %d", rec.W)
+	}
+	small := im.Downsample2()
+	corr, _ := reconQuality(t, rec, small)
+	if corr < 0.85 {
+		t.Errorf("binned reconstruction correlation %v", corr)
+	}
+}
+
+func TestBinProjections(t *testing.T) {
+	truth := phantom.SheppLogan3D(16, 8)
+	ps := ProjectVolume(truth, UniformAngles(8), 16)
+	b := BinProjections(ps, 2)
+	if b.NRows != 4 || b.NCols != 8 {
+		t.Fatalf("binned dims %dx%d", b.NRows, b.NCols)
+	}
+	// Block average check at one point.
+	want := (ps.At(0, 0, 0) + ps.At(0, 0, 1) + ps.At(0, 1, 0) + ps.At(0, 1, 1)) / 4
+	if math.Abs(b.At(0, 0, 0)-want) > 1e-12 {
+		t.Fatalf("block average = %v, want %v", b.At(0, 0, 0), want)
+	}
+	// k=1 copy semantics.
+	c := BinProjections(ps, 1)
+	c.Data[0] = 42
+	if ps.Data[0] == 42 {
+		t.Fatal("k=1 should copy")
+	}
+}
+
+func TestCropSinogram(t *testing.T) {
+	s := NewSinogram(UniformAngles(2), 8)
+	for c := 0; c < 8; c++ {
+		s.Row(1)[c] = float64(c)
+	}
+	cr := CropSinogram(s, 2, 6)
+	if cr.NCols != 4 {
+		t.Fatalf("cropped cols = %d", cr.NCols)
+	}
+	if cr.Row(1)[0] != 2 || cr.Row(1)[3] != 5 {
+		t.Fatalf("crop content %v", cr.Row(1))
+	}
+	// Clamping and degenerate ranges.
+	if CropSinogram(s, -5, 99).NCols != 8 {
+		t.Fatal("clamped crop should keep all columns")
+	}
+	if CropSinogram(s, 6, 2).NCols != 0 {
+		t.Fatal("inverted range should be empty")
+	}
+}
+
+func BenchmarkPaganin2D(b *testing.B) {
+	truth := phantom.SheppLogan3D(32, 16)
+	ps := ProjectVolume(truth, UniformAngles(16), 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PaganinFilter2D(ps, 0.01)
+	}
+}

@@ -1,0 +1,216 @@
+package tomo
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/fft"
+)
+
+// Normalize applies flat-field and dark-field correction to a raw
+// transmission projection set: out = (raw - dark) / (flat - dark), clamped
+// to a small positive floor so the subsequent log is defined. flat and
+// dark are per-detector-pixel references (NRows×NCols).
+func Normalize(raw *ProjectionSet, flat, dark []float64) *ProjectionSet {
+	out := NewProjectionSet(raw.Theta, raw.NRows, raw.NCols)
+	n := raw.NRows * raw.NCols
+	const floor = 1e-6
+	for a := 0; a < raw.NAngles; a++ {
+		src := raw.Projection(a)
+		dst := out.Projection(a)
+		for i := 0; i < n; i++ {
+			den := flat[i] - dark[i]
+			if den < floor {
+				den = floor
+			}
+			v := (src[i] - dark[i]) / den
+			if v < floor {
+				v = floor
+			}
+			dst[i] = v
+		}
+	}
+	return out
+}
+
+// MinusLog converts normalized transmission values into line integrals of
+// attenuation: out = -ln(in). Values are clamped below at a small floor.
+func MinusLog(p *ProjectionSet) *ProjectionSet {
+	out := NewProjectionSet(p.Theta, p.NRows, p.NCols)
+	for i, v := range p.Data {
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		out.Data[i] = -math.Log(v)
+	}
+	return out
+}
+
+// MinusLogSinogram is MinusLog for a single sinogram.
+func MinusLogSinogram(s *Sinogram) *Sinogram {
+	out := s.Clone()
+	for i, v := range out.Data {
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		out.Data[i] = -math.Log(v)
+	}
+	return out
+}
+
+// RemoveRings suppresses ring artifacts in a sinogram. Constant
+// per-detector-column gain errors appear as vertical stripes in the
+// sinogram (and rings after reconstruction); this subtracts each column's
+// deviation from a moving-average-smoothed column-mean profile, the
+// classic Raven/Münch-style correction.
+func RemoveRings(s *Sinogram, window int) *Sinogram {
+	if window < 1 {
+		window = 9
+	}
+	colMean := make([]float64, s.NCols)
+	for a := 0; a < s.NAngles; a++ {
+		row := s.Row(a)
+		for c, v := range row {
+			colMean[c] += v
+		}
+	}
+	for c := range colMean {
+		colMean[c] /= float64(s.NAngles)
+	}
+	smooth := movingAverage(colMean, window)
+	out := s.Clone()
+	for a := 0; a < s.NAngles; a++ {
+		row := out.Row(a)
+		for c := range row {
+			row[c] -= colMean[c] - smooth[c]
+		}
+	}
+	return out
+}
+
+func movingAverage(xs []float64, window int) []float64 {
+	out := make([]float64, len(xs))
+	half := window / 2
+	for i := range xs {
+		lo := i - half
+		hi := i + half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(xs) {
+			hi = len(xs) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// RemoveOutliers replaces "zingers" — isolated samples more than
+// threshold above the local median (from cosmic rays or hot pixels) — with
+// the median of their 1D neighborhood within each projection row.
+func RemoveOutliers(s *Sinogram, threshold float64) *Sinogram {
+	out := s.Clone()
+	const half = 2
+	win := make([]float64, 0, 2*half+1)
+	for a := 0; a < s.NAngles; a++ {
+		src := s.Row(a)
+		dst := out.Row(a)
+		for c := range src {
+			win = win[:0]
+			for j := c - half; j <= c+half; j++ {
+				if j >= 0 && j < len(src) && j != c {
+					win = append(win, src[j])
+				}
+			}
+			med := median(win)
+			if src[c]-med > threshold {
+				dst[c] = med
+			}
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), xs...)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// PaganinFilter applies single-distance phase retrieval to each projection
+// row: a low-pass 1/(1 + alpha·k²) filter in the detector-axis frequency
+// domain. It is the 1D analogue of TomoPy's retrieve_phase, trading
+// resolution for dramatically improved contrast on weakly absorbing
+// samples. alpha ≥ 0; alpha = 0 is the identity.
+func PaganinFilter(s *Sinogram, alpha float64) *Sinogram {
+	if alpha <= 0 {
+		return s.Clone()
+	}
+	out := s.Clone()
+	m := fft.NextPow2(s.NCols)
+	buf := make([]complex128, m)
+	for a := 0; a < s.NAngles; a++ {
+		row := out.Row(a)
+		for i := range buf {
+			buf[i] = 0
+		}
+		// Symmetric edge padding reduces boundary ringing.
+		for i := 0; i < m; i++ {
+			j := i
+			if j >= len(row) {
+				j = 2*len(row) - 2 - j
+				if j < 0 {
+					j = 0
+				}
+			}
+			buf[i] = complex(row[j], 0)
+		}
+		fft.Forward(buf)
+		for i := range buf {
+			k := float64(fft.FreqIndex(i, m)) / float64(m)
+			buf[i] /= complex(1+alpha*k*k*float64(s.NCols)*float64(s.NCols), 0)
+		}
+		fft.Inverse(buf)
+		for i := range row {
+			row[i] = real(buf[i])
+		}
+	}
+	return out
+}
+
+// PreprocessOptions bundles the file-branch preprocessing chain the paper's
+// TomoPy jobs run before reconstruction; zero values disable each step.
+type PreprocessOptions struct {
+	OutlierThreshold float64 // zinger removal threshold (0 = off)
+	RingWindow       int     // ring-removal smoothing window (0 = off)
+	PaganinAlpha     float64 // phase-filter strength (0 = off)
+}
+
+// Preprocess applies outlier removal, -log conversion, ring removal, and
+// phase filtering to a normalized-transmission sinogram, in the order the
+// beamline pipeline runs them.
+func Preprocess(s *Sinogram, opts PreprocessOptions) *Sinogram {
+	cur := s
+	if opts.OutlierThreshold > 0 {
+		cur = RemoveOutliers(cur, opts.OutlierThreshold)
+	}
+	cur = MinusLogSinogram(cur)
+	if opts.RingWindow > 0 {
+		cur = RemoveRings(cur, opts.RingWindow)
+	}
+	if opts.PaganinAlpha > 0 {
+		cur = PaganinFilter(cur, opts.PaganinAlpha)
+	}
+	return cur
+}

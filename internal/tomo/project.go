@@ -1,0 +1,100 @@
+package tomo
+
+import (
+	"math"
+
+	"repro/internal/vol"
+)
+
+// Project computes the parallel-beam Radon transform of im for the given
+// angles, producing a sinogram with ncols detector columns. Rays are
+// integrated by stepping through the unit square with bilinear sampling at
+// half-pixel steps.
+func Project(im *vol.Image, theta []float64, ncols int) *Sinogram {
+	s := NewSinogram(theta, ncols)
+	n := im.W
+	step := 1.0 / float64(n) // half a pixel in [-1,1] units
+	tMax := math.Sqrt2
+	nSteps := int(2 * tMax / step)
+	for a, th := range theta {
+		ct, st := math.Cos(th), math.Sin(th)
+		row := s.Row(a)
+		for c := 0; c < ncols; c++ {
+			sc := -1 + (2*float64(c)+1)/float64(ncols)
+			var sum float64
+			for k := 0; k <= nSteps; k++ {
+				t := -tMax + float64(k)*step
+				// Ray point in object coordinates.
+				x := sc*ct - t*st
+				y := sc*st + t*ct
+				if x < -1 || x > 1 || y < -1 || y > 1 {
+					continue
+				}
+				// Map to pixel coordinates (pixel centers at
+				// -1+(2i+1)/n).
+				px := (x+1)/2*float64(n) - 0.5
+				py := (y+1)/2*float64(im.H) - 0.5
+				sum += im.Bilinear(px, py)
+			}
+			row[c] = sum * step
+		}
+	}
+	return s
+}
+
+// ProjectVolume forward projects every slice of v, assembling the full
+// angle-major projection set the detector would emit. Each volume slice z
+// becomes detector row z.
+func ProjectVolume(v *vol.Volume, theta []float64, ncols int) *ProjectionSet {
+	ps := NewProjectionSet(theta, v.D, ncols)
+	for z := 0; z < v.D; z++ {
+		sino := Project(v.Slice(z), theta, ncols)
+		for a := 0; a < ps.NAngles; a++ {
+			copy(ps.Data[(a*ps.NRows+z)*ps.NCols:(a*ps.NRows+z)*ps.NCols+ps.NCols], sino.Row(a))
+		}
+	}
+	return ps
+}
+
+// BackProject computes the unfiltered adjoint of Project onto an n×n image:
+// each pixel accumulates the linearly interpolated detector sample at
+// s = x·cosθ + y·sinθ for every angle, scaled by π/NAngles. It is the
+// smoothing operator FBP sharpens with the ramp filter, and the transpose
+// operator the iterative solvers use.
+func BackProject(s *Sinogram, n int) *vol.Image {
+	im := vol.NewImage(n, n)
+	scale := math.Pi / float64(s.NAngles)
+	cos := make([]float64, s.NAngles)
+	sin := make([]float64, s.NAngles)
+	for a, th := range s.Theta {
+		cos[a] = math.Cos(th)
+		sin[a] = math.Sin(th)
+	}
+	for py := 0; py < n; py++ {
+		y := -1 + (2*float64(py)+1)/float64(n)
+		for px := 0; px < n; px++ {
+			x := -1 + (2*float64(px)+1)/float64(n)
+			if x*x+y*y > 1 {
+				continue // outside the reconstruction circle
+			}
+			var acc float64
+			for a := 0; a < s.NAngles; a++ {
+				sc := x*cos[a] + y*sin[a]
+				// Detector column with centers at -1+(2c+1)/ncols.
+				fc := (sc+1)/2*float64(s.NCols) - 0.5
+				c0 := int(math.Floor(fc))
+				if c0 < 0 || c0 >= s.NCols-1 {
+					if c0 == s.NCols-1 && fc <= float64(s.NCols-1) {
+						acc += s.Row(a)[c0]
+					}
+					continue
+				}
+				f := fc - float64(c0)
+				row := s.Row(a)
+				acc += row[c0]*(1-f) + row[c0+1]*f
+			}
+			im.Set(px, py, acc*scale)
+		}
+	}
+	return im
+}

@@ -1,0 +1,308 @@
+// Package transfer implements the Globus Transfer analogue the file-based
+// branch rides on: endpoints bound to (site, store) pairs, asynchronous
+// transfer tasks that move file sets over the simulated WAN with
+// per-file checksum verification, bounded retries with exponential
+// backoff, and fault injection for the failure-mode experiments (the §5.3
+// prune-burst incident). Task lifecycle mirrors the Globus states:
+// ACTIVE → SUCCEEDED / FAILED.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/storage"
+)
+
+// TaskState is the lifecycle state of a transfer task.
+type TaskState string
+
+// Task states, matching the Globus Transfer vocabulary.
+const (
+	Active    TaskState = "ACTIVE"
+	Succeeded TaskState = "SUCCEEDED"
+	Failed    TaskState = "FAILED"
+)
+
+// Endpoint binds a site name (for WAN routing) to a storage tier.
+type Endpoint struct {
+	Name  string
+	Site  string
+	Store *storage.Store
+}
+
+// Task records one transfer request and its outcome.
+type Task struct {
+	ID        int
+	Label     string
+	Src, Dst  string // endpoint names
+	Paths     []string
+	State     TaskState
+	Err       string
+	Bytes     int64
+	Files     int
+	Retries   int
+	Submitted time.Time
+	Completed time.Time
+}
+
+// Duration returns the task's wall-clock (virtual) duration.
+func (t *Task) Duration() time.Duration { return t.Completed.Sub(t.Submitted) }
+
+// EffectiveBandwidth returns achieved bytes/second (0 for instant tasks).
+func (t *Task) EffectiveBandwidth() float64 {
+	d := t.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / d
+}
+
+// FaultFunc may return an error to inject a failure for a path; nil means
+// no fault. It is consulted once per file per attempt.
+type FaultFunc func(task *Task, path string, attempt int) error
+
+// Service is the transfer orchestrator.
+type Service struct {
+	e         *sim.Engine
+	net       *simnet.Network
+	endpoints map[string]*Endpoint
+	tasks     []*Task
+	nextID    int
+
+	// MaxRetries bounds per-file retry attempts (default 2).
+	MaxRetries int
+	// RetryDelay is the base backoff, doubled per attempt (default 10s).
+	RetryDelay time.Duration
+	// Fault, if set, injects failures.
+	Fault FaultFunc
+	// VerifyChecksums enables end-to-end integrity verification, as the
+	// production deployment does.
+	VerifyChecksums bool
+}
+
+// NewService creates a transfer service over the network.
+func NewService(e *sim.Engine, net *simnet.Network) *Service {
+	return &Service{
+		e: e, net: net,
+		endpoints:       map[string]*Endpoint{},
+		MaxRetries:      2,
+		RetryDelay:      10 * time.Second,
+		VerifyChecksums: true,
+	}
+}
+
+// AddEndpoint registers an endpoint.
+func (s *Service) AddEndpoint(name, site string, store *storage.Store) *Endpoint {
+	ep := &Endpoint{Name: name, Site: site, Store: store}
+	s.endpoints[name] = ep
+	return ep
+}
+
+// Endpoint looks up an endpoint by name.
+func (s *Service) Endpoint(name string) (*Endpoint, error) {
+	ep, ok := s.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("transfer: unknown endpoint %q", name)
+	}
+	return ep, nil
+}
+
+// Tasks returns all submitted tasks in submission order.
+func (s *Service) Tasks() []*Task { return s.tasks }
+
+// SucceededCount returns the number of succeeded tasks.
+func (s *Service) SucceededCount() int {
+	n := 0
+	for _, t := range s.tasks {
+		if t.State == Succeeded {
+			n++
+		}
+	}
+	return n
+}
+
+// Submit performs a transfer of the given paths (each may be an exact path
+// or a directory prefix ending in "/", which transfers every file under
+// it) from src to dst, blocking the calling process until the task
+// completes. It returns the finished task; the error mirrors task failure.
+func (s *Service) Submit(p *sim.Proc, label, src, dst string, paths []string) (*Task, error) {
+	srcEP, err := s.Endpoint(src)
+	if err != nil {
+		return nil, err
+	}
+	dstEP, err := s.Endpoint(dst)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID++
+	task := &Task{
+		ID: s.nextID, Label: label, Src: src, Dst: dst,
+		Paths: paths, State: Active, Submitted: p.Now(),
+	}
+	s.tasks = append(s.tasks, task)
+
+	files, err := expand(srcEP.Store, paths)
+	if err != nil {
+		return s.fail(p, task, err)
+	}
+	for _, f := range files {
+		if err := s.moveFile(p, task, srcEP, dstEP, f); err != nil {
+			return s.fail(p, task, err)
+		}
+		task.Files++
+		task.Bytes += f.Size
+	}
+	task.State = Succeeded
+	task.Completed = p.Now()
+	return task, nil
+}
+
+func (s *Service) fail(p *sim.Proc, task *Task, err error) (*Task, error) {
+	task.State = Failed
+	task.Err = err.Error()
+	task.Completed = p.Now()
+	return task, err
+}
+
+// expand resolves paths (exact or "dir/" prefixes) to file records.
+func expand(st *storage.Store, paths []string) ([]*storage.File, error) {
+	var out []*storage.File
+	for _, path := range paths {
+		if strings.HasSuffix(path, "/") {
+			matched := false
+			for _, f := range st.List() {
+				if strings.HasPrefix(f.Path, path) {
+					out = append(out, f)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, &storage.ErrNotFound{Store: st.Name, Path: path}
+			}
+			continue
+		}
+		f, err := st.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// moveFile transfers one file with retry/backoff and checksum verify.
+func (s *Service) moveFile(p *sim.Proc, task *Task, src, dst *Endpoint, f *storage.File) error {
+	var lastErr error
+	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
+		if attempt > 0 {
+			task.Retries++
+			p.Sleep(s.RetryDelay << (attempt - 1))
+		}
+		lastErr = s.attemptFile(p, task, src, dst, f, attempt)
+		if lastErr == nil {
+			return nil
+		}
+		if isPermanent(lastErr) {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("transfer: %s: retries exhausted: %w", f.Path, lastErr)
+}
+
+// PermanentError marks faults that retrying cannot fix (e.g. the
+// permission-denied failures from the §5.3 prune incident).
+type PermanentError struct{ Err error }
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+func isPermanent(err error) bool {
+	var p *PermanentError
+	return errors.As(err, &p)
+}
+
+func (s *Service) attemptFile(p *sim.Proc, task *Task, src, dst *Endpoint, f *storage.File, attempt int) error {
+	if s.Fault != nil {
+		if err := s.Fault(task, f.Path, attempt); err != nil {
+			return err
+		}
+	}
+	// Read at source, move over WAN, write at destination.
+	rec, err := src.Store.Get(p, f.Path)
+	if err != nil {
+		return err
+	}
+	if src.Site != dst.Site {
+		if _, err := s.net.Transfer(p, src.Site, dst.Site, rec.Size); err != nil {
+			return err
+		}
+	}
+	if err := dst.Store.Put(p, f.Path, rec.Size, rec.Checksum); err != nil {
+		return err
+	}
+	if s.VerifyChecksums {
+		got, err := dst.Store.Stat(f.Path)
+		if err != nil {
+			return err
+		}
+		if got.Checksum != rec.Checksum {
+			return fmt.Errorf("transfer: %s: checksum mismatch after write", f.Path)
+		}
+	}
+	return nil
+}
+
+// Delete removes paths on an endpoint (the "prune" request type from the
+// incident study), honoring fault injection. Unlike Submit it fails fast
+// on the first error when FailFast is true — the fix the paper describes —
+// and otherwise continues through the batch, accumulating hung time.
+func (s *Service) Delete(p *sim.Proc, label, endpoint string, paths []string, failFast bool) (*Task, error) {
+	ep, err := s.Endpoint(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	s.nextID++
+	task := &Task{ID: s.nextID, Label: label, Src: endpoint, Dst: endpoint,
+		Paths: paths, State: Active, Submitted: p.Now()}
+	s.tasks = append(s.tasks, task)
+
+	var firstErr error
+	for _, path := range paths {
+		if s.Fault != nil {
+			if ferr := s.Fault(task, path, 0); ferr != nil {
+				if failFast {
+					return s.fail(p, task, ferr)
+				}
+				if firstErr == nil {
+					firstErr = ferr
+				}
+				// Legacy behaviour: the job hangs on the error,
+				// holding its slot while it times out.
+				p.Sleep(5 * time.Minute)
+				continue
+			}
+		}
+		p.Sleep(200 * time.Millisecond) // per-delete API call
+		if err := ep.Store.Delete(path); err != nil {
+			if failFast {
+				return s.fail(p, task, err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		task.Files++
+	}
+	if firstErr != nil {
+		return s.fail(p, task, firstErr)
+	}
+	task.State = Succeeded
+	task.Completed = p.Now()
+	return task, nil
+}
