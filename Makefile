@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race
+
+# check is the full gate: formatting, static analysis, build, and the
+# race-enabled test suite. CI and pre-commit both run this one target.
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

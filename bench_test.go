@@ -29,7 +29,7 @@ func BenchmarkTable2FlowRuns(b *testing.B) {
 	var last *core.Table2Result
 	for i := 0; i < b.N; i++ {
 		bl := core.NewBeamline(epoch, core.DefaultSimConfig())
-		last = bl.RunProductionCampaign(100, 100)
+		last = bl.RunProductionCampaign(nil, 100, 100)
 	}
 	for _, row := range last.Rows {
 		b.ReportMetric(row.Summary.Median, row.Flow+"_median_s")

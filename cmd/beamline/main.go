@@ -14,6 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -37,6 +40,11 @@ func main() {
 	workdir := flag.String("workdir", "", "artifact directory (temp dir when empty)")
 	flag.Parse()
 
+	// One ctx from entry to exit: Ctrl-C aborts the streaming service and
+	// the file-based pipeline at the next stage boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	truth := makeSample(*sample, *size, *slices)
 	theta := tomo.UniformAngles(*angles)
 
@@ -59,7 +67,7 @@ func main() {
 		PVAAddr: mirrorSrv.Addr(), Channel: "bl832:det", PreviewAddr: sink.Addr(),
 		Recon: tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
 	}
-	go svc.Run(context.Background())
+	go svc.Run(ctx)
 	waitMonitors(mirrorSrv, "bl832:det")
 	waitMonitors(ioc, "bl832:det")
 
@@ -71,8 +79,16 @@ func main() {
 	must(core.PublishAcquisition(ioc, "bl832:det", scanID, acq, 0))
 	log.Printf("acquisition streamed in %v", time.Since(acqStart).Round(time.Millisecond))
 
+	// Unblock the preview wait on Ctrl-C: closing the sink makes Recv
+	// return immediately instead of running out its timeout.
+	go func() { <-ctx.Done(); sink.Close() }()
 	msg, err := sink.Recv(60 * time.Second)
-	must(err)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			log.Fatalf("interrupted while waiting for preview: %v", cerr)
+		}
+		log.Fatal(err)
+	}
 	h, previews, err := core.DecodePreview(msg)
 	must(err)
 	lo, hi := previews[0].MinMax()
@@ -82,7 +98,7 @@ func main() {
 	// --- File-based branch ---------------------------------------------
 	catalog := scicat.New()
 	access := tiled.NewServer()
-	res, err := core.RunScanPipeline(context.Background(), scanID, truth, theta,
+	res, err := core.RunScanPipeline(ctx, scanID, truth, theta,
 		tomo.AcquireOptions{I0: 5e4, GainVariation: 0.02, Seed: 7},
 		core.PipelineOptions{
 			WorkDir: *workdir,

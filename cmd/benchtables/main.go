@@ -71,7 +71,7 @@ func cfgWithSeed(seed int64) core.SimConfig {
 func runTable2(scans int, seed int64) {
 	header("Table 2: flow-run summary statistics")
 	b := core.NewBeamline(epoch, cfgWithSeed(seed))
-	res := b.RunProductionCampaign(scans, scans)
+	res := b.RunProductionCampaign(nil, scans, scans)
 	fmt.Print(core.FormatTable2(res))
 	fmt.Println("\npaper reference:")
 	fmt.Println("  new_file_832       100  120 ± 171    56  [30, 676]")
@@ -151,16 +151,16 @@ func runDualPath(seed int64) {
 		if err := b.Detector.Put(p, "raw/"+scan.ID+".h5", scan.RawBytes, "c"); err != nil {
 			return
 		}
-		lat, err := b.StreamingPreviewSim(p, scan)
+		lat, err := b.StreamingPreviewSim(nil, p, scan)
 		if err != nil {
 			return
 		}
 		stream = lat
 		t0 := p.Now()
-		if err := b.NewFile832Flow(p, scan); err != nil {
+		if err := b.NewFile832Flow(nil, p, scan); err != nil {
 			return
 		}
-		if err := b.NERSCReconFlow(p, scan); err != nil {
+		if err := b.NERSCReconFlow(nil, p, scan); err != nil {
 			return
 		}
 		file = p.Now().Sub(t0)

@@ -13,19 +13,29 @@
 //	/api/datasets (SciCat)
 //	/api/volumes  (Tiled)
 //	/api/v1/...   (SFAPI; Authorization: Bearer <token>)
+//	/metrics      (flow outcome counters, Prometheus text format)
+//
+// On SIGINT/SIGTERM the server drains: the HTTP listener shuts down
+// gracefully, running SFAPI jobs are cancelled, and any flows still in
+// flight are reported before exit.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/facility"
+	"repro/internal/monitor"
 	"repro/internal/phantom"
 	"repro/internal/tiled"
 )
@@ -40,10 +50,18 @@ func main() {
 	oneshot := flag.Bool("oneshot", false, "print a status summary and exit (for smoke tests)")
 	flag.Parse()
 
-	// Populate the orchestration history from a simulated campaign.
+	// One ctx from signal to shutdown: SIGINT/SIGTERM cancels everything
+	// hanging off it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Populate the orchestration history from a simulated campaign, with
+	// outcome counters flowing into the metrics registry.
 	epoch := time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
 	b := core.NewBeamline(epoch, core.DefaultSimConfig())
-	res := b.RunProductionCampaign(*scans, *scans)
+	metrics := monitor.NewRegistry()
+	b.Flows.SetMetrics(metrics)
+	res := b.RunProductionCampaign(ctx, *scans, *scans)
 	log.Printf("campaign complete: %d scans through both branches", *scans)
 
 	// Metadata catalog was filled by the campaign; add an access-layer
@@ -70,6 +88,7 @@ func main() {
 	mux.Handle("/api/volumes", access.Handler())
 	mux.Handle("/api/volumes/", access.Handler())
 	mux.Handle("/api/v1/", api.Handler())
+	mux.Handle("/metrics", metrics.Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -82,8 +101,36 @@ func main() {
 		fmt.Print(statusText(b, res))
 		return
 	}
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("signal received, draining")
+		if n := api.CancelAll(); n > 0 {
+			log.Printf("cancelled %d running SFAPI job(s)", n)
+		}
+		if inflight := b.Flows.InFlight(); len(inflight) > 0 {
+			for _, run := range inflight {
+				log.Printf("flow still in flight: %s (run %d)", run.Flow, run.ID)
+			}
+		} else {
+			log.Printf("no flows in flight")
+		}
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
 	log.Printf("listening on http://%s/", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Printf("shutdown complete")
 }
 
 func statusText(b *core.Beamline, res *core.Table2Result) string {

@@ -24,7 +24,7 @@ func runScanThrough(t *testing.T, b *Beamline, fn func(p *sim.Proc, s *Scan) err
 			t.Error(err)
 			return
 		}
-		if err := b.NewFile832Flow(p, scan); err != nil {
+		if err := b.NewFile832Flow(nil, p, scan); err != nil {
 			t.Error(err)
 			return
 		}
@@ -64,7 +64,7 @@ func TestNewFile832FlowStagesAndCatalogs(t *testing.T) {
 func TestNERSCReconFlowProducesResults(t *testing.T) {
 	b := newTestBeamline()
 	scan := runScanThrough(t, b, func(p *sim.Proc, s *Scan) error {
-		return b.NERSCReconFlow(p, s)
+		return b.NERSCReconFlow(nil, p, s)
 	})
 	// Raw staged to CFS and pscratch, products back on the beamline.
 	if _, err := b.CFS.Stat(rawPath(scan)); err != nil {
@@ -88,7 +88,7 @@ func TestNERSCReconFlowProducesResults(t *testing.T) {
 func TestALCFReconFlowProducesResults(t *testing.T) {
 	b := newTestBeamline()
 	scan := runScanThrough(t, b, func(p *sim.Proc, s *Scan) error {
-		return b.ALCFReconFlow(p, s)
+		return b.ALCFReconFlow(nil, p, s)
 	})
 	if _, err := b.Eagle.Stat(rawPath(scan)); err != nil {
 		t.Errorf("raw not on Eagle: %v", err)
@@ -104,10 +104,10 @@ func TestALCFReconFlowProducesResults(t *testing.T) {
 func TestArchiveFlowMovesToTape(t *testing.T) {
 	b := newTestBeamline()
 	scan := runScanThrough(t, b, func(p *sim.Proc, s *Scan) error {
-		if err := b.NERSCReconFlow(p, s); err != nil {
+		if err := b.NERSCReconFlow(nil, p, s); err != nil {
 			return err
 		}
-		return b.ArchiveFlow(p, s)
+		return b.ArchiveFlow(nil, p, s)
 	})
 	if _, err := b.HPSS.Stat(archivePath(scan)); err != nil {
 		t.Fatalf("archive missing: %v", err)
@@ -123,7 +123,7 @@ func TestStreamingPreviewUnderTenSeconds(t *testing.T) {
 	b.Engine.Go("s", func(p *sim.Proc) {
 		scan := &Scan{ID: "s", RawBytes: 20e9, NAngles: 1969, Rows: 2160, Cols: 2560}
 		var err error
-		lat, err = b.StreamingPreviewSim(p, scan)
+		lat, err = b.StreamingPreviewSim(nil, p, scan)
 		if err != nil {
 			t.Error(err)
 		}
@@ -139,7 +139,7 @@ func TestStreamingPreviewUnderTenSeconds(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	b := newTestBeamline()
-	res := b.RunProductionCampaign(60, 60)
+	res := b.RunProductionCampaign(nil, 60, 60)
 	byFlow := map[string]Table2Row{}
 	for _, r := range res.Rows {
 		byFlow[r.Flow] = r

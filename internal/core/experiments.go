@@ -1,11 +1,12 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,9 +32,17 @@ type Table2Result struct {
 // RunProductionCampaign drives n scans through the full dual-branch
 // pipeline at the paper's cadence (one scan every 3–5 minutes) and returns
 // the Table 2 statistics over the last `last` successful runs per flow.
-func (b *Beamline) RunProductionCampaign(n, last int) *Table2Result {
+// Cancelling ctx (nil means context.Background) stops launching new scans
+// and propagates into every flow already in flight.
+func (b *Beamline) RunProductionCampaign(ctx context.Context, n, last int) *Table2Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b.Engine.Go("campaign", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			scan, err := b.NewScan(p, i)
 			if err != nil {
 				continue
@@ -43,18 +52,18 @@ func (b *Beamline) RunProductionCampaign(n, last int) *Table2Result {
 			// parallel, while acquisition continues.
 			scanCopy := scan
 			b.Engine.Go("pipeline-"+scan.ID, func(p *sim.Proc) {
-				if err := b.NewFile832Flow(p, scanCopy); err != nil {
+				if err := b.NewFile832Flow(ctx, p, scanCopy); err != nil {
 					return
 				}
 				b.Engine.Go("nersc-"+scanCopy.ID, func(p *sim.Proc) {
-					b.NERSCReconFlow(p, scanCopy)
+					b.NERSCReconFlow(ctx, p, scanCopy)
 				})
 				b.Engine.Go("alcf-"+scanCopy.ID, func(p *sim.Proc) {
-					b.ALCFReconFlow(p, scanCopy)
+					b.ALCFReconFlow(ctx, p, scanCopy)
 				})
 			})
 			b.Engine.Go("stream-"+scan.ID, func(p *sim.Proc) {
-				b.StreamingPreviewSim(p, scanCopy)
+				b.StreamingPreviewSim(ctx, p, scanCopy)
 			})
 			// Next scan arrives 3–5 minutes later.
 			p.Sleep(3*time.Minute + time.Duration(b.rng.Float64()*float64(2*time.Minute)))
@@ -117,9 +126,9 @@ func (b *Beamline) RunLifecycle(shift time.Duration, cadence time.Duration) *Lif
 			res.DerivedBytes += scan.DerivedBytes()
 			sc := scan
 			b.Engine.Go("pipe-"+sc.ID, func(p *sim.Proc) {
-				if b.NewFile832Flow(p, sc) == nil {
-					b.NERSCReconFlow(p, sc)
-					b.ArchiveFlow(p, sc)
+				if b.NewFile832Flow(nil, p, sc) == nil {
+					b.NERSCReconFlow(nil, p, sc)
+					b.ArchiveFlow(nil, p, sc)
 				}
 			})
 			p.Sleep(cadence)
@@ -180,16 +189,16 @@ func (b *Beamline) RunSpeedup() *SpeedupResult {
 		if err := b.Detector.Put(p, rawPath(scan), scan.RawBytes, "sha256:x"); err != nil {
 			return
 		}
-		lat, err := b.StreamingPreviewSim(p, scan)
+		lat, err := b.StreamingPreviewSim(nil, p, scan)
 		if err != nil {
 			return
 		}
 		res.StreamingNow = lat
 		t0 := p.Now()
-		if err := b.NewFile832Flow(p, scan); err != nil {
+		if err := b.NewFile832Flow(nil, p, scan); err != nil {
 			return
 		}
-		if err := b.NERSCReconFlow(p, scan); err != nil {
+		if err := b.NERSCReconFlow(nil, p, scan); err != nil {
 			return
 		}
 		res.FileBranchNow = p.Now().Sub(t0)
@@ -226,7 +235,7 @@ func RunPruneIncident(epoch time.Time, requests, workers int, lockedFrac float64
 		b := NewBeamline(epoch, DefaultSimConfig())
 		b.Transfer.Fault = func(task *transfer.Task, path string, attempt int) error {
 			if strings.HasPrefix(path, "locked/") {
-				return &transfer.PermanentError{Err: errors.New("permission denied")}
+				return faults.Errorf(faults.Permanent, "permission denied")
 			}
 			return nil
 		}
@@ -246,14 +255,14 @@ func RunPruneIncident(epoch time.Time, requests, workers int, lockedFrac float64
 				b.Engine.Go(fmt.Sprintf("prune-%d", i), func(p *sim.Proc) {
 					pool.Acquire(p)
 					defer pool.Release()
-					ctx := b.Flows.Start(FlowPrune, flow.SimEnv{P: p})
+					fc := b.Flows.Start(nil, FlowPrune, flow.SimEnv{P: p})
 					prefix := "old/"
 					if i < nLocked {
 						prefix = "locked/"
 					}
-					_, err := b.Transfer.Delete(p, "prune", EPBeamline,
+					_, err := b.Transfer.Delete(nil, p, "prune", EPBeamline,
 						[]string{fmt.Sprintf("%s%04d", prefix, i)}, failFast)
-					ctx.Complete(err)
+					fc.Complete(err)
 					done = p.Now()
 				})
 			}
@@ -286,7 +295,7 @@ func RunStreamingSweep(epoch time.Time, sizesGB []float64) []StreamingSweepPoint
 		b.Engine.Go("sweep", func(p *sim.Proc) {
 			scan := &Scan{ID: fmt.Sprintf("sweep-%.1f", gb), RawBytes: int64(gb * 1e9),
 				NAngles: 1969, Rows: 2160, Cols: 2560, Acquired: p.Now()}
-			lat, err := b.StreamingPreviewSim(p, scan)
+			lat, err := b.StreamingPreviewSim(nil, p, scan)
 			if err != nil {
 				return
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/facility"
@@ -15,8 +16,8 @@ import (
 // ingests the scan metadata into SciCat. Its duration is dominated by the
 // staging copy, which is why the paper's Table 2 row is strongly
 // right-skewed across the 4-orders-of-magnitude file-size mix.
-func (b *Beamline) NewFile832Flow(p *sim.Proc, scan *Scan) error {
-	ctx := b.Flows.Start(FlowNewFile, flow.SimEnv{P: p})
+func (b *Beamline) NewFile832Flow(ctx context.Context, p *sim.Proc, scan *Scan) error {
+	fc := b.Flows.Start(ctx, FlowNewFile, flow.SimEnv{P: p})
 	path := rawPath(scan)
 
 	// Fixed per-scan overhead before the copy begins: the file-writer
@@ -24,10 +25,11 @@ func (b *Beamline) NewFile832Flow(p *sim.Proc, scan *Scan) error {
 	// flow run itself is scheduled onto a worker.
 	p.Sleep(22 * time.Second)
 
-	err := ctx.Task("stage_to_data_server", flow.TaskOptions{
+	err := fc.Task("stage_to_data_server", flow.TaskOptions{
 		Retries: 2, RetryDelay: 15 * time.Second,
+		Timeout:        24 * time.Hour, // far above any staging copy; a safety net, not a pacing device
 		IdempotencyKey: "stage:" + scan.ID,
-	}, func() error {
+	}, func(context.Context) error {
 		f, err := b.Detector.Get(p, path)
 		if err != nil {
 			return err
@@ -45,11 +47,11 @@ func (b *Beamline) NewFile832Flow(p *sim.Proc, scan *Scan) error {
 		return nil
 	})
 	if err != nil {
-		ctx.Complete(err)
+		fc.Complete(err)
 		return err
 	}
 
-	err = ctx.Task("validate_checksum", flow.TaskOptions{}, func() error {
+	err = fc.Task("validate_checksum", flow.TaskOptions{}, func(context.Context) error {
 		src, err := b.Detector.Stat(path)
 		if err != nil {
 			return err
@@ -65,11 +67,11 @@ func (b *Beamline) NewFile832Flow(p *sim.Proc, scan *Scan) error {
 		return nil
 	})
 	if err != nil {
-		ctx.Complete(err)
+		fc.Complete(err)
 		return err
 	}
 
-	err = ctx.Task("ingest_scicat", flow.TaskOptions{Retries: 1, RetryDelay: 5 * time.Second}, func() error {
+	err = fc.Task("ingest_scicat", flow.TaskOptions{Retries: 1, RetryDelay: 5 * time.Second}, func(context.Context) error {
 		p.Sleep(3 * time.Second) // catalog API round trips
 		_, ierr := b.Catalog.Ingest(scicat.Dataset{
 			ScanID: scan.ID, Sample: scan.Sample, Beamline: "8.3.2",
@@ -78,7 +80,7 @@ func (b *Beamline) NewFile832Flow(p *sim.Proc, scan *Scan) error {
 		})
 		return ierr
 	})
-	ctx.Complete(err)
+	fc.Complete(err)
 	return err
 }
 
@@ -92,33 +94,34 @@ func (e *ChecksumError) Error() string { return "core: checksum mismatch for sca
 // SFAPI that stages CFS→pscratch for I/O, runs the TomoPy-style
 // reconstruction on an exclusive 128-core node, writes the TIFF stack and
 // multiscale Zarr, and copies results back to the beamline.
-func (b *Beamline) NERSCReconFlow(p *sim.Proc, scan *Scan) error {
-	ctx := b.Flows.Start(FlowNERSC, flow.SimEnv{P: p})
+func (b *Beamline) NERSCReconFlow(ctx context.Context, p *sim.Proc, scan *Scan) error {
+	fc := b.Flows.Start(ctx, FlowNERSC, flow.SimEnv{P: p})
 	raw := rawPath(scan)
 
-	err := ctx.Task("globus_to_cfs", flow.TaskOptions{
+	err := fc.Task("globus_to_cfs", flow.TaskOptions{
 		Retries: 2, RetryDelay: 30 * time.Second,
+		Timeout:        24 * time.Hour,
 		IdempotencyKey: "cfs:" + scan.ID,
-	}, func() error {
-		_, terr := b.Transfer.Submit(p, "raw→cfs "+scan.ID, EPBeamline, EPCFS, []string{raw})
+	}, func(tctx context.Context) error {
+		_, terr := b.Transfer.Submit(tctx, p, "raw→cfs "+scan.ID, EPBeamline, EPCFS, []string{raw})
 		return terr
 	})
 	if err != nil {
-		ctx.Complete(err)
+		fc.Complete(err)
 		return err
 	}
 
-	err = ctx.Task("slurm_recon_job", flow.TaskOptions{}, func() error {
+	err = fc.Task("slurm_recon_job", flow.TaskOptions{}, func(tctx context.Context) error {
 		// The realtime QOS gives priority scheduling, but the shared
 		// reservation is sometimes occupied by an earlier job.
 		if b.rng.Float64() < b.Cfg.RealtimeBusyProb {
 			p.Sleep(time.Duration(b.rng.Float64() * float64(b.Cfg.RealtimeBusyMax)))
 		}
-		_, jerr := b.Perlmutter.Submit(p, facility.JobSpec{
+		_, jerr := b.Perlmutter.Submit(tctx, p, facility.JobSpec{
 			Name: "tomopy-" + scan.ID, Partition: "cpu", QOS: "realtime", Nodes: 1,
-			Run: func(p *sim.Proc) error {
+			Run: func(jctx context.Context, p *sim.Proc) error {
 				// Stage CFS → pscratch for I/O performance.
-				if _, err := b.Transfer.Submit(p, "cfs→pscratch "+scan.ID,
+				if _, err := b.Transfer.Submit(jctx, p, "cfs→pscratch "+scan.ID,
 					EPCFS, EPScratch, []string{raw}); err != nil {
 					return err
 				}
@@ -137,16 +140,16 @@ func (b *Beamline) NERSCReconFlow(p *sim.Proc, scan *Scan) error {
 		return jerr
 	})
 	if err != nil {
-		ctx.Complete(err)
+		fc.Complete(err)
 		return err
 	}
 
-	err = ctx.Task("globus_results_back", flow.TaskOptions{Retries: 2, RetryDelay: 30 * time.Second}, func() error {
-		_, terr := b.Transfer.Submit(p, "rec→beamline "+scan.ID, EPCFS, EPBeamline,
+	err = fc.Task("globus_results_back", flow.TaskOptions{Retries: 2, RetryDelay: 30 * time.Second}, func(tctx context.Context) error {
+		_, terr := b.Transfer.Submit(tctx, p, "rec→beamline "+scan.ID, EPCFS, EPBeamline,
 			[]string{reconPath(scan)})
 		return terr
 	})
-	ctx.Complete(err)
+	fc.Complete(err)
 	return err
 }
 
@@ -155,24 +158,25 @@ func (b *Beamline) NERSCReconFlow(p *sim.Proc, scan *Scan) error {
 // Compute pilot worker on Polaris (no per-job batch wait), and copy
 // results back. Warm workers are why this flow's variance is less than
 // half of the NERSC flow's in Table 2.
-func (b *Beamline) ALCFReconFlow(p *sim.Proc, scan *Scan) error {
-	ctx := b.Flows.Start(FlowALCF, flow.SimEnv{P: p})
+func (b *Beamline) ALCFReconFlow(ctx context.Context, p *sim.Proc, scan *Scan) error {
+	fc := b.Flows.Start(ctx, FlowALCF, flow.SimEnv{P: p})
 	raw := rawPath(scan)
 
-	err := ctx.Task("globus_to_eagle", flow.TaskOptions{
+	err := fc.Task("globus_to_eagle", flow.TaskOptions{
 		Retries: 2, RetryDelay: 30 * time.Second,
+		Timeout:        24 * time.Hour,
 		IdempotencyKey: "eagle:" + scan.ID,
-	}, func() error {
-		_, terr := b.Transfer.Submit(p, "raw→eagle "+scan.ID, EPBeamline, EPEagle, []string{raw})
+	}, func(tctx context.Context) error {
+		_, terr := b.Transfer.Submit(tctx, p, "raw→eagle "+scan.ID, EPBeamline, EPEagle, []string{raw})
 		return terr
 	})
 	if err != nil {
-		ctx.Complete(err)
+		fc.Complete(err)
 		return err
 	}
 
-	err = ctx.Task("globus_compute_recon", flow.TaskOptions{}, func() error {
-		return b.Polaris.Execute(p, func(p *sim.Proc) error {
+	err = fc.Task("globus_compute_recon", flow.TaskOptions{}, func(tctx context.Context) error {
+		return b.Polaris.Execute(tctx, p, func(_ context.Context, p *sim.Proc) error {
 			// Occasional slow pilot node (shared filesystem or
 			// straggler effects) gives the row its right tail.
 			if b.rng.Float64() < 0.10 {
@@ -188,24 +192,24 @@ func (b *Beamline) ALCFReconFlow(p *sim.Proc, scan *Scan) error {
 		})
 	})
 	if err != nil {
-		ctx.Complete(err)
+		fc.Complete(err)
 		return err
 	}
 
-	err = ctx.Task("globus_results_back", flow.TaskOptions{Retries: 2, RetryDelay: 30 * time.Second}, func() error {
-		_, terr := b.Transfer.Submit(p, "rec→beamline "+scan.ID, EPEagle, EPBeamline,
+	err = fc.Task("globus_results_back", flow.TaskOptions{Retries: 2, RetryDelay: 30 * time.Second}, func(tctx context.Context) error {
+		_, terr := b.Transfer.Submit(tctx, p, "rec→beamline "+scan.ID, EPEagle, EPBeamline,
 			[]string{reconPath(scan)})
 		return terr
 	})
-	ctx.Complete(err)
+	fc.Complete(err)
 	return err
 }
 
 // ArchiveFlow migrates a scan's raw data to HPSS tape for long-term
 // retention (§4.3) and removes it from CFS.
-func (b *Beamline) ArchiveFlow(p *sim.Proc, scan *Scan) error {
-	ctx := b.Flows.Start("hpss_archive_flow", flow.SimEnv{P: p})
-	err := ctx.Task("archive_to_hpss", flow.TaskOptions{Retries: 1, RetryDelay: time.Minute}, func() error {
+func (b *Beamline) ArchiveFlow(ctx context.Context, p *sim.Proc, scan *Scan) error {
+	fc := b.Flows.Start(ctx, "hpss_archive_flow", flow.SimEnv{P: p})
+	err := fc.Task("archive_to_hpss", flow.TaskOptions{Retries: 1, RetryDelay: time.Minute}, func(context.Context) error {
 		f, err := b.CFS.Get(p, rawPath(scan))
 		if err != nil {
 			return err
@@ -213,11 +217,11 @@ func (b *Beamline) ArchiveFlow(p *sim.Proc, scan *Scan) error {
 		return b.HPSS.Put(p, archivePath(scan), f.Size, f.Checksum)
 	})
 	if err == nil {
-		err = ctx.Task("release_cfs_raw", flow.TaskOptions{}, func() error {
+		err = fc.Task("release_cfs_raw", flow.TaskOptions{}, func(context.Context) error {
 			return b.CFS.Delete(rawPath(scan))
 		})
 	}
-	ctx.Complete(err)
+	fc.Complete(err)
 	return err
 }
 
@@ -226,22 +230,22 @@ func (b *Beamline) ArchiveFlow(p *sim.Proc, scan *Scan) error {
 // when acquisition ends (they streamed during the scan), so the
 // time-to-preview is reconstruction on four GPUs plus sending three slices
 // back. It records a run under FlowStreaming and returns the latency.
-func (b *Beamline) StreamingPreviewSim(p *sim.Proc, scan *Scan) (time.Duration, error) {
-	ctx := b.Flows.Start(FlowStreaming, flow.SimEnv{P: p})
+func (b *Beamline) StreamingPreviewSim(ctx context.Context, p *sim.Proc, scan *Scan) (time.Duration, error) {
+	fc := b.Flows.Start(ctx, FlowStreaming, flow.SimEnv{P: p})
 	start := p.Now()
 
-	err := ctx.Task("gpu_backprojection", flow.TaskOptions{}, func() error {
+	err := fc.Task("gpu_backprojection", flow.TaskOptions{}, func(context.Context) error {
 		p.Sleep(time.Duration(float64(scan.RawBytes) / b.Cfg.StreamGPURate * float64(time.Second)))
 		return nil
 	})
 	if err == nil {
-		err = ctx.Task("send_preview_slices", flow.TaskOptions{}, func() error {
+		err = fc.Task("send_preview_slices", flow.TaskOptions{}, func(context.Context) error {
 			// Three 2160×2560 float32 slices ≈ 66 MB over the WAN.
 			sliceBytes := int64(3 * 4 * scan.Rows * scan.Cols)
 			_, terr := b.Network.Transfer(p, SiteNERSC, SiteALS, sliceBytes)
 			return terr
 		})
 	}
-	ctx.Complete(err)
+	fc.Complete(err)
 	return p.Now().Sub(start), err
 }

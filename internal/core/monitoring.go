@@ -71,7 +71,7 @@ func (b *Beamline) StartHealthMonitoring(interval, total time.Duration) *monitor
 	b.Engine.Go("health-monitor", func(p *sim.Proc) {
 		for elapsed := time.Duration(0); elapsed < total; elapsed += interval {
 			p.Sleep(interval)
-			ctx := b.Flows.Start(FlowHealth, flow.SimEnv{P: p})
+			fc := b.Flows.Start(nil, FlowHealth, flow.SimEnv{P: p})
 			results := hc.RunAll(p.Now())
 			var firstErr error
 			for _, r := range results {
@@ -79,7 +79,7 @@ func (b *Beamline) StartHealthMonitoring(interval, total time.Duration) *monitor
 					firstErr = fmt.Errorf("%s: %s", r.Name, r.Err)
 				}
 			}
-			ctx.Complete(firstErr)
+			fc.Complete(firstErr)
 		}
 	})
 	return hc

@@ -19,7 +19,7 @@ func TestHealthMonitoringDuringCampaign(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if err := b.NewFile832Flow(p, scan); err != nil {
+			if err := b.NewFile832Flow(nil, p, scan); err != nil {
 				t.Error(err)
 				return
 			}
@@ -48,7 +48,7 @@ func TestHealthCheckDetectsTransferFailures(t *testing.T) {
 	// files.
 	b.Engine.Go("bad", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			b.Transfer.Submit(p, "missing", EPBeamline, EPCFS, []string{"nope"})
+			b.Transfer.Submit(nil, p, "missing", EPBeamline, EPCFS, []string{"nope"})
 		}
 	})
 	b.Engine.Run()
@@ -74,8 +74,8 @@ func TestWANBandwidthSeries(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if b.NewFile832Flow(p, scan) == nil {
-				b.NERSCReconFlow(p, scan)
+			if b.NewFile832Flow(nil, p, scan) == nil {
+				b.NERSCReconFlow(nil, p, scan)
 			}
 			p.Sleep(3 * time.Minute)
 		}

@@ -59,6 +59,9 @@ type PipelineResult struct {
 // and register metadata and access. It is the engine behind the
 // quickstart and case-study examples.
 func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, theta []float64, acqOpts tomo.AcquireOptions, opts PipelineOptions) (*PipelineResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &PipelineResult{ScanID: scanID}
 	dir := opts.WorkDir
 	if dir == "" {
@@ -72,7 +75,11 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 		return nil, err
 	}
 
-	// Acquisition.
+	// Acquisition. ctx is checked at each stage boundary so a cancelled
+	// pipeline stops before starting the next expensive phase.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: pipeline %s: %w", scanID, err)
+	}
 	t0 := time.Now()
 	acq := tomo.Acquire(truth, theta, truth.W, acqOpts)
 	res.AcquireDur = time.Since(t0)
@@ -94,6 +101,9 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	res.WriteDur = time.Since(t0)
 
 	// HPC side: read back, preprocess, reconstruct in parallel.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: pipeline %s: %w", scanID, err)
+	}
 	t0 = time.Now()
 	loaded, loadedMeta, err := dxfile.ReadDXchange(res.RawPath)
 	if err != nil {
@@ -111,6 +121,9 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	res.ReconDur = time.Since(t0)
 
 	// Outputs: multiscale Zarr, catalog, access layer.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: pipeline %s: %w", scanID, err)
+	}
 	t0 = time.Now()
 	res.ZarrPath = filepath.Join(dir, scanID+".zarr")
 	chunk := opts.ZarrChunk

@@ -136,7 +136,7 @@ func (s *StreamingService) Run(ctx context.Context) error {
 				continue
 			}
 			t0 := time.Now()
-			if err := s.reconstructAndSend(push, cache, mon.Missed, t0); err != nil {
+			if err := s.reconstructAndSend(ctx, push, cache, mon.Missed, t0); err != nil {
 				return err
 			}
 			s.ScansDone++
@@ -164,7 +164,7 @@ func (s *StreamingService) Run(ctx context.Context) error {
 	}
 }
 
-func (s *StreamingService) reconstructAndSend(push *msgq.Push, c *scanCache, missed int, t0 time.Time) error {
+func (s *StreamingService) reconstructAndSend(ctx context.Context, push *msgq.Push, c *scanCache, missed int, t0 time.Time) error {
 	if len(c.projs) == 0 {
 		return fmt.Errorf("core: scan %s completed with no projections", c.scanID)
 	}
@@ -181,7 +181,7 @@ func (s *StreamingService) reconstructAndSend(push *msgq.Push, c *scanCache, mis
 	dark := averageFrames(c.darks, c.rows*c.cols, 0)
 	li := tomo.MinusLog(tomo.Normalize(ps, flat, dark))
 
-	xy, xz, yz, err := tomo.QuickPreview(context.Background(), li, s.Recon)
+	xy, xz, yz, err := tomo.QuickPreview(ctx, li, s.Recon)
 	if err != nil {
 		return err
 	}

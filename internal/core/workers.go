@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/flow"
@@ -28,9 +29,15 @@ func NewWorkerPools(e *sim.Engine) *WorkerPools {
 // RunGatedCampaign drives n scans like RunProductionCampaign but routes
 // every flow through its worker pool, so HPC submissions queue behind the
 // low-concurrency gate exactly as the production workers enforce.
-func (b *Beamline) RunGatedCampaign(pools *WorkerPools, n int) *Table2Result {
+func (b *Beamline) RunGatedCampaign(ctx context.Context, pools *WorkerPools, n int) *Table2Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	b.Engine.Go("campaign", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			scan, err := b.NewScan(p, i)
 			if err != nil {
 				continue
@@ -38,7 +45,7 @@ func (b *Beamline) RunGatedCampaign(pools *WorkerPools, n int) *Table2Result {
 			sc := scan
 			b.Engine.Go("pipeline-"+sc.ID, func(p *sim.Proc) {
 				pools.Staging.Acquire(flow.SimEnv{P: p})
-				err := b.NewFile832Flow(p, sc)
+				err := b.NewFile832Flow(ctx, p, sc)
 				pools.Staging.Release()
 				if err != nil {
 					return
@@ -46,12 +53,12 @@ func (b *Beamline) RunGatedCampaign(pools *WorkerPools, n int) *Table2Result {
 				b.Engine.Go("nersc-"+sc.ID, func(p *sim.Proc) {
 					pools.HPC.Acquire(flow.SimEnv{P: p})
 					defer pools.HPC.Release()
-					b.NERSCReconFlow(p, sc)
+					b.NERSCReconFlow(ctx, p, sc)
 				})
 				b.Engine.Go("alcf-"+sc.ID, func(p *sim.Proc) {
 					pools.HPC.Acquire(flow.SimEnv{P: p})
 					defer pools.HPC.Release()
-					b.ALCFReconFlow(p, sc)
+					b.ALCFReconFlow(ctx, p, sc)
 				})
 			})
 			p.Sleep(3*time.Minute + time.Duration(b.rng.Float64()*float64(2*time.Minute)))
@@ -74,8 +81,8 @@ func (b *Beamline) StartPruningFlows(interval, total time.Duration) {
 	b.Engine.Go("prune-scheduler", func(p *sim.Proc) {
 		for elapsed := time.Duration(0); elapsed < total; elapsed += interval {
 			p.Sleep(interval)
-			ctx := b.Flows.Start(FlowPrune, flow.SimEnv{P: p})
-			err := ctx.Task("prune_tiers", flow.TaskOptions{}, func() error {
+			fc := b.Flows.Start(nil, FlowPrune, flow.SimEnv{P: p})
+			err := fc.Task("prune_tiers", flow.TaskOptions{}, func(context.Context) error {
 				now := p.Now()
 				for _, st := range []interface {
 					PruneExpired(time.Time) (int, int64)
@@ -85,7 +92,7 @@ func (b *Beamline) StartPruningFlows(interval, total time.Duration) {
 				p.Sleep(30 * time.Second) // sweep cost
 				return nil
 			})
-			ctx.Complete(err)
+			fc.Complete(err)
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/sim"
 	"repro/internal/transfer"
@@ -14,7 +15,7 @@ import (
 func TestGatedCampaignBoundsHPCConcurrency(t *testing.T) {
 	b := newTestBeamline()
 	pools := NewWorkerPools(b.Engine)
-	res := b.RunGatedCampaign(pools, 30)
+	res := b.RunGatedCampaign(nil, pools, 30)
 	for _, row := range res.Rows {
 		if row.Summary.N != 30 {
 			t.Fatalf("%s: N=%d", row.Flow, row.Summary.N)
@@ -51,7 +52,7 @@ func TestScheduledPruningKeepsTiersBounded(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			b.NewFile832Flow(p, scan)
+			b.NewFile832Flow(nil, p, scan)
 			p.Sleep(10 * time.Minute)
 		}
 	})
@@ -83,7 +84,7 @@ func TestCampaignWithTransientFaultsStillSucceeds(t *testing.T) {
 		}
 		return nil
 	}
-	res := b.RunProductionCampaign(20, 20)
+	res := b.RunProductionCampaign(nil, 20, 20)
 	for name, rate := range res.SuccessRate {
 		if rate != 1 {
 			t.Errorf("%s success rate %v with transient faults", name, rate)
@@ -105,11 +106,11 @@ func TestCampaignWithPermanentFaultsShowsInSuccessRate(t *testing.T) {
 	b := newTestBeamline()
 	b.Transfer.Fault = func(task *transfer.Task, path string, attempt int) error {
 		if strings.Contains(task.Label, "raw→eagle") {
-			return &transfer.PermanentError{Err: errors.New("eagle export down")}
+			return faults.Errorf(faults.Permanent, "eagle export down")
 		}
 		return nil
 	}
-	res := b.RunProductionCampaign(10, 10)
+	res := b.RunProductionCampaign(nil, 10, 10)
 	if res.SuccessRate[FlowALCF] != 0 {
 		t.Fatalf("alcf success rate %v, want 0 with eagle down", res.SuccessRate[FlowALCF])
 	}

@@ -8,10 +8,12 @@
 package facility
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -108,23 +110,32 @@ type JobSpec struct {
 	QOS       string
 	Nodes     int
 	// Run is the job body; it executes on the virtual clock while the
-	// nodes are held. A non-nil error marks the job FAILED.
-	Run func(p *sim.Proc) error
+	// nodes are held. A non-nil error marks the job FAILED. ctx is the
+	// submission's cancellation context.
+	Run func(ctx context.Context, p *sim.Proc) error
 }
 
 // Submit enqueues a job and blocks the calling process until it finishes,
 // returning its record. Scheduling is priority-then-FIFO per partition:
-// the paper's "realtime" QOS jumps the regular queue.
-func (c *Cluster) Submit(proc *sim.Proc, spec JobSpec) (*Job, error) {
+// the paper's "realtime" QOS jumps the regular queue. ctx (nil means
+// context.Background) is checked when the grant fires: a job whose ctx was
+// cancelled while it queued releases its nodes without running, like an
+// scancel of a pending job.
+func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	part, ok := c.partitions[spec.Partition]
 	if !ok {
-		return nil, fmt.Errorf("facility: %s: unknown partition %q", c.Name, spec.Partition)
+		return nil, faults.Errorf(faults.Permanent,
+			"facility: %s: unknown partition %q", c.Name, spec.Partition)
 	}
 	if spec.Nodes < 1 {
 		spec.Nodes = 1
 	}
 	if spec.Nodes > part.Total {
-		return nil, fmt.Errorf("facility: %s: job %q wants %d nodes, partition %q has %d",
+		return nil, faults.Errorf(faults.Permanent,
+			"facility: %s: job %q wants %d nodes, partition %q has %d",
 			c.Name, spec.Name, spec.Nodes, spec.Partition, part.Total)
 	}
 	c.nextID++
@@ -145,11 +156,22 @@ func (c *Cluster) Submit(proc *sim.Proc, spec JobSpec) (*Job, error) {
 	c.dispatch(part)
 	pj.grant.Wait(proc)
 
+	if cerr := ctx.Err(); cerr != nil {
+		job.State = Cancelled
+		job.Started = proc.Now()
+		job.Ended = job.Started
+		job.Err = cerr.Error()
+		part.free += job.Nodes
+		c.dispatch(part)
+		return job, fmt.Errorf("facility: %s: job %q cancelled before start: %w",
+			c.Name, spec.Name, cerr)
+	}
+
 	job.State = Running
 	job.Started = proc.Now()
 	var err error
 	if spec.Run != nil {
-		err = spec.Run(proc)
+		err = spec.Run(ctx, proc)
 	}
 	job.Ended = proc.Now()
 	if err != nil {
@@ -200,9 +222,9 @@ func (c *Cluster) BackgroundLoad(partition, qos string, target, width int, dur f
 				if d <= 0 {
 					return // sampler signals shutdown
 				}
-				c.Submit(p, JobSpec{
+				c.Submit(nil, p, JobSpec{
 					Name: "background", Partition: partition, QOS: qos, Nodes: width,
-					Run: func(p *sim.Proc) error { p.Sleep(d); return nil },
+					Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(d); return nil },
 				})
 			}
 		})

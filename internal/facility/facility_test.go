@@ -18,9 +18,9 @@ func TestSubmitRunsJob(t *testing.T) {
 	var job *Job
 	e.Go("u", func(p *sim.Proc) {
 		var err error
-		job, err = c.Submit(p, JobSpec{
+		job, err = c.Submit(nil, p, JobSpec{
 			Name: "recon", Partition: "cpu", QOS: "realtime", Nodes: 1,
-			Run: func(p *sim.Proc) error { p.Sleep(15 * time.Minute); return nil },
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(15 * time.Minute); return nil },
 		})
 		if err != nil {
 			t.Error(err)
@@ -43,9 +43,9 @@ func TestJobFailure(t *testing.T) {
 	c := NewCluster(e, "c")
 	c.AddPartition("cpu", 1, nil)
 	e.Go("u", func(p *sim.Proc) {
-		job, err := c.Submit(p, JobSpec{
+		job, err := c.Submit(nil, p, JobSpec{
 			Name: "bad", Partition: "cpu",
-			Run: func(p *sim.Proc) error { return errors.New("segfault") },
+			Run: func(_ context.Context, p *sim.Proc) error { return errors.New("segfault") },
 		})
 		if err == nil || job.State != JobFailed || job.Err != "segfault" {
 			t.Errorf("job = %+v err = %v", job, err)
@@ -59,10 +59,10 @@ func TestUnknownPartitionAndOversize(t *testing.T) {
 	c := NewCluster(e, "c")
 	c.AddPartition("cpu", 2, nil)
 	e.Go("u", func(p *sim.Proc) {
-		if _, err := c.Submit(p, JobSpec{Partition: "gpu"}); err == nil {
+		if _, err := c.Submit(nil, p, JobSpec{Partition: "gpu"}); err == nil {
 			t.Error("unknown partition should error")
 		}
-		if _, err := c.Submit(p, JobSpec{Partition: "cpu", Nodes: 3}); err == nil {
+		if _, err := c.Submit(nil, p, JobSpec{Partition: "cpu", Nodes: 3}); err == nil {
 			t.Error("oversized job should error")
 		}
 	})
@@ -77,9 +77,9 @@ func TestFIFOQueueing(t *testing.T) {
 	submit := func(name string, delay time.Duration) {
 		e.Go(name, func(p *sim.Proc) {
 			p.Sleep(delay)
-			c.Submit(p, JobSpec{
+			c.Submit(nil, p, JobSpec{
 				Name: name, Partition: "cpu",
-				Run: func(p *sim.Proc) error {
+				Run: func(_ context.Context, p *sim.Proc) error {
 					order = append(order, name)
 					p.Sleep(10 * time.Minute)
 					return nil
@@ -104,9 +104,9 @@ func TestRealtimeQOSJumpsQueue(t *testing.T) {
 	submit := func(name, qos string, delay time.Duration) {
 		e.Go(name, func(p *sim.Proc) {
 			p.Sleep(delay)
-			c.Submit(p, JobSpec{
+			c.Submit(nil, p, JobSpec{
 				Name: name, Partition: "cpu", QOS: qos,
-				Run: func(p *sim.Proc) error {
+				Run: func(_ context.Context, p *sim.Proc) error {
 					order = append(order, name)
 					p.Sleep(10 * time.Minute)
 					return nil
@@ -132,15 +132,15 @@ func TestQueueWaitUnderLoad(t *testing.T) {
 	// Fill both nodes with hour-long background jobs, then submit.
 	for i := 0; i < 2; i++ {
 		e.Go("bg", func(p *sim.Proc) {
-			c.Submit(p, JobSpec{Name: "bg", Partition: "cpu",
-				Run: func(p *sim.Proc) error { p.Sleep(time.Hour); return nil }})
+			c.Submit(nil, p, JobSpec{Name: "bg", Partition: "cpu",
+				Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(time.Hour); return nil }})
 		})
 	}
 	var wait time.Duration
 	e.Go("user", func(p *sim.Proc) {
 		p.Sleep(time.Minute)
-		job, _ := c.Submit(p, JobSpec{Name: "rt", Partition: "cpu", QOS: "realtime",
-			Run: func(p *sim.Proc) error { p.Sleep(time.Minute); return nil }})
+		job, _ := c.Submit(nil, p, JobSpec{Name: "rt", Partition: "cpu", QOS: "realtime",
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(time.Minute); return nil }})
 		wait = job.QueueWait()
 	})
 	e.Run()
@@ -186,7 +186,7 @@ func TestPilotColdThenWarm(t *testing.T) {
 	e.Go("u", func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
 			t0 := p.Now()
-			err := pe.Execute(p, func(p *sim.Proc) error {
+			err := pe.Execute(nil, p, func(_ context.Context, p *sim.Proc) error {
 				p.Sleep(10 * time.Minute)
 				return nil
 			})
@@ -215,7 +215,7 @@ func TestPilotErrorPropagates(t *testing.T) {
 	e := sim.New(epoch)
 	pe := NewPilotEndpoint(e, "polaris", 1, 0)
 	e.Go("u", func(p *sim.Proc) {
-		if err := pe.Execute(p, func(p *sim.Proc) error { return errors.New("oom") }); err == nil {
+		if err := pe.Execute(nil, p, func(_ context.Context, p *sim.Proc) error { return errors.New("oom") }); err == nil {
 			t.Error("error should propagate")
 		}
 	})
@@ -270,5 +270,120 @@ func TestSFAPISubmitWaitCancel(t *testing.T) {
 	}
 	if _, err := api.Wait(9999); err == nil {
 		t.Fatal("wait unknown job should error")
+	}
+}
+
+func TestSubmitCancelledWhileQueued(t *testing.T) {
+	// A job whose ctx is cancelled while it waits for nodes releases its
+	// grant without running — the scancel of a pending job.
+	e := sim.New(epoch)
+	c := NewCluster(e, "c")
+	c.AddPartition("cpu", 1, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	e.Go("blocker", func(p *sim.Proc) {
+		c.Submit(nil, p, JobSpec{Name: "long", Partition: "cpu",
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(time.Hour); return nil }})
+	})
+	e.Go("operator", func(p *sim.Proc) {
+		p.Sleep(10 * time.Minute)
+		cancel()
+	})
+	var job *Job
+	var err error
+	e.Go("user", func(p *sim.Proc) {
+		p.Sleep(time.Minute)
+		job, err = c.Submit(ctx, p, JobSpec{Name: "doomed", Partition: "cpu",
+			Run: func(_ context.Context, p *sim.Proc) error { ran = true; return nil }})
+	})
+	e.Run()
+	if ran {
+		t.Fatal("cancelled job body ran")
+	}
+	if err == nil || job == nil || job.State != Cancelled {
+		t.Fatalf("job = %+v err = %v", job, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v should wrap context.Canceled", err)
+	}
+	// The blocker job must still complete: the cancelled job freed the
+	// grant it held.
+	if c.Jobs()[0].State != Completed {
+		t.Fatalf("blocker state = %v", c.Jobs()[0].State)
+	}
+}
+
+func TestPilotExecuteCancelled(t *testing.T) {
+	e := sim.New(epoch)
+	pe := NewPilotEndpoint(e, "polaris", 1, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.Go("u", func(p *sim.Proc) {
+		err := pe.Execute(ctx, p, func(context.Context, *sim.Proc) error {
+			t.Error("body ran on dead ctx")
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	e.Run()
+	if pe.Executions != 0 || pe.ColdStarts != 0 {
+		t.Fatalf("stats after cancelled execute: %d/%d", pe.Executions, pe.ColdStarts)
+	}
+}
+
+func TestSFAPICancelAllAndWaitCtx(t *testing.T) {
+	api := NewSFAPI("secret")
+	started := make(chan struct{}, 2)
+	api.Register("hang", func(ctx context.Context, args map[string]string) error {
+		started <- struct{}{}
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	j1, _ := api.Submit("hang", nil)
+	j2, _ := api.Submit("hang", nil)
+	<-started
+	<-started
+
+	// WaitCtx gives up when its own ctx expires while the job hangs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := api.WaitCtx(ctx, j1.ID); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitCtx err = %v", err)
+	}
+
+	if n := api.CancelAll(); n != 2 {
+		t.Fatalf("CancelAll hit %d jobs, want 2", n)
+	}
+	for _, id := range []int{j1.ID, j2.ID} {
+		final, err := api.Wait(id)
+		if err != nil || final.State != Cancelled {
+			t.Fatalf("job %d final = %+v err = %v", id, final, err)
+		}
+	}
+	if n := api.CancelAll(); n != 0 {
+		t.Fatalf("second CancelAll hit %d jobs", n)
+	}
+}
+
+func TestSFAPIParentCtxCancelsJob(t *testing.T) {
+	api := NewSFAPI("secret")
+	started := make(chan struct{})
+	api.Register("hang", func(ctx context.Context, args map[string]string) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	parent, cancel := context.WithCancel(context.Background())
+	job, err := api.SubmitCtx(parent, "hang", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel()
+	final, err := api.Wait(job.ID)
+	if err != nil || final.State != Cancelled {
+		t.Fatalf("final = %+v err = %v", final, err)
 	}
 }

@@ -1,6 +1,8 @@
 package facility
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"repro/internal/sim"
@@ -40,14 +42,22 @@ func NewPilotEndpoint(e *sim.Engine, name string, workers int, coldStart time.Du
 // Execute runs fn on a pilot worker, blocking the calling process for any
 // provisioning delay plus fn's own virtual time. The first use of each
 // worker slot pays the cold-start penalty; subsequent uses are immediate.
-func (pe *PilotEndpoint) Execute(p *sim.Proc, fn func(p *sim.Proc) error) error {
+// ctx (nil means context.Background) is re-checked once a worker is
+// acquired, so a cancelled request releases its slot without running.
+func (pe *PilotEndpoint) Execute(ctx context.Context, p *sim.Proc, fn func(ctx context.Context, p *sim.Proc) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pe.workers.Acquire(p)
 	defer pe.workers.Release()
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("facility: %s: execute cancelled before start: %w", pe.Name, cerr)
+	}
 	if pe.warmed < pe.workers.Capacity() {
 		pe.warmed++
 		pe.ColdStarts++
 		p.Sleep(pe.ColdStart)
 	}
 	pe.Executions++
-	return fn(p)
+	return fn(ctx, p)
 }

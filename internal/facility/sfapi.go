@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // SFAPI is a real-time HTTP facade in the shape of NERSC's Superfacility
@@ -56,11 +58,21 @@ func (s *SFAPI) Register(name string, cmd Command) {
 // flow adapters). The returned record is a snapshot; poll Job or Wait for
 // the final state.
 func (s *SFAPI) Submit(command string, args map[string]string) (*SFJob, error) {
+	return s.SubmitCtx(context.Background(), command, args)
+}
+
+// SubmitCtx starts a job whose context derives from ctx: cancelling the
+// parent (e.g. during server shutdown) cancels the job. An unknown command
+// is a Permanent fault — resubmitting cannot fix it.
+func (s *SFAPI) SubmitCtx(ctx context.Context, command string, args map[string]string) (*SFJob, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cmd, ok := s.commands[command]
 	if !ok {
-		return nil, fmt.Errorf("sfapi: unknown command %q", command)
+		return nil, faults.Errorf(faults.Permanent, "sfapi: unknown command %q", command)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	s.mu.Lock()
 	s.nextID++
 	job := &SFJob{
@@ -122,14 +134,44 @@ func (s *SFAPI) Cancel(id int) error {
 
 // Wait blocks until the job finishes and returns its final record.
 func (s *SFAPI) Wait(id int) (*SFJob, error) {
+	return s.WaitCtx(context.Background(), id)
+}
+
+// WaitCtx blocks until the job finishes or ctx is done. The job keeps
+// running if only the wait is abandoned.
+func (s *SFAPI) WaitCtx(ctx context.Context, id int) (*SFJob, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("sfapi: no job %d", id)
+		return nil, faults.Errorf(faults.Permanent, "sfapi: no job %d", id)
 	}
-	<-j.done
-	return s.Job(id)
+	select {
+	case <-j.done:
+		return s.Job(id)
+	case <-ctx.Done():
+		return nil, fmt.Errorf("sfapi: wait for job %d aborted: %w", id, ctx.Err())
+	}
+}
+
+// CancelAll cancels every job still running and returns how many it hit —
+// the drain step of a graceful shutdown.
+func (s *SFAPI) CancelAll() int {
+	s.mu.Lock()
+	var cancels []context.CancelFunc
+	for _, j := range s.jobs {
+		if j.State == Running {
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	return len(cancels)
 }
 
 // Handler returns the HTTP API:

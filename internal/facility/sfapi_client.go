@@ -1,0 +1,144 @@
+package facility
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// SFClient is the caller's side of the Superfacility API: the beamline
+// workstation submitting and polling jobs over HTTP, the way the paper's
+// flows talk to NERSC from outside the facility. Every request takes a
+// ctx and every failure is classified through the faults taxonomy so
+// callers' retry loops can decide without parsing messages: transport
+// errors and 5xx/408/429 responses are Transient, other 4xx are
+// Permanent, and ctx expiry surfaces as Cancelled/Timeout.
+type SFClient struct {
+	BaseURL string
+	Token   string
+	// HTTP is the underlying client (http.DefaultClient if nil).
+	HTTP *http.Client
+	// PollInterval paces Wait's status polling (default 250ms).
+	PollInterval time.Duration
+}
+
+func (c *SFClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one authenticated request and decodes the JSON response into
+// out (when non-nil), classifying every failure mode.
+func (c *SFClient) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rdr io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return faults.Wrap(faults.Permanent, fmt.Errorf("sfapi client: encode request: %w", err))
+		}
+		rdr = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+	if err != nil {
+		return faults.Wrap(faults.Permanent, fmt.Errorf("sfapi client: build request: %w", err))
+	}
+	req.Header.Set("Authorization", "Bearer "+c.Token)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Distinguish "the caller gave up" from "the network failed":
+		// a ctx error classifies as Cancelled/Timeout, anything else as
+		// a retryable transport fault.
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("sfapi client: %s %s: %w", method, path, cerr)
+		}
+		return faults.Wrap(faults.Transient, fmt.Errorf("sfapi client: %s %s: %w", method, path, err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		cls := faults.ClassifyHTTPStatus(resp.StatusCode)
+		return faults.Wrap(cls, fmt.Errorf("sfapi client: %s %s: status %d: %s",
+			method, path, resp.StatusCode, bytes.TrimSpace(msg)))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return faults.Wrap(faults.Transient, fmt.Errorf("sfapi client: decode response: %w", err))
+		}
+	}
+	return nil
+}
+
+// Submit posts a job and returns its initial record.
+func (c *SFClient) Submit(ctx context.Context, command string, args map[string]string) (*SFJob, error) {
+	var job SFJob
+	err := c.do(ctx, http.MethodPost, "/api/v1/compute/jobs", map[string]interface{}{
+		"command": command, "args": args,
+	}, &job)
+	if err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Job fetches the current record for a job.
+func (c *SFClient) Job(ctx context.Context, id int) (*SFJob, error) {
+	var job SFJob
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/compute/jobs/%d", id), nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *SFClient) Cancel(ctx context.Context, id int) error {
+	return c.do(ctx, http.MethodPost, fmt.Sprintf("/api/v1/compute/jobs/%d/cancel", id), nil, nil)
+}
+
+// Status probes the facility status endpoint — the health check the
+// paper's monitoring runs against NERSC.
+func (c *SFClient) Status(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/api/v1/status", nil, nil)
+}
+
+// terminal reports whether a job state is final.
+func terminal(st JobState) bool {
+	return st == Completed || st == JobFailed || st == Cancelled
+}
+
+// Wait polls the job until it reaches a terminal state or ctx is done.
+// Transient poll failures are retried on the next tick; Permanent ones
+// abort immediately.
+func (c *SFClient) Wait(ctx context.Context, id int) (*SFJob, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			if !faults.Retryable(err) {
+				return nil, err
+			}
+		} else if terminal(job.State) {
+			return job, nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("sfapi client: wait for job %d aborted: %w", id, ctx.Err())
+		}
+	}
+}

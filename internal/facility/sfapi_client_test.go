@@ -1,0 +1,143 @@
+package facility
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func newClientFixture(t *testing.T) (*SFAPI, *SFClient, func()) {
+	t.Helper()
+	api := NewSFAPI("secret")
+	srv := httptest.NewServer(api.Handler())
+	client := &SFClient{
+		BaseURL: srv.URL, Token: "secret",
+		HTTP: srv.Client(), PollInterval: time.Millisecond,
+	}
+	return api, client, srv.Close
+}
+
+func TestSFClientSubmitAndWait(t *testing.T) {
+	api, client, closeSrv := newClientFixture(t)
+	defer closeSrv()
+	api.Register("recon", func(ctx context.Context, args map[string]string) error {
+		return nil
+	})
+	ctx := context.Background()
+	if err := client.Status(ctx); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	job, err := client.Submit(ctx, "recon", map[string]string{"scan": "s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Wait(ctx, job.ID)
+	if err != nil || final.State != Completed {
+		t.Fatalf("final = %+v err = %v", final, err)
+	}
+}
+
+func TestSFClientCancelViaHTTP(t *testing.T) {
+	api, client, closeSrv := newClientFixture(t)
+	defer closeSrv()
+	started := make(chan struct{})
+	api.Register("hang", func(ctx context.Context, args map[string]string) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	ctx := context.Background()
+	job, err := client.Submit(ctx, "hang", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := client.Cancel(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.Wait(ctx, job.ID)
+	if err != nil || final.State != Cancelled {
+		t.Fatalf("final = %+v err = %v", final, err)
+	}
+}
+
+func TestSFClientClassifiesHTTPFailures(t *testing.T) {
+	api, client, closeSrv := newClientFixture(t)
+	defer closeSrv()
+	api.Register("ok", func(ctx context.Context, args map[string]string) error { return nil })
+	ctx := context.Background()
+
+	// Unknown command → 400 → Permanent.
+	if _, err := client.Submit(ctx, "nope", nil); faults.Classify(err) != faults.Permanent {
+		t.Fatalf("unknown command classifies %v", faults.Classify(err))
+	}
+	// Missing job → 404 → Permanent.
+	if _, err := client.Job(ctx, 9999); faults.Classify(err) != faults.Permanent {
+		t.Fatalf("missing job classifies %v", faults.Classify(err))
+	}
+	// Wrong token → 401 → Permanent.
+	bad := &SFClient{BaseURL: client.BaseURL, Token: "wrong", HTTP: client.HTTP}
+	if err := bad.Status(ctx); faults.Classify(err) != faults.Permanent {
+		t.Fatalf("bad token classifies %v", faults.Classify(err))
+	}
+}
+
+func TestSFClientClassifiesServerErrorsTransient(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "backend down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	client := &SFClient{BaseURL: srv.URL, Token: "x", HTTP: srv.Client()}
+	err := client.Status(context.Background())
+	if faults.Classify(err) != faults.Transient {
+		t.Fatalf("503 classifies %v, want transient", faults.Classify(err))
+	}
+}
+
+func TestSFClientTransportErrorTransient(t *testing.T) {
+	// Point at a closed server: connection refused is a retryable
+	// transport fault, not a ctx failure.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	client := &SFClient{BaseURL: url, Token: "x"}
+	err := client.Status(context.Background())
+	if faults.Classify(err) != faults.Transient {
+		t.Fatalf("connection refused classifies %v, want transient", faults.Classify(err))
+	}
+}
+
+func TestSFClientWaitHonorsCtx(t *testing.T) {
+	api, client, closeSrv := newClientFixture(t)
+	defer closeSrv()
+	started := make(chan struct{})
+	api.Register("hang", func(ctx context.Context, args map[string]string) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	job, err := client.Submit(context.Background(), "hang", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err = client.Wait(ctx, job.ID)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait err = %v", err)
+	}
+	if faults.Classify(err) != faults.Timeout {
+		t.Fatalf("classify = %v", faults.Classify(err))
+	}
+	// Clean up the hung job so the test leaves nothing running.
+	api.CancelAll()
+	if _, err := api.Wait(job.ID); err != nil {
+		t.Fatal(err)
+	}
+}

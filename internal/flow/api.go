@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+
+	"repro/internal/faults"
 )
 
 // Handler exposes the run history over HTTP, mirroring how the paper's
@@ -36,20 +38,28 @@ func (s *Server) Handler() http.Handler {
 				}
 			}
 			sum := s.Summary(name, last)
+			oc := s.Outcomes(name)
 			writeJSON(w, http.StatusOK, map[string]interface{}{
 				"flow": name, "n": sum.N,
 				"mean_s": sum.Mean, "sd_s": sum.SD, "median_s": sum.Median,
 				"min_s": sum.Min, "max_s": sum.Max,
 				"success_rate": s.SuccessRate(name),
+				"outcomes": map[string]int{
+					OutcomeSucceeded:       oc.Succeeded,
+					OutcomeFailedTransient: oc.FailedTransient,
+					OutcomeFailedPermanent: oc.FailedPermanent,
+					OutcomeCancelled:       oc.Cancelled,
+				},
 			})
 		case "runs":
 			type runJSON struct {
-				ID         int     `json:"id"`
-				State      State   `json:"state"`
-				DurationS  float64 `json:"duration_s"`
-				Err        string  `json:"error,omitempty"`
-				TaskCount  int     `json:"tasks"`
-				RetryCount int     `json:"retries"`
+				ID         int          `json:"id"`
+				State      State        `json:"state"`
+				DurationS  float64      `json:"duration_s"`
+				Err        string       `json:"error,omitempty"`
+				Class      faults.Class `json:"class,omitempty"`
+				TaskCount  int          `json:"tasks"`
+				RetryCount int          `json:"retries"`
 			}
 			runs := s.Runs(name)
 			out := make([]runJSON, 0, len(runs))
@@ -62,7 +72,7 @@ func (s *Server) Handler() http.Handler {
 				}
 				out = append(out, runJSON{
 					ID: run.ID, State: run.State,
-					DurationS: run.Duration().Seconds(), Err: run.Err,
+					DurationS: run.Duration().Seconds(), Err: run.Err, Class: run.Class,
 					TaskCount: len(run.Tasks), RetryCount: retries,
 				})
 			}

@@ -6,17 +6,27 @@
 // retries"), structured logs, and a queryable run history whose aggregate
 // statistics are exactly what the paper extracts for Table 2.
 //
+// Every flow run carries a context.Context from entry to exit. Task retry
+// loops stop on cancellation, per-task Timeout/Deadline budgets bound
+// every wait, and retry decisions flow through faults.Classify: Transient
+// errors retry, Permanent/Timeout/Cancelled short-circuit. This is the
+// paper's operational discipline — bounded waits and typed retry policies
+// at every stage (§4.2) — applied uniformly instead of ad hoc per layer.
+//
 // The engine is clock-agnostic: an Env backed by the discrete-event kernel
 // drives facility-scale simulations, while RealEnv drives the live
 // services. Flow bodies are identical in both modes.
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/faults"
+	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -27,6 +37,28 @@ type Env interface {
 	Sleep(d time.Duration)
 }
 
+// ctxSleeper is the optional Env refinement for clocks that can interrupt
+// a sleep when the context is cancelled. RealEnv implements it; the
+// discrete-event clock cannot select on channels, so SimEnv falls back to
+// sleep-then-check (cancellation is observed within one clock tick).
+type ctxSleeper interface {
+	SleepCtx(ctx context.Context, d time.Duration) error
+}
+
+// sleepCtx sleeps d on env, returning the context's error if it is (or
+// becomes) done. On envs without native ctx support the full sleep elapses
+// before cancellation is observed.
+func sleepCtx(ctx context.Context, env Env, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s, ok := env.(ctxSleeper); ok {
+		return s.SleepCtx(ctx, d)
+	}
+	env.Sleep(d)
+	return ctx.Err()
+}
+
 // RealEnv runs flows on the wall clock.
 type RealEnv struct{}
 
@@ -35,6 +67,18 @@ func (RealEnv) Now() time.Time { return time.Now() }
 
 // Sleep blocks the goroutine for d.
 func (RealEnv) Sleep(d time.Duration) { time.Sleep(d) }
+
+// SleepCtx blocks for d or until ctx is done, whichever comes first.
+func (RealEnv) SleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // SimEnv runs flows on a discrete-event process.
 type SimEnv struct{ P *sim.Proc }
@@ -53,6 +97,7 @@ const (
 	Running   State = "RUNNING"
 	Completed State = "COMPLETED"
 	Failed    State = "FAILED"
+	Cancelled State = "CANCELLED"
 )
 
 // LogEntry is one structured log line attached to a run.
@@ -70,6 +115,9 @@ type TaskRun struct {
 	Start    time.Time
 	End      time.Time
 	Err      string
+	// Class is the fault classification of the final error (empty on
+	// success).
+	Class faults.Class
 	// Cached is true when an idempotency key matched a previously
 	// completed task and the body was skipped.
 	Cached bool
@@ -86,6 +134,9 @@ type Run struct {
 	Start time.Time
 	End   time.Time
 	Err   string
+	// Class is the fault classification of the final error (empty on
+	// success).
+	Class faults.Class
 	Tasks []*TaskRun
 	Logs  []LogEntry
 }
@@ -96,10 +147,11 @@ func (r *Run) Duration() time.Duration { return r.End.Sub(r.Start) }
 // Server is the orchestration server: it owns run history, idempotency
 // state, and the statistics API.
 type Server struct {
-	mu     sync.Mutex
-	runs   []*Run
-	nextID int
-	idemp  map[string]bool
+	mu      sync.Mutex
+	runs    []*Run
+	nextID  int
+	idemp   map[string]bool
+	metrics *monitor.Registry
 }
 
 // NewServer creates an empty orchestration server.
@@ -107,33 +159,84 @@ func NewServer() *Server {
 	return &Server{idemp: map[string]bool{}}
 }
 
+// SetMetrics attaches a registry; every run completion then increments a
+// flow_runs_total{flow=...,outcome=...} counter so the metrics handler
+// reflects the fault taxonomy live.
+func (s *Server) SetMetrics(reg *monitor.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = reg
+}
+
 // Ctx is the handle a running flow uses to record tasks and logs.
 type Ctx struct {
 	Env    Env
 	Run    *Run
+	ctx    context.Context
 	server *Server
 }
 
-// Start begins a flow run on the given environment.
-func (s *Server) Start(flowName string, env Env) *Ctx {
+// Context returns the cancellation context the flow was started with.
+func (c *Ctx) Context() context.Context { return c.ctx }
+
+// Start begins a flow run on the given environment. ctx bounds the whole
+// run: tasks stop retrying once it is done (nil means context.Background).
+func (s *Server) Start(ctx context.Context, flowName string, env Env) *Ctx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	run := &Run{ID: s.nextID, Flow: flowName, State: Running, Start: env.Now()}
 	s.runs = append(s.runs, run)
-	return &Ctx{Env: env, Run: run, server: s}
+	return &Ctx{Env: env, Run: run, ctx: ctx, server: s}
 }
 
-// Complete finalizes the run; err marks it FAILED.
+// Outcome labels under the fault taxonomy, as exported to the metrics
+// registry.
+const (
+	OutcomeSucceeded       = "succeeded"
+	OutcomeFailedTransient = "failed_transient"
+	OutcomeFailedPermanent = "failed_permanent"
+	OutcomeCancelled       = "cancelled"
+)
+
+// outcomeOf maps a terminal (state, class) pair to its counter label.
+// Timeouts count as transient failures: a fresh run gets a fresh deadline.
+func outcomeOf(state State, class faults.Class) string {
+	switch {
+	case state == Completed:
+		return OutcomeSucceeded
+	case class == faults.Cancelled:
+		return OutcomeCancelled
+	case class == faults.Permanent:
+		return OutcomeFailedPermanent
+	default:
+		return OutcomeFailedTransient
+	}
+}
+
+// Complete finalizes the run; err marks it FAILED (or CANCELLED when the
+// error classifies as a cancellation).
 func (c *Ctx) Complete(err error) {
 	c.server.mu.Lock()
 	defer c.server.mu.Unlock()
 	c.Run.End = c.Env.Now()
 	if err != nil {
-		c.Run.State = Failed
+		c.Run.Class = faults.Classify(err)
+		if c.Run.Class == faults.Cancelled {
+			c.Run.State = Cancelled
+		} else {
+			c.Run.State = Failed
+		}
 		c.Run.Err = err.Error()
 	} else {
 		c.Run.State = Completed
+	}
+	if c.server.metrics != nil {
+		c.server.metrics.Add(fmt.Sprintf("flow_runs_total{flow=%q,outcome=%q}",
+			c.Run.Flow, outcomeOf(c.Run.State, c.Run.Class)), 1)
 	}
 }
 
@@ -146,21 +249,46 @@ func (c *Ctx) Logf(level, format string, args ...interface{}) {
 	})
 }
 
-// TaskOptions configures retry and idempotency behaviour for one task.
+// TaskOptions configures retry, deadline, and idempotency behaviour for
+// one task.
 type TaskOptions struct {
-	// Retries is the number of re-attempts after the first failure.
+	// Retries is the number of re-attempts after the first failure. Only
+	// Transient faults are retried; Permanent, Timeout, and Cancelled
+	// classifications short-circuit the loop.
 	Retries int
 	// RetryDelay is the base backoff between attempts, doubled each time.
 	RetryDelay time.Duration
+	// Timeout bounds the whole task (all attempts and backoffs) relative
+	// to its start on the env clock; 0 means unbounded. On the real clock
+	// the task body's context also carries the deadline; on the virtual
+	// clock the budget is enforced between attempts.
+	Timeout time.Duration
+	// Deadline is an absolute bound on the env clock (zero means none).
+	// When both are set the earlier wins.
+	Deadline time.Time
 	// IdempotencyKey, when non-empty, causes the task to be skipped if a
 	// task with the same key already completed on this server (across
 	// all runs) — making flow-level retries safe.
 	IdempotencyKey string
 }
 
+// deadline resolves the effective absolute deadline at task start.
+func (o TaskOptions) deadline(now time.Time) time.Time {
+	d := o.Deadline
+	if o.Timeout > 0 {
+		if t := now.Add(o.Timeout); d.IsZero() || t.Before(d) {
+			d = t
+		}
+	}
+	return d
+}
+
 // Task executes fn with the configured retry policy and records the
-// result. It returns fn's final error.
-func (c *Ctx) Task(name string, opts TaskOptions, fn func() error) error {
+// result, returning fn's final error. fn receives the flow's context
+// (with the task deadline attached when running on the real clock);
+// cancelling it aborts the retry loop within one env-clock tick, and a
+// Permanent fault from fn short-circuits retries entirely.
+func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) error) error {
 	tr := &TaskRun{Name: name, State: Running, Start: c.Env.Now()}
 	c.server.mu.Lock()
 	c.Run.Tasks = append(c.Run.Tasks, tr)
@@ -174,21 +302,52 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func() error) error {
 		return nil
 	}
 
+	deadline := opts.deadline(c.Env.Now())
+	tctx := c.ctx
+	if !deadline.IsZero() {
+		if _, real := c.Env.(RealEnv); real {
+			var cancel context.CancelFunc
+			tctx, cancel = context.WithDeadline(c.ctx, deadline)
+			defer cancel()
+		}
+	}
+
 	var err error
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		if attempt > 0 {
 			c.Logf("WARN", "task %s attempt %d after error: %v", name, attempt+1, err)
-			c.Env.Sleep(opts.RetryDelay << (attempt - 1))
+			if serr := sleepCtx(c.ctx, c.Env, opts.RetryDelay<<(attempt-1)); serr != nil {
+				err = fmt.Errorf("flow: task %s retry aborted: %w", name, serr)
+				break
+			}
+		}
+		if cerr := c.ctx.Err(); cerr != nil {
+			err = fmt.Errorf("flow: task %s aborted: %w", name, cerr)
+			break
+		}
+		if !deadline.IsZero() && !c.Env.Now().Before(deadline) {
+			err = faults.Wrap(faults.Timeout,
+				fmt.Errorf("flow: task %s deadline exceeded: %w", name, context.DeadlineExceeded))
+			break
 		}
 		tr.Attempts++
-		err = fn()
+		err = fn(tctx)
 		if err == nil {
+			break
+		}
+		if cls := faults.Classify(err); !cls.Retryable() {
+			c.Logf("WARN", "task %s %s fault, not retrying: %v", name, cls, err)
 			break
 		}
 	}
 	tr.End = c.Env.Now()
 	if err != nil {
-		tr.State = Failed
+		tr.Class = faults.Classify(err)
+		if tr.Class == faults.Cancelled {
+			tr.State = Cancelled
+		} else {
+			tr.State = Failed
+		}
 		tr.Err = err.Error()
 		return err
 	}
@@ -213,6 +372,57 @@ func (s *Server) Runs(name string) []*Run {
 		}
 	}
 	return out
+}
+
+// InFlight returns the runs still in the RUNNING state — what a graceful
+// shutdown reports before exiting.
+func (s *Server) InFlight() []*Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Run
+	for _, r := range s.runs {
+		if r.State == Running {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Outcomes are a flow's terminal run counts under the fault taxonomy.
+type Outcomes struct {
+	Succeeded       int
+	FailedTransient int
+	FailedPermanent int
+	Cancelled       int
+}
+
+// Outcomes tallies the finished runs of a flow (all flows if name is
+// empty) by outcome. Timeout-classified failures count as transient, as a
+// rerun gets a fresh deadline.
+func (s *Server) Outcomes(name string) Outcomes {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var o Outcomes
+	for _, r := range s.runs {
+		if name != "" && r.Flow != name {
+			continue
+		}
+		switch outcomeOf(r.State, r.Class) {
+		case OutcomeSucceeded:
+			if r.State == Completed {
+				o.Succeeded++
+			}
+		case OutcomeCancelled:
+			o.Cancelled++
+		case OutcomeFailedPermanent:
+			o.FailedPermanent++
+		case OutcomeFailedTransient:
+			if r.State == Failed {
+				o.FailedTransient++
+			}
+		}
+	}
+	return o
 }
 
 // FlowNames returns the distinct flow names seen, sorted.
@@ -255,6 +465,8 @@ func (s *Server) Summary(name string, n int) stats.Summary {
 }
 
 // SuccessRate returns the fraction of finished runs that completed.
+// Cancelled runs are excluded: withdrawn work is neither a success nor a
+// failure of the pipeline.
 func (s *Server) SuccessRate(name string) float64 {
 	runs := s.Runs(name)
 	var done, ok int

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -8,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faults"
+	"repro/internal/monitor"
 	"repro/internal/sim"
 )
 
@@ -17,12 +20,12 @@ func TestFlowRunLifecycle(t *testing.T) {
 	s := NewServer()
 	e := sim.New(epoch)
 	e.Go("f", func(p *sim.Proc) {
-		ctx := s.Start("new_file_832", SimEnv{p})
-		err := ctx.Task("copy", TaskOptions{}, func() error {
+		fc := s.Start(nil, "new_file_832", SimEnv{p})
+		err := fc.Task("copy", TaskOptions{}, func(context.Context) error {
 			p.Sleep(30 * time.Second)
 			return nil
 		})
-		ctx.Complete(err)
+		fc.Complete(err)
 	})
 	e.Run()
 	runs := s.Runs("new_file_832")
@@ -43,15 +46,15 @@ func TestTaskRetryBackoff(t *testing.T) {
 	e := sim.New(epoch)
 	var calls int
 	e.Go("f", func(p *sim.Proc) {
-		ctx := s.Start("flaky", SimEnv{p})
-		err := ctx.Task("t", TaskOptions{Retries: 3, RetryDelay: 10 * time.Second}, func() error {
+		fc := s.Start(nil, "flaky", SimEnv{p})
+		err := fc.Task("t", TaskOptions{Retries: 3, RetryDelay: 10 * time.Second}, func(context.Context) error {
 			calls++
 			if calls < 3 {
 				return errors.New("blip")
 			}
 			return nil
 		})
-		ctx.Complete(err)
+		fc.Complete(err)
 	})
 	end := e.Run()
 	if calls != 3 {
@@ -74,11 +77,11 @@ func TestTaskFailureAfterRetries(t *testing.T) {
 	s := NewServer()
 	e := sim.New(epoch)
 	e.Go("f", func(p *sim.Proc) {
-		ctx := s.Start("doomed", SimEnv{p})
-		err := ctx.Task("t", TaskOptions{Retries: 2}, func() error {
+		fc := s.Start(nil, "doomed", SimEnv{p})
+		err := fc.Task("t", TaskOptions{Retries: 2}, func(context.Context) error {
 			return errors.New("hard down")
 		})
-		ctx.Complete(err)
+		fc.Complete(err)
 	})
 	e.Run()
 	r := s.Runs("doomed")[0]
@@ -88,8 +91,241 @@ func TestTaskFailureAfterRetries(t *testing.T) {
 	if r.Tasks[0].Attempts != 3 || r.Tasks[0].State != Failed {
 		t.Fatalf("task %+v", r.Tasks[0])
 	}
+	if r.Class != faults.Transient || r.Tasks[0].Class != faults.Transient {
+		t.Fatalf("plain errors classify transient, got run=%v task=%v", r.Class, r.Tasks[0].Class)
+	}
 	if s.SuccessRate("doomed") != 0 {
 		t.Fatalf("success rate %v", s.SuccessRate("doomed"))
+	}
+}
+
+// TestTaskPermanentNotRetried: a faults.Permanent error short-circuits the
+// retry loop entirely — one attempt, no backoff time elapsed.
+func TestTaskPermanentNotRetried(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	var calls int
+	e.Go("f", func(p *sim.Proc) {
+		fc := s.Start(nil, "denied", SimEnv{p})
+		err := fc.Task("t", TaskOptions{Retries: 5, RetryDelay: time.Minute}, func(context.Context) error {
+			calls++
+			return faults.Errorf(faults.Permanent, "permission denied")
+		})
+		fc.Complete(err)
+	})
+	end := e.Run()
+	if calls != 1 {
+		t.Fatalf("permanent fault was retried: calls = %d", calls)
+	}
+	if end.Sub(epoch) != 0 {
+		t.Fatalf("no backoff should elapse, got %v", end.Sub(epoch))
+	}
+	r := s.Runs("denied")[0]
+	if r.State != Failed || r.Class != faults.Permanent {
+		t.Fatalf("run %+v", r)
+	}
+	tr := r.Tasks[0]
+	if tr.Attempts != 1 || tr.State != Failed || tr.Class != faults.Permanent {
+		t.Fatalf("task %+v", tr)
+	}
+}
+
+// TestTaskCancellationMidRetry: cancelling the parent ctx aborts an
+// in-flight retry loop within one env-clock tick — the sleep that was in
+// flight finishes, then the loop stops instead of attempting again.
+func TestTaskCancellationMidRetry(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	e.Go("flow", func(p *sim.Proc) {
+		fc := s.Start(ctx, "stuck", SimEnv{p})
+		err := fc.Task("t", TaskOptions{Retries: 10, RetryDelay: 10 * time.Second}, func(context.Context) error {
+			calls++
+			return errors.New("still down")
+		})
+		fc.Complete(err)
+	})
+	e.Go("operator", func(p *sim.Proc) {
+		p.Sleep(15 * time.Second)
+		cancel()
+	})
+	end := e.Run()
+	// Attempt 1 at t=0 fails, backoff 10s; attempt 2 at t=10 fails,
+	// backoff 20s wakes at t=30 — the first tick after the t=15 cancel —
+	// and the loop aborts without a third attempt.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (no attempt after cancel)", calls)
+	}
+	if got := end.Sub(epoch); got != 30*time.Second {
+		t.Fatalf("aborted at %v, want 30s (one in-flight backoff tick)", got)
+	}
+	r := s.Runs("stuck")[0]
+	if r.State != Cancelled || r.Class != faults.Cancelled {
+		t.Fatalf("run %+v", r)
+	}
+	if r.Tasks[0].State != Cancelled || r.Tasks[0].Attempts != 2 {
+		t.Fatalf("task %+v", r.Tasks[0])
+	}
+}
+
+// TestTaskCancelledBeforeStart: a task on an already-cancelled ctx never
+// runs its body.
+func TestTaskCancelledBeforeStart(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int
+	e.Go("f", func(p *sim.Proc) {
+		fc := s.Start(ctx, "dead", SimEnv{p})
+		err := fc.Task("t", TaskOptions{Retries: 3}, func(context.Context) error {
+			calls++
+			return nil
+		})
+		fc.Complete(err)
+	})
+	e.Run()
+	if calls != 0 {
+		t.Fatalf("body ran %d times on a dead ctx", calls)
+	}
+	r := s.Runs("dead")[0]
+	if r.State != Cancelled || r.Tasks[0].Attempts != 0 {
+		t.Fatalf("run %+v task %+v", r, r.Tasks[0])
+	}
+}
+
+// TestTaskTimeoutSimClock: the per-task Timeout budget bounds retries on
+// the virtual clock.
+func TestTaskTimeoutSimClock(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	var calls int
+	e.Go("f", func(p *sim.Proc) {
+		fc := s.Start(nil, "slow", SimEnv{p})
+		err := fc.Task("t", TaskOptions{
+			Retries: 10, RetryDelay: 10 * time.Second, Timeout: 15 * time.Second,
+		}, func(context.Context) error {
+			calls++
+			p.Sleep(10 * time.Second)
+			return errors.New("not yet")
+		})
+		fc.Complete(err)
+	})
+	e.Run()
+	// Attempt 1 runs t=0→10, backoff wakes at t=20 > 15s budget: no
+	// second attempt, the task fails as a Timeout.
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (budget spent)", calls)
+	}
+	r := s.Runs("slow")[0]
+	if r.State != Failed || r.Class != faults.Timeout {
+		t.Fatalf("run %+v", r)
+	}
+	if tr := r.Tasks[0]; tr.Attempts != 1 || tr.Class != faults.Timeout {
+		t.Fatalf("task %+v", tr)
+	}
+}
+
+// TestTaskDeadlineRealClock: on the real clock the deadline is attached to
+// the task body's ctx, so a blocking body is interrupted promptly.
+func TestTaskDeadlineRealClock(t *testing.T) {
+	s := NewServer()
+	fc := s.Start(context.Background(), "rt", RealEnv{})
+	start := time.Now()
+	err := fc.Task("t", TaskOptions{Timeout: 30 * time.Millisecond}, func(ctx context.Context) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	fc.Complete(err)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline did not interrupt the body (%v)", elapsed)
+	}
+	if faults.Classify(err) != faults.Timeout {
+		t.Fatalf("err = %v, class %v", err, faults.Classify(err))
+	}
+	r := s.Runs("rt")[0]
+	if r.State != Failed || r.Class != faults.Timeout || r.Tasks[0].Attempts != 1 {
+		t.Fatalf("run %+v task %+v", r, r.Tasks[0])
+	}
+}
+
+// TestRealEnvSleepCtx: cancellation interrupts a real-clock sleep instead
+// of letting the full duration elapse.
+func TestRealEnvSleepCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := RealEnv{}.SleepCtx(ctx, time.Hour)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("sleep was not interrupted")
+	}
+	if err := (RealEnv{}).SleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("uncancelled sleep err = %v", err)
+	}
+}
+
+func TestOutcomesAndMetrics(t *testing.T) {
+	s := NewServer()
+	reg := monitor.NewRegistry()
+	s.SetMetrics(reg)
+	env := RealEnv{}
+
+	s.Start(nil, "mix", env).Complete(nil)
+	s.Start(nil, "mix", env).Complete(nil)
+	s.Start(nil, "mix", env).Complete(errors.New("blip"))
+	s.Start(nil, "mix", env).Complete(faults.Errorf(faults.Permanent, "denied"))
+	s.Start(nil, "mix", env).Complete(faults.Wrap(faults.Timeout, context.DeadlineExceeded))
+	s.Start(nil, "mix", env).Complete(context.Canceled)
+
+	oc := s.Outcomes("mix")
+	// Timeout counts as transient: a rerun gets a fresh deadline.
+	want := Outcomes{Succeeded: 2, FailedTransient: 2, FailedPermanent: 1, Cancelled: 1}
+	if oc != want {
+		t.Fatalf("outcomes = %+v, want %+v", oc, want)
+	}
+	if all := s.Outcomes(""); all != want {
+		t.Fatalf("all-flows outcomes = %+v", all)
+	}
+
+	if got := reg.Counter(`flow_runs_total{flow="mix",outcome="succeeded"}`); got != 2 {
+		t.Fatalf("succeeded counter = %v", got)
+	}
+	if got := reg.Counter(`flow_runs_total{flow="mix",outcome="failed_transient"}`); got != 2 {
+		t.Fatalf("failed_transient counter = %v", got)
+	}
+	if got := reg.Counter(`flow_runs_total{flow="mix",outcome="failed_permanent"}`); got != 1 {
+		t.Fatalf("failed_permanent counter = %v", got)
+	}
+	if got := reg.Counter(`flow_runs_total{flow="mix",outcome="cancelled"}`); got != 1 {
+		t.Fatalf("cancelled counter = %v", got)
+	}
+
+	// Cancelled runs are excluded from the success-rate denominator;
+	// the two transient, one permanent, and one timeout failure count.
+	if got := s.SuccessRate("mix"); got != 2.0/5.0 {
+		t.Fatalf("success rate = %v", got)
+	}
+}
+
+func TestInFlight(t *testing.T) {
+	s := NewServer()
+	env := RealEnv{}
+	running := s.Start(nil, "long", env)
+	s.Start(nil, "done", env).Complete(nil)
+	inflight := s.InFlight()
+	if len(inflight) != 1 || inflight[0].Flow != "long" {
+		t.Fatalf("in flight = %+v", inflight)
+	}
+	running.Complete(nil)
+	if got := s.InFlight(); len(got) != 0 {
+		t.Fatalf("in flight after complete = %+v", got)
 	}
 }
 
@@ -98,13 +334,13 @@ func TestIdempotencySkipsCompletedWork(t *testing.T) {
 	e := sim.New(epoch)
 	var executions int
 	runOnce := func(p *sim.Proc) error {
-		ctx := s.Start("recon", SimEnv{p})
-		err := ctx.Task("copy", TaskOptions{IdempotencyKey: "copy:scan42"}, func() error {
+		fc := s.Start(nil, "recon", SimEnv{p})
+		err := fc.Task("copy", TaskOptions{IdempotencyKey: "copy:scan42"}, func(context.Context) error {
 			executions++
 			p.Sleep(time.Minute)
 			return nil
 		})
-		ctx.Complete(err)
+		fc.Complete(err)
 		return err
 	}
 	e.Go("first", func(p *sim.Proc) { runOnce(p) })
@@ -125,15 +361,15 @@ func TestIdempotencyNotSetOnFailure(t *testing.T) {
 	calls := 0
 	e.Go("f", func(p *sim.Proc) {
 		for i := 0; i < 2; i++ {
-			ctx := s.Start("r", SimEnv{p})
-			err := ctx.Task("t", TaskOptions{IdempotencyKey: "k"}, func() error {
+			fc := s.Start(nil, "r", SimEnv{p})
+			err := fc.Task("t", TaskOptions{IdempotencyKey: "k"}, func(context.Context) error {
 				calls++
 				if calls == 1 {
 					return errors.New("fail once")
 				}
 				return nil
 			})
-			ctx.Complete(err)
+			fc.Complete(err)
 		}
 	})
 	e.Run()
@@ -147,14 +383,14 @@ func TestDurationsLastN(t *testing.T) {
 	e := sim.New(epoch)
 	e.Go("f", func(p *sim.Proc) {
 		for i := 1; i <= 5; i++ {
-			ctx := s.Start("w", SimEnv{p})
+			fc := s.Start(nil, "w", SimEnv{p})
 			d := time.Duration(i) * time.Second
-			ctx.Task("t", TaskOptions{}, func() error { p.Sleep(d); return nil })
-			ctx.Complete(nil)
+			fc.Task("t", TaskOptions{}, func(context.Context) error { p.Sleep(d); return nil })
+			fc.Complete(nil)
 		}
 		// One failed run must be excluded.
-		ctx := s.Start("w", SimEnv{p})
-		ctx.Complete(errors.New("x"))
+		fc := s.Start(nil, "w", SimEnv{p})
+		fc.Complete(errors.New("x"))
 	})
 	e.Run()
 	all := s.Durations("w", 0)
@@ -177,9 +413,9 @@ func TestDurationsLastN(t *testing.T) {
 func TestFlowNames(t *testing.T) {
 	s := NewServer()
 	env := RealEnv{}
-	s.Start("b", env).Complete(nil)
-	s.Start("a", env).Complete(nil)
-	s.Start("b", env).Complete(nil)
+	s.Start(nil, "b", env).Complete(nil)
+	s.Start(nil, "a", env).Complete(nil)
+	s.Start(nil, "b", env).Complete(nil)
 	names := s.FlowNames()
 	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
 		t.Fatalf("names = %v", names)
@@ -203,12 +439,12 @@ func TestHTTPAPI(t *testing.T) {
 	e := sim.New(epoch)
 	e.Go("f", func(p *sim.Proc) {
 		for i := 0; i < 3; i++ {
-			ctx := s.Start("nersc_recon_flow", SimEnv{p})
-			err := ctx.Task("recon", TaskOptions{Retries: 1}, func() error {
+			fc := s.Start(nil, "nersc_recon_flow", SimEnv{p})
+			err := fc.Task("recon", TaskOptions{Retries: 1}, func(context.Context) error {
 				p.Sleep(25 * time.Minute)
 				return nil
 			})
-			ctx.Complete(err)
+			fc.Complete(err)
 		}
 	})
 	e.Run()
@@ -238,6 +474,10 @@ func TestHTTPAPI(t *testing.T) {
 	}
 	if st["success_rate"].(float64) != 1 {
 		t.Fatalf("success rate = %v", st["success_rate"])
+	}
+	oc, ok := st["outcomes"].(map[string]interface{})
+	if !ok || oc[OutcomeSucceeded].(float64) != 3 {
+		t.Fatalf("outcomes = %v", st["outcomes"])
 	}
 
 	r3, errr3 := http.Get(srv.URL + "/api/flows/nersc_recon_flow/runs")
@@ -271,16 +511,17 @@ func TestHTTPAPI(t *testing.T) {
 
 func TestConcurrentRunsThreadSafe(t *testing.T) {
 	// Real-time smoke test for the mutex paths: many goroutines record
-	// runs simultaneously.
+	// runs simultaneously, with metrics attached.
 	s := NewServer()
+	s.SetMetrics(monitor.NewRegistry())
 	done := make(chan struct{})
 	for i := 0; i < 20; i++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
-			ctx := s.Start("par", RealEnv{})
-			ctx.Logf("INFO", "hello")
-			ctx.Task("t", TaskOptions{}, func() error { return nil })
-			ctx.Complete(nil)
+			fc := s.Start(context.Background(), "par", RealEnv{})
+			fc.Logf("INFO", "hello")
+			fc.Task("t", TaskOptions{}, func(context.Context) error { return nil })
+			fc.Complete(nil)
 		}()
 	}
 	for i := 0; i < 20; i++ {

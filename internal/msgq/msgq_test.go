@@ -2,11 +2,30 @@ package msgq
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
 )
+
+// waitFor polls cond until it returns true or the ctx-backed deadline
+// expires. Tests synchronize on observable state through this instead of
+// bare time.Sleep so -race runs are deterministic.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for !cond() {
+		select {
+		case <-ctx.Done():
+			t.Fatalf("timed out waiting for %s", what)
+		case <-tick.C:
+		}
+	}
+}
 
 func TestPushPullRoundTrip(t *testing.T) {
 	pull, err := NewPull("127.0.0.1:0")
@@ -133,22 +152,28 @@ func TestPushReconnects(t *testing.T) {
 	// Kill the listener; sends should fail, then recover after a new
 	// listener appears on the same port.
 	pull.Close()
-	time.Sleep(50 * time.Millisecond)
-	pull2, err := NewPull(addr)
-	if err != nil {
-		t.Skipf("could not rebind %s: %v", addr, err)
+	// The OS may briefly hold the port after close; poll the rebind
+	// instead of sleeping a fixed interval.
+	var pull2 *Pull
+	rebindCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for pull2 == nil {
+		p2, err := NewPull(addr)
+		if err == nil {
+			pull2 = p2
+			break
+		}
+		select {
+		case <-rebindCtx.Done():
+			t.Skipf("could not rebind %s: %v", addr, err)
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 	defer pull2.Close()
 	// The first send may fail while the stale connection drains; retry.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if err := push.Send([]byte("b")); err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("push never reconnected")
-		}
-	}
+	waitFor(t, 2*time.Second, "push to reconnect", func() bool {
+		return push.Send([]byte("b")) == nil
+	})
 	if _, err := pull2.Recv(2 * time.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -187,13 +212,9 @@ func TestPubSubTopicFilter(t *testing.T) {
 
 func waitSubs(t *testing.T, pub *Pub, n int) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for pub.Subscribers() < n {
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d subscribers", pub.Subscribers())
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitFor(t, 2*time.Second, fmt.Sprintf("%d subscribers", n), func() bool {
+		return pub.Subscribers() >= n
+	})
 }
 
 func TestPubHWMDropsNotBlocks(t *testing.T) {
@@ -254,11 +275,16 @@ func TestReqRep(t *testing.T) {
 }
 
 func TestReqTimeout(t *testing.T) {
+	// The handler blocks on a channel released at test end rather than
+	// sleeping for a fixed interval: the reply is held past the client
+	// deadline without leaving a timer running after the test.
+	release := make(chan struct{})
 	rep, _ := NewRep("127.0.0.1:0", func(req []byte) []byte {
-		time.Sleep(time.Second)
+		<-release
 		return req
 	})
 	defer rep.Close()
+	defer close(release)
 	req, _ := NewReq(rep.Addr())
 	defer req.Close()
 	if _, err := req.Do([]byte("x"), 30*time.Millisecond); err == nil {

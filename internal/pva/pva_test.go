@@ -1,6 +1,7 @@
 package pva
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -146,14 +147,20 @@ func TestServerMonitorStream(t *testing.T) {
 	}
 }
 
+// waitMonitors polls the server's monitor count under a ctx deadline
+// instead of sleeping fixed intervals, so -race runs are deterministic.
 func waitMonitors(t *testing.T, srv *Server, channel string, n int) {
 	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
 	for srv.Monitors(channel) < n {
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d monitors", srv.Monitors(channel))
+		select {
+		case <-ctx.Done():
+			t.Fatalf("only %d monitors on %s", srv.Monitors(channel), channel)
+		case <-tick.C:
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -8,11 +8,12 @@
 package transfer
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -130,14 +131,20 @@ func (s *Service) SucceededCount() int {
 // or a directory prefix ending in "/", which transfers every file under
 // it) from src to dst, blocking the calling process until the task
 // completes. It returns the finished task; the error mirrors task failure.
-func (s *Service) Submit(p *sim.Proc, label, src, dst string, paths []string) (*Task, error) {
+// ctx cancellation aborts the task between files and between retry
+// attempts (nil means context.Background); the resulting error classifies
+// as faults.Cancelled.
+func (s *Service) Submit(ctx context.Context, p *sim.Proc, label, src, dst string, paths []string) (*Task, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	srcEP, err := s.Endpoint(src)
 	if err != nil {
-		return nil, err
+		return nil, faults.Wrap(faults.Permanent, err)
 	}
 	dstEP, err := s.Endpoint(dst)
 	if err != nil {
-		return nil, err
+		return nil, faults.Wrap(faults.Permanent, err)
 	}
 	s.nextID++
 	task := &Task{
@@ -148,10 +155,14 @@ func (s *Service) Submit(p *sim.Proc, label, src, dst string, paths []string) (*
 
 	files, err := expand(srcEP.Store, paths)
 	if err != nil {
-		return s.fail(p, task, err)
+		// A missing source cannot be fixed by retrying the transfer.
+		return s.fail(p, task, faults.Wrap(faults.Permanent, err))
 	}
 	for _, f := range files {
-		if err := s.moveFile(p, task, srcEP, dstEP, f); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return s.fail(p, task, fmt.Errorf("transfer: %s aborted: %w", label, cerr))
+		}
+		if err := s.moveFile(ctx, p, task, srcEP, dstEP, f); err != nil {
 			return s.fail(p, task, err)
 		}
 		task.Files++
@@ -196,34 +207,27 @@ func expand(st *storage.Store, paths []string) ([]*storage.File, error) {
 }
 
 // moveFile transfers one file with retry/backoff and checksum verify.
-func (s *Service) moveFile(p *sim.Proc, task *Task, src, dst *Endpoint, f *storage.File) error {
+// Retry decisions flow through faults.Classify: only Transient errors are
+// re-attempted, and ctx cancellation is observed after each backoff sleep.
+func (s *Service) moveFile(ctx context.Context, p *sim.Proc, task *Task, src, dst *Endpoint, f *storage.File) error {
 	var lastErr error
 	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
 		if attempt > 0 {
 			task.Retries++
 			p.Sleep(s.RetryDelay << (attempt - 1))
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("transfer: %s: retry aborted: %w", f.Path, cerr)
+			}
 		}
 		lastErr = s.attemptFile(p, task, src, dst, f, attempt)
 		if lastErr == nil {
 			return nil
 		}
-		if isPermanent(lastErr) {
+		if !faults.Retryable(lastErr) {
 			return lastErr
 		}
 	}
 	return fmt.Errorf("transfer: %s: retries exhausted: %w", f.Path, lastErr)
-}
-
-// PermanentError marks faults that retrying cannot fix (e.g. the
-// permission-denied failures from the §5.3 prune incident).
-type PermanentError struct{ Err error }
-
-func (e *PermanentError) Error() string { return e.Err.Error() }
-func (e *PermanentError) Unwrap() error { return e.Err }
-
-func isPermanent(err error) bool {
-	var p *PermanentError
-	return errors.As(err, &p)
 }
 
 func (s *Service) attemptFile(p *sim.Proc, task *Task, src, dst *Endpoint, f *storage.File, attempt int) error {
@@ -261,10 +265,13 @@ func (s *Service) attemptFile(p *sim.Proc, task *Task, src, dst *Endpoint, f *st
 // incident study), honoring fault injection. Unlike Submit it fails fast
 // on the first error when FailFast is true — the fix the paper describes —
 // and otherwise continues through the batch, accumulating hung time.
-func (s *Service) Delete(p *sim.Proc, label, endpoint string, paths []string, failFast bool) (*Task, error) {
+func (s *Service) Delete(ctx context.Context, p *sim.Proc, label, endpoint string, paths []string, failFast bool) (*Task, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ep, err := s.Endpoint(endpoint)
 	if err != nil {
-		return nil, err
+		return nil, faults.Wrap(faults.Permanent, err)
 	}
 	s.nextID++
 	task := &Task{ID: s.nextID, Label: label, Src: endpoint, Dst: endpoint,
@@ -273,6 +280,9 @@ func (s *Service) Delete(p *sim.Proc, label, endpoint string, paths []string, fa
 
 	var firstErr error
 	for _, path := range paths {
+		if cerr := ctx.Err(); cerr != nil {
+			return s.fail(p, task, fmt.Errorf("transfer: %s aborted: %w", label, cerr))
+		}
 		if s.Fault != nil {
 			if ferr := s.Fault(task, path, 0); ferr != nil {
 				if failFast {

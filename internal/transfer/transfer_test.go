@@ -1,12 +1,14 @@
 package transfer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -38,7 +40,7 @@ func TestSimpleTransfer(t *testing.T) {
 	fx := newFixture()
 	fx.e.Go("main", func(p *sim.Proc) {
 		fx.als.Put(p, "scan/raw.dxf", 20<<30, "sha:abc")
-		task, err := fx.svc.Submit(p, "raw to cfs", "als", "cfs", []string{"scan/raw.dxf"})
+		task, err := fx.svc.Submit(nil, p, "raw to cfs", "als", "cfs", []string{"scan/raw.dxf"})
 		if err != nil {
 			t.Error(err)
 		}
@@ -62,7 +64,7 @@ func TestDirectoryTransfer(t *testing.T) {
 		fx.als.Put(p, "scan1/a", 10, "x")
 		fx.als.Put(p, "scan1/b", 20, "y")
 		fx.als.Put(p, "scan2/c", 30, "z")
-		task, err := fx.svc.Submit(p, "dir", "als", "cfs", []string{"scan1/"})
+		task, err := fx.svc.Submit(nil, p, "dir", "als", "cfs", []string{"scan1/"})
 		if err != nil {
 			t.Error(err)
 		}
@@ -79,7 +81,7 @@ func TestDirectoryTransfer(t *testing.T) {
 func TestMissingSourceFails(t *testing.T) {
 	fx := newFixture()
 	fx.e.Go("main", func(p *sim.Proc) {
-		task, err := fx.svc.Submit(p, "missing", "als", "cfs", []string{"nope"})
+		task, err := fx.svc.Submit(nil, p, "missing", "als", "cfs", []string{"nope"})
 		if err == nil || task.State != Failed {
 			t.Error("missing source should fail the task")
 		}
@@ -90,7 +92,7 @@ func TestMissingSourceFails(t *testing.T) {
 func TestMissingDirectoryFails(t *testing.T) {
 	fx := newFixture()
 	fx.e.Go("main", func(p *sim.Proc) {
-		_, err := fx.svc.Submit(p, "missing dir", "als", "cfs", []string{"empty/"})
+		_, err := fx.svc.Submit(nil, p, "missing dir", "als", "cfs", []string{"empty/"})
 		if err == nil {
 			t.Error("empty directory prefix should fail")
 		}
@@ -101,10 +103,10 @@ func TestMissingDirectoryFails(t *testing.T) {
 func TestUnknownEndpoint(t *testing.T) {
 	fx := newFixture()
 	fx.e.Go("main", func(p *sim.Proc) {
-		if _, err := fx.svc.Submit(p, "x", "bogus", "cfs", nil); err == nil {
+		if _, err := fx.svc.Submit(nil, p, "x", "bogus", "cfs", nil); err == nil {
 			t.Error("unknown src endpoint should error")
 		}
-		if _, err := fx.svc.Submit(p, "x", "als", "bogus", nil); err == nil {
+		if _, err := fx.svc.Submit(nil, p, "x", "als", "bogus", nil); err == nil {
 			t.Error("unknown dst endpoint should error")
 		}
 	})
@@ -122,7 +124,7 @@ func TestTransientFaultRetried(t *testing.T) {
 	}
 	fx.e.Go("main", func(p *sim.Proc) {
 		fx.als.Put(p, "f", 100, "c")
-		task, err := fx.svc.Submit(p, "retry", "als", "cfs", []string{"f"})
+		task, err := fx.svc.Submit(nil, p, "retry", "als", "cfs", []string{"f"})
 		if err != nil {
 			t.Errorf("should succeed after retries: %v", err)
 		}
@@ -141,7 +143,7 @@ func TestRetriesExhausted(t *testing.T) {
 	}
 	fx.e.Go("main", func(p *sim.Proc) {
 		fx.als.Put(p, "f", 100, "c")
-		task, err := fx.svc.Submit(p, "doomed", "als", "cfs", []string{"f"})
+		task, err := fx.svc.Submit(nil, p, "doomed", "als", "cfs", []string{"f"})
 		if err == nil || task.State != Failed {
 			t.Error("exhausted retries should fail")
 		}
@@ -157,11 +159,11 @@ func TestPermanentFaultNotRetried(t *testing.T) {
 	attempts := 0
 	fx.svc.Fault = func(task *Task, path string, attempt int) error {
 		attempts++
-		return &PermanentError{Err: errors.New("permission denied")}
+		return faults.Errorf(faults.Permanent, "permission denied")
 	}
 	fx.e.Go("main", func(p *sim.Proc) {
 		fx.als.Put(p, "f", 100, "c")
-		_, err := fx.svc.Submit(p, "denied", "als", "cfs", []string{"f"})
+		_, err := fx.svc.Submit(nil, p, "denied", "als", "cfs", []string{"f"})
 		if err == nil {
 			t.Error("permanent fault should fail")
 		}
@@ -183,7 +185,7 @@ func TestRetryBackoffTiming(t *testing.T) {
 	}
 	fx.e.Go("main", func(p *sim.Proc) {
 		fx.als.Put(p, "f", 0, "c")
-		task, _ := fx.svc.Submit(p, "backoff", "als", "cfs", []string{"f"})
+		task, _ := fx.svc.Submit(nil, p, "backoff", "als", "cfs", []string{"f"})
 		// Two backoffs: 10s + 20s = 30s minimum.
 		if task.Duration() < 30*time.Second {
 			t.Errorf("duration %v should include 30s of backoff", task.Duration())
@@ -200,7 +202,7 @@ func TestDeleteFailFastVsHanging(t *testing.T) {
 		fx := newFixture()
 		fx.svc.Fault = func(task *Task, path string, attempt int) error {
 			if strings.HasPrefix(path, "locked/") {
-				return &PermanentError{Err: errors.New("permission denied")}
+				return faults.Errorf(faults.Permanent, "permission denied")
 			}
 			return nil
 		}
@@ -210,7 +212,7 @@ func TestDeleteFailFastVsHanging(t *testing.T) {
 				fx.als.Put(p, fmt.Sprintf("locked/%d", i), 10, "")
 			}
 			t0 := p.Now()
-			fx.svc.Delete(p, "prune", "als",
+			fx.svc.Delete(nil, p, "prune", "als",
 				[]string{"locked/0", "locked/1", "locked/2", "locked/3"}, failFast)
 			d = p.Now().Sub(t0)
 		})
@@ -232,7 +234,7 @@ func TestDeleteSuccess(t *testing.T) {
 	fx.e.Go("main", func(p *sim.Proc) {
 		fx.als.Put(p, "a", 10, "")
 		fx.als.Put(p, "b", 10, "")
-		task, err := fx.svc.Delete(p, "prune", "als", []string{"a", "b"}, true)
+		task, err := fx.svc.Delete(nil, p, "prune", "als", []string{"a", "b"}, true)
 		if err != nil || task.State != Succeeded || task.Files != 2 {
 			t.Errorf("delete task %+v err %v", task, err)
 		}
@@ -250,7 +252,7 @@ func TestChecksumVerifyDetectsCorruption(t *testing.T) {
 	fx := newFixture()
 	fx.e.Go("main", func(p *sim.Proc) {
 		fx.als.Put(p, "ok", 10, "sha:1")
-		fx.svc.Submit(p, "t1", "als", "cfs", []string{"ok"})
+		fx.svc.Submit(nil, p, "t1", "als", "cfs", []string{"ok"})
 	})
 	fx.e.Run()
 	if fx.svc.SucceededCount() != 1 || len(fx.svc.Tasks()) != 1 {
@@ -268,9 +270,78 @@ func TestSameSiteTransferSkipsWAN(t *testing.T) {
 	svc.AddEndpoint("pscratch", "nersc", b)
 	e.Go("main", func(p *sim.Proc) {
 		a.Put(p, "f", 100, "c")
-		if _, err := svc.Submit(p, "stage", "cfs", "pscratch", []string{"f"}); err != nil {
+		if _, err := svc.Submit(nil, p, "stage", "cfs", "pscratch", []string{"f"}); err != nil {
 			t.Errorf("same-site transfer should not need a WAN link: %v", err)
 		}
 	})
 	e.Run()
+}
+
+func TestSubmitCancelledMidRetry(t *testing.T) {
+	// Cancelling the ctx aborts the per-file retry loop after the
+	// in-flight backoff tick instead of exhausting all retries.
+	fx := newFixture()
+	fx.svc.MaxRetries = 10
+	fx.svc.RetryDelay = 10 * time.Second
+	attempts := 0
+	fx.svc.Fault = func(task *Task, path string, attempt int) error {
+		attempts++
+		return errors.New("still down")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fx.e.Go("operator", func(p *sim.Proc) {
+		p.Sleep(15 * time.Second)
+		cancel()
+	})
+	fx.e.Go("main", func(p *sim.Proc) {
+		fx.als.Put(p, "f", 100, "c")
+		task, err := fx.svc.Submit(ctx, p, "cancelled", "als", "cfs", []string{"f"})
+		if err == nil || task.State != Failed {
+			t.Error("cancelled transfer should fail the task")
+		}
+		if faults.Classify(err) != faults.Cancelled {
+			t.Errorf("err %v classifies %v, want cancelled", err, faults.Classify(err))
+		}
+	})
+	fx.e.Run()
+	// Attempt at t=0 fails, backoff to t=10, attempt fails, backoff wakes
+	// at t=30 after the t=15 cancel: no third attempt.
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (aborted after cancel)", attempts)
+	}
+}
+
+func TestDeleteCancelledBetweenPaths(t *testing.T) {
+	fx := newFixture()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fx.e.Go("main", func(p *sim.Proc) {
+		fx.als.Put(p, "a", 10, "")
+		task, err := fx.svc.Delete(ctx, p, "prune", "als", []string{"a"}, true)
+		if err == nil || task.State != Failed {
+			t.Error("delete on dead ctx should fail")
+		}
+		if faults.Classify(err) != faults.Cancelled {
+			t.Errorf("classify = %v", faults.Classify(err))
+		}
+		if fx.als.Count() != 1 {
+			t.Error("no file should be deleted after cancellation")
+		}
+	})
+	fx.e.Run()
+}
+
+func TestMissingSourceClassifiesPermanent(t *testing.T) {
+	fx := newFixture()
+	fx.e.Go("main", func(p *sim.Proc) {
+		_, err := fx.svc.Submit(nil, p, "missing", "als", "cfs", []string{"nope"})
+		if faults.Classify(err) != faults.Permanent {
+			t.Errorf("missing source classifies %v, want permanent", faults.Classify(err))
+		}
+		_, err = fx.svc.Submit(nil, p, "x", "bogus", "cfs", nil)
+		if faults.Classify(err) != faults.Permanent {
+			t.Errorf("unknown endpoint classifies %v, want permanent", faults.Classify(err))
+		}
+	})
+	fx.e.Run()
 }

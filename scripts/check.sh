@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the same gate as `make check`, for environments without make:
+# formatting, static analysis, build, and the race-enabled test suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"
