@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -70,18 +72,33 @@ func cfgWithSeed(seed int64) core.SimConfig {
 
 func runTable2(scans int, seed int64) {
 	header("Table 2: flow-run summary statistics")
+	fmt.Print(table2Output(scans, seed))
+}
+
+// table2Output renders the whole Table 2 artifact deterministically (fixed
+// seed in, identical text out) so the golden test can cover it.
+func table2Output(scans int, seed int64) string {
 	b := core.NewBeamline(epoch, cfgWithSeed(seed))
 	res := b.RunProductionCampaign(nil, scans, scans)
-	fmt.Print(core.FormatTable2(res))
-	fmt.Println("\npaper reference:")
-	fmt.Println("  new_file_832       100  120 ± 171    56  [30, 676]")
-	fmt.Println("  nersc_recon_flow   100 1525 ± 464  1665  [354, 2351]")
-	fmt.Println("  alcf_recon_flow    100 1151 ± 246  1114  [710, 1965]")
-	fmt.Printf("\nstreaming previews alongside: median %.1f s, max %.1f s (paper: <10 s)\n",
-		res.Streaming.Median, res.Streaming.Max)
-	for name, rate := range res.SuccessRate {
-		fmt.Printf("success rate %-18s %.0f%%\n", name, rate*100)
+	var sb strings.Builder
+	sb.WriteString(core.FormatTable2(res))
+	sb.WriteString("\npaper reference:\n")
+	sb.WriteString("  new_file_832       100  120 ± 171    56  [30, 676]\n")
+	sb.WriteString("  nersc_recon_flow   100 1525 ± 464  1665  [354, 2351]\n")
+	sb.WriteString("  alcf_recon_flow    100 1151 ± 246  1114  [710, 1965]\n")
+	sb.WriteString(fmt.Sprintf("\nstreaming previews alongside: median %.1f s, max %.1f s (paper: <10 s)\n",
+		res.Streaming.Median, res.Streaming.Max))
+	sb.WriteString(fmt.Sprintf("streaming stage breakdown: %s\n",
+		core.FormatStages(res.Stages[core.FlowStreaming])))
+	names := make([]string, 0, len(res.SuccessRate))
+	for name := range res.SuccessRate {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	for _, name := range names {
+		sb.WriteString(fmt.Sprintf("success rate %-18s %.0f%%\n", name, res.SuccessRate[name]*100))
+	}
+	return sb.String()
 }
 
 func runStreaming() {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestTable2Golden pins the full Table 2 artifact — including the per-stage
+// breakdown column — under a fixed seed on the sim kernel. Regenerate with
+// `go test ./cmd/benchtables -run Golden -update` after intentional
+// changes.
+func TestTable2Golden(t *testing.T) {
+	got := table2Output(30, 832)
+	golden := filepath.Join("testdata", "table2_seed832_scans30.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("table 2 output drifted from golden file %s\n--- got ---\n%s--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestTable2StageSumsMatchDurations asserts the tracing invariant behind
+// the breakdown column: for every flow, the per-stage means (gap included)
+// sum to the flow's mean duration.
+func TestTable2StageSumsMatchDurations(t *testing.T) {
+	b := core.NewBeamline(epoch, cfgWithSeed(832))
+	res := b.RunProductionCampaign(nil, 30, 30)
+	for _, row := range res.Rows {
+		stages := res.Stages[row.Flow]
+		if len(stages) == 0 {
+			t.Errorf("%s: no stage breakdown", row.Flow)
+			continue
+		}
+		var sum float64
+		for _, st := range stages {
+			if st.MeanS < 0 {
+				t.Errorf("%s: negative stage mean %+v", row.Flow, st)
+			}
+			sum += st.MeanS
+		}
+		if math.Abs(sum-row.Summary.Mean) > 1e-6 {
+			t.Errorf("%s: stage means sum %v != mean duration %v",
+				row.Flow, sum, row.Summary.Mean)
+		}
+	}
+}

@@ -10,6 +10,7 @@
 // Endpoints (all under the one address):
 //
 //	/api/flows, /api/flows/{name}/stats, /api/flows/{name}/runs
+//	/api/runs/{id}/trace (per-run span tree)
 //	/api/datasets (SciCat)
 //	/api/volumes  (Tiled)
 //	/api/v1/...   (SFAPI; Authorization: Bearer <token>)
@@ -83,6 +84,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/api/flows", b.Flows.Handler())
 	mux.Handle("/api/flows/", b.Flows.Handler())
+	mux.Handle("/api/runs/", b.Flows.Handler())
 	mux.Handle("/api/datasets", b.Catalog.Handler())
 	mux.Handle("/api/datasets/", b.Catalog.Handler())
 	mux.Handle("/api/volumes", access.Handler())

@@ -46,13 +46,9 @@ func TestStreamingServiceLaunchedViaSFAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for ioc.Monitors("bl832:det") < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("service never subscribed")
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "service subscription", func() bool {
+		return ioc.Monitors("bl832:det") >= 1
+	})
 
 	// The user starts a scan.
 	truth := phantom.SheppLogan3D(24, 4)

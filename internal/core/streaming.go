@@ -5,12 +5,14 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/msgq"
 	"repro/internal/pva"
 	"repro/internal/tiled"
 	"repro/internal/tomo"
+	"repro/internal/trace"
 	"repro/internal/vol"
 )
 
@@ -94,7 +96,16 @@ type StreamingService struct {
 	ScansDone   int
 	LastLatency time.Duration
 	LastMissed  int
+
+	// frames counts every frame received, including ones that are
+	// dropped as invalid — an observable tests synchronize on instead of
+	// sleeping.
+	frames atomic.Int64
 }
+
+// FramesSeen returns the number of frames the service has received so
+// far (valid or not). Safe to call while Run is in progress.
+func (s *StreamingService) FramesSeen() int64 { return s.frames.Load() }
 
 // scanCache accumulates one acquisition's frames.
 type scanCache struct {
@@ -119,7 +130,13 @@ func (s *StreamingService) Run(ctx context.Context) error {
 	push := msgq.NewPush(s.PreviewAddr)
 	defer push.Close()
 
+	// Streaming stages hang off whatever span the caller's context
+	// carries: one "cache" span per scan while frames accumulate, then
+	// "recon" and "preview_send" inside reconstructAndSend. The service
+	// runs on the wall clock, so spans do too.
+	parent := trace.FromContext(ctx)
 	var cache *scanCache
+	var cacheSpan *trace.Span
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -131,23 +148,28 @@ func (s *StreamingService) Run(ctx context.Context) error {
 			}
 			return err
 		}
+		s.frames.Add(1)
 		if f.Kind == pva.KindEndOfScan {
 			if cache == nil {
 				continue
 			}
+			cacheSpan.End(time.Now())
 			t0 := time.Now()
-			if err := s.reconstructAndSend(ctx, push, cache, mon.Missed, t0); err != nil {
+			if err := s.reconstructAndSend(ctx, parent, push, cache, mon.Missed, t0); err != nil {
 				return err
 			}
 			s.ScansDone++
 			cache = nil
+			cacheSpan = nil
 			continue
 		}
 		if err := f.Validate(); err != nil {
 			continue // the file-writer drops invalid frames; so do we
 		}
 		if cache == nil || cache.scanID != f.ScanID {
+			cacheSpan.End(time.Now()) // geometry/scan change: close any stale span
 			cache = &scanCache{scanID: f.ScanID, rows: f.Rows, cols: f.Cols}
+			cacheSpan = parent.StartChildStage("cache "+f.ScanID, "cache", time.Now())
 		}
 		if f.Rows != cache.rows || f.Cols != cache.cols {
 			continue // geometry change mid-scan: drop frame
@@ -164,10 +186,11 @@ func (s *StreamingService) Run(ctx context.Context) error {
 	}
 }
 
-func (s *StreamingService) reconstructAndSend(ctx context.Context, push *msgq.Push, c *scanCache, missed int, t0 time.Time) error {
+func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace.Span, push *msgq.Push, c *scanCache, missed int, t0 time.Time) error {
 	if len(c.projs) == 0 {
 		return fmt.Errorf("core: scan %s completed with no projections", c.scanID)
 	}
+	recon := parent.StartChildStage("recon "+c.scanID, "recon", time.Now())
 	ps := tomo.NewProjectionSet(c.angles, c.rows, c.cols)
 	for a, proj := range c.projs {
 		dst := ps.Projection(a)
@@ -182,6 +205,7 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, push *msgq.Pu
 	li := tomo.MinusLog(tomo.Normalize(ps, flat, dark))
 
 	xy, xz, yz, err := tomo.QuickPreview(ctx, li, s.Recon)
+	recon.End(time.Now())
 	if err != nil {
 		return err
 	}
@@ -195,7 +219,10 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, push *msgq.Pu
 	if err != nil {
 		return err
 	}
-	return push.Send(msg)
+	send := parent.StartChildStage("preview_send "+c.scanID, "preview_send", time.Now())
+	err = push.Send(msg)
+	send.End(time.Now())
+	return err
 }
 
 // averageFrames averages reference frames; when none exist it returns a

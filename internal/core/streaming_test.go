@@ -10,6 +10,7 @@ import (
 	"repro/internal/pva"
 	"repro/internal/stats"
 	"repro/internal/tomo"
+	"repro/internal/trace"
 	"repro/internal/vol"
 )
 
@@ -80,8 +81,10 @@ func TestStreamingEndToEnd(t *testing.T) {
 		PreviewAddr: sink.Addr(),
 		Recon:       tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
 	}
+	// A span on the service's ctx collects the streaming stages.
+	root := trace.NewRoot("streaming", time.Now())
 	svcDone := make(chan error, 1)
-	go func() { svcDone <- svc.Run(context.Background()) }()
+	go func() { svcDone <- svc.Run(trace.NewContext(context.Background(), root)) }()
 
 	// Give the service time to connect before frames flow.
 	waitForMonitors(t, mirrorSrv, "bl832:det", 1)
@@ -128,6 +131,24 @@ func TestStreamingEndToEnd(t *testing.T) {
 	if svc.LastLatency <= 0 {
 		t.Fatal("no latency recorded")
 	}
+
+	// The scan left a closed cache → recon → preview_send span sequence.
+	stages := []string{}
+	for _, sp := range root.Children() {
+		if !sp.Ended() {
+			t.Fatalf("span %q left open", sp.Name())
+		}
+		stages = append(stages, sp.Stage())
+	}
+	want := []string{"cache", "recon", "preview_send"}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", stages, want)
+		}
+	}
 }
 
 func centerRegion(im *vol.Image) []float64 {
@@ -140,15 +161,29 @@ func centerRegion(im *vol.Image) []float64 {
 	return out
 }
 
+// waitFor polls cond until it returns true or the ctx-backed deadline
+// expires, mirroring the msgq test helper: tests synchronize on observable
+// state instead of bare time.Sleep so -race runs are deterministic.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for !cond() {
+		select {
+		case <-ctx.Done():
+			t.Fatalf("timed out waiting for %s", what)
+		case <-tick.C:
+		}
+	}
+}
+
 func waitForMonitors(t *testing.T, srv *pva.Server, channel string, n int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for srv.Monitors(channel) < n {
-		if time.Now().After(deadline) {
-			t.Fatalf("channel %s has %d monitors, want %d", channel, srv.Monitors(channel), n)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	waitFor(t, 5*time.Second, "channel subscription", func() bool {
+		return srv.Monitors(channel) >= n
+	})
 }
 
 func TestStreamingServiceRejectsEmptyScan(t *testing.T) {
@@ -164,7 +199,9 @@ func TestStreamingServiceRejectsEmptyScan(t *testing.T) {
 	// also ignored; the service keeps running until the source closes.
 	ioc.Publish("c", &pva.Frame{Kind: pva.KindEndOfScan, ScanID: "x"})
 	ioc.Publish("c", &pva.Frame{Kind: pva.KindProjection}) // invalid: no id
-	time.Sleep(50 * time.Millisecond)
+	waitFor(t, 5*time.Second, "frames to reach the service", func() bool {
+		return svc.FramesSeen() >= 2
+	})
 	ioc.Close()
 	if err := <-done; err == nil {
 		t.Fatal("service with zero completed scans should report the stream error")

@@ -148,6 +148,9 @@ func elemCount(dims []int) (int, error) {
 		if d < 0 {
 			return 0, fmt.Errorf("dxfile: negative dimension %d", d)
 		}
+		if d > 0 && n > math.MaxInt/d {
+			return 0, fmt.Errorf("dxfile: dims %v overflow element count", dims)
+		}
 		n *= d
 	}
 	return n, nil
@@ -286,11 +289,63 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("dxfile: %s: corrupt footer: %w", path, err)
 	}
+	if err := r.ftr.validate(ftrOff); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("dxfile: %s: %w", path, err)
+	}
 	for i := range r.ftr.Datasets {
 		d := &r.ftr.Datasets[i]
 		r.byName[d.Name] = d
 	}
 	return r, nil
+}
+
+// validate rejects malformed dataset indexes so the read path can trust
+// the footer: the JSON is attacker-adjacent input (a CRC protects against
+// accidental corruption, not against a crafted file), and every field it
+// carries is later used to size allocations and file reads.
+func (ftr *footer) validate(ftrOff int64) error {
+	seen := map[string]bool{}
+	for _, d := range ftr.Datasets {
+		if seen[d.Name] {
+			return fmt.Errorf("duplicate dataset %q in footer", d.Name)
+		}
+		seen[d.Name] = true
+		es, err := d.DType.size()
+		if err != nil {
+			return err
+		}
+		n, err := elemCount(d.Dims)
+		if err != nil {
+			return err
+		}
+		if n > math.MaxInt/es {
+			return fmt.Errorf("dataset %q: byte count overflows", d.Name)
+		}
+		if len(d.Offsets) != len(d.Sizes) {
+			return fmt.Errorf("dataset %q: %d offsets vs %d sizes",
+				d.Name, len(d.Offsets), len(d.Sizes))
+		}
+		total := 0
+		for i, size := range d.Sizes {
+			if size < 0 {
+				return fmt.Errorf("dataset %q chunk %d: negative size", d.Name, i)
+			}
+			off := d.Offsets[i]
+			if off < int64(len(magic)) || off+int64(size)+4 > ftrOff {
+				return fmt.Errorf("dataset %q chunk %d: out of file bounds", d.Name, i)
+			}
+			if total > math.MaxInt-size {
+				return fmt.Errorf("dataset %q: chunk sizes overflow", d.Name)
+			}
+			total += size
+		}
+		if total != n*es {
+			return fmt.Errorf("dataset %q: chunks hold %d bytes, dims %v need %d",
+				d.Name, total, d.Dims, n*es)
+		}
+	}
+	return nil
 }
 
 // Close closes the underlying file.

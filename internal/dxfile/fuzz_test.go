@@ -1,0 +1,105 @@
+package dxfile
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSeedFile returns the bytes of a small valid container.
+func buildSeedFile(t testing.TB) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seed.dxf")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ChunkBytes = 16 // several chunks even for small data
+	w.SetAttr("exchange", "facility", "als")
+	if err := w.WriteFloat64("exchange/theta", []int{4}, []float64{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteUint16("exchange/data", []int{2, 2, 2}, make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// FuzzDXFileRoundTrip opens arbitrary bytes as a container (must error,
+// never panic — the footer index is untrusted input) and checks that
+// writing a dataset derived from the same bytes reads back bit-identical.
+func FuzzDXFileRoundTrip(f *testing.F) {
+	seed := buildSeedFile(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)-5])        // truncated trailer
+	f.Add(append([]byte("DXF1"), 0)) // header only
+	mut := append([]byte(nil), seed...)
+	mut[len(mut)/2] ^= 0xff // corrupt a chunk or footer byte
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dir := t.TempDir()
+		in := filepath.Join(dir, "in.dxf")
+		if err := os.WriteFile(in, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if r, err := Open(in); err == nil {
+			for _, name := range r.Datasets() {
+				if _, _, err := r.Dims(name); err != nil {
+					t.Fatalf("open accepted %q but Dims failed: %v", name, err)
+				}
+				// Reads may fail (chunk checksums) but must not panic.
+				r.ReadFloat64(name)
+			}
+			r.Close()
+		}
+
+		// Round trip: the input bytes, reinterpreted as float64s, must
+		// survive write→read bit-exactly (NaN payloads included).
+		var data []float64
+		for i := 0; i+8 <= len(raw) && len(data) < 32; i += 8 {
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(raw[i:])))
+		}
+		if len(data) == 0 {
+			return
+		}
+		out := filepath.Join(dir, "out.dxf")
+		w, err := Create(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.ChunkBytes = 24 // force chunk boundaries mid-dataset
+		if err := w.WriteFloat64("exchange/data", []int{len(data)}, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(out)
+		if err != nil {
+			t.Fatalf("reopen fresh container: %v", err)
+		}
+		defer r.Close()
+		dims, got, err := r.ReadFloat64("exchange/data")
+		if err != nil {
+			t.Fatalf("read back: %v", err)
+		}
+		if len(dims) != 1 || dims[0] != len(data) || len(got) != len(data) {
+			t.Fatalf("dims %v, %d values, want [%d]", dims, len(got), len(data))
+		}
+		for i := range data {
+			if math.Float64bits(got[i]) != math.Float64bits(data[i]) {
+				t.Fatalf("value %d: %x -> %x", i, math.Float64bits(data[i]), math.Float64bits(got[i]))
+			}
+		}
+	})
+}

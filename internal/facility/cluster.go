@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // JobState is the lifecycle state of a batch job.
@@ -145,7 +146,11 @@ func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Jo
 	}
 	c.jobs = append(c.jobs, job)
 
-	// Queue and wait for a grant.
+	// Queue and wait for a grant, recording pending time vs walltime as
+	// separate trace stages — the split the paper's Table 2 diagnosis
+	// needs to tell scheduler congestion from slow reconstructions.
+	span := trace.FromContext(ctx)
+	qw := span.StartChildStage("queue_wait "+spec.Name, "queue_wait", proc.Now())
 	pj := &pendingJob{
 		job:      job,
 		priority: part.QOSPriority[spec.QOS],
@@ -155,6 +160,7 @@ func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Jo
 	part.pending = append(part.pending, pj)
 	c.dispatch(part)
 	pj.grant.Wait(proc)
+	qw.End(proc.Now())
 
 	if cerr := ctx.Err(); cerr != nil {
 		job.State = Cancelled
@@ -169,11 +175,13 @@ func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Jo
 
 	job.State = Running
 	job.Started = proc.Now()
+	wt := span.StartChildStage("walltime "+spec.Name, "walltime", proc.Now())
 	var err error
 	if spec.Run != nil {
-		err = spec.Run(ctx, proc)
+		err = spec.Run(trace.NewContext(ctx, wt), proc)
 	}
 	job.Ended = proc.Now()
+	wt.End(job.Ended)
 	if err != nil {
 		job.State = JobFailed
 		job.Err = err.Error()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // PilotEndpoint models a Globus-Compute-style function-as-a-service
@@ -48,9 +49,15 @@ func (pe *PilotEndpoint) Execute(ctx context.Context, p *sim.Proc, fn func(ctx c
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Worker wait (plus any cold start) vs execution mirror the batch
+	// path's queue_wait/walltime split, so both facility flavours break
+	// down the same way in a trace.
+	span := trace.FromContext(ctx)
+	qw := span.StartChildStage("queue_wait "+pe.Name, "queue_wait", p.Now())
 	pe.workers.Acquire(p)
 	defer pe.workers.Release()
 	if cerr := ctx.Err(); cerr != nil {
+		qw.End(p.Now())
 		return fmt.Errorf("facility: %s: execute cancelled before start: %w", pe.Name, cerr)
 	}
 	if pe.warmed < pe.workers.Capacity() {
@@ -58,6 +65,10 @@ func (pe *PilotEndpoint) Execute(ctx context.Context, p *sim.Proc, fn func(ctx c
 		pe.ColdStarts++
 		p.Sleep(pe.ColdStart)
 	}
+	qw.End(p.Now())
 	pe.Executions++
-	return fn(ctx, p)
+	wt := span.StartChildStage("walltime "+pe.Name, "walltime", p.Now())
+	err := fn(trace.NewContext(ctx, wt), p)
+	wt.End(p.Now())
+	return err
 }

@@ -1,0 +1,162 @@
+package facility
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestClusterSubmitSpans: a traced submission records queue_wait and
+// walltime child spans that partition the job's total time, matching the
+// job record exactly.
+func TestClusterSubmitSpans(t *testing.T) {
+	e := sim.New(epoch)
+	c := NewCluster(e, "perlmutter")
+	c.AddPartition("cpu", 1, map[string]int{"realtime": 10})
+	root := trace.NewRoot("run", epoch)
+	ctx := trace.NewContext(context.Background(), root)
+
+	// An occupant holds the single node for 10 minutes so the traced job
+	// has a nonzero queue wait.
+	e.Go("occupant", func(p *sim.Proc) {
+		c.Submit(nil, p, JobSpec{
+			Name: "filler", Partition: "cpu",
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(10 * time.Minute); return nil },
+		})
+	})
+	var job *Job
+	e.Go("u", func(p *sim.Proc) {
+		p.Sleep(time.Minute) // submit after the occupant holds the node
+		job, _ = c.Submit(ctx, p, JobSpec{
+			Name: "recon", Partition: "cpu", QOS: "realtime",
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(15 * time.Minute); return nil },
+		})
+	})
+	e.Run()
+
+	kids := root.Children()
+	if len(kids) != 2 {
+		t.Fatalf("children = %d, want queue_wait + walltime", len(kids))
+	}
+	qw, wt := kids[0], kids[1]
+	if qw.Stage() != "queue_wait" || wt.Stage() != "walltime" {
+		t.Fatalf("stages = %q, %q", qw.Stage(), wt.Stage())
+	}
+	if qw.Duration() != job.QueueWait() || qw.Duration() != 9*time.Minute {
+		t.Fatalf("queue_wait span %v, job %v", qw.Duration(), job.QueueWait())
+	}
+	if wt.Duration() != job.Walltime() || wt.Duration() != 15*time.Minute {
+		t.Fatalf("walltime span %v, job %v", wt.Duration(), job.Walltime())
+	}
+	if qw.EndTime() != wt.StartTime() {
+		t.Fatalf("stages not contiguous: %v vs %v", qw.EndTime(), wt.StartTime())
+	}
+}
+
+// TestClusterCancelledSpanCloses: a job cancelled while pending still
+// closes its queue_wait span and records no walltime span.
+func TestClusterCancelledSpans(t *testing.T) {
+	e := sim.New(epoch)
+	c := NewCluster(e, "c")
+	c.AddPartition("cpu", 1, nil)
+	root := trace.NewRoot("run", epoch)
+	ctx, cancel := context.WithCancel(trace.NewContext(context.Background(), root))
+
+	e.Go("occupant", func(p *sim.Proc) {
+		c.Submit(nil, p, JobSpec{
+			Name: "filler", Partition: "cpu",
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(time.Hour); return nil },
+		})
+	})
+	e.Go("u", func(p *sim.Proc) {
+		p.Sleep(time.Minute)
+		c.Submit(ctx, p, JobSpec{
+			Name: "doomed", Partition: "cpu",
+			Run: func(_ context.Context, p *sim.Proc) error { return nil },
+		})
+	})
+	e.Go("op", func(p *sim.Proc) {
+		p.Sleep(5 * time.Minute)
+		cancel()
+	})
+	e.Run()
+
+	kids := root.Children()
+	if len(kids) != 1 || kids[0].Stage() != "queue_wait" {
+		t.Fatalf("cancelled job spans = %+v", kids)
+	}
+	if !kids[0].Ended() {
+		t.Fatal("queue_wait span left open on cancel")
+	}
+}
+
+// TestPilotExecuteSpans: the pilot path breaks down the same way as the
+// batch path — queue_wait (acquire + cold start) then walltime.
+func TestPilotExecuteSpans(t *testing.T) {
+	e := sim.New(epoch)
+	pe := NewPilotEndpoint(e, "alcf", 1, 2*time.Minute)
+	root := trace.NewRoot("run", epoch)
+	ctx := trace.NewContext(context.Background(), root)
+	e.Go("u", func(p *sim.Proc) {
+		pe.Execute(ctx, p, func(_ context.Context, p *sim.Proc) error {
+			p.Sleep(8 * time.Minute)
+			return nil
+		})
+		// Warm second execution: zero queue_wait.
+		pe.Execute(ctx, p, func(_ context.Context, p *sim.Proc) error {
+			p.Sleep(3 * time.Minute)
+			return nil
+		})
+	})
+	e.Run()
+
+	kids := root.Children()
+	if len(kids) != 4 {
+		t.Fatalf("children = %d, want 2×(queue_wait+walltime)", len(kids))
+	}
+	if kids[0].Stage() != "queue_wait" || kids[0].Duration() != 2*time.Minute {
+		t.Fatalf("cold queue_wait = %v", kids[0].Duration())
+	}
+	if kids[1].Stage() != "walltime" || kids[1].Duration() != 8*time.Minute {
+		t.Fatalf("walltime = %v", kids[1].Duration())
+	}
+	if kids[2].Stage() != "queue_wait" || kids[2].Duration() != 0 {
+		t.Fatalf("warm queue_wait = %v", kids[2].Duration())
+	}
+	if kids[3].Stage() != "walltime" || kids[3].Duration() != 3*time.Minute {
+		t.Fatalf("warm walltime = %v", kids[3].Duration())
+	}
+}
+
+// TestJobBodySpanNesting: the job body's ctx carries the walltime span, so
+// work started inside the job nests under it.
+func TestJobBodySpanNesting(t *testing.T) {
+	e := sim.New(epoch)
+	c := NewCluster(e, "c")
+	c.AddPartition("cpu", 1, nil)
+	root := trace.NewRoot("run", epoch)
+	ctx := trace.NewContext(context.Background(), root)
+	e.Go("u", func(p *sim.Proc) {
+		c.Submit(ctx, p, JobSpec{
+			Name: "j", Partition: "cpu",
+			Run: func(ctx context.Context, p *sim.Proc) error {
+				inner := trace.FromContext(ctx).StartChildStage("step", "step", p.Now())
+				p.Sleep(time.Minute)
+				inner.End(p.Now())
+				return nil
+			},
+		})
+	})
+	e.Run()
+	wt := root.Children()[1]
+	if wt.Stage() != "walltime" {
+		t.Fatalf("second child = %q", wt.Stage())
+	}
+	inner := wt.Children()
+	if len(inner) != 1 || inner[0].Stage() != "step" || inner[0].Duration() != time.Minute {
+		t.Fatalf("nested spans = %+v", inner)
+	}
+}

@@ -15,8 +15,33 @@ import (
 //	GET /api/flows                      → list of flow names
 //	GET /api/flows/{name}/stats?last=N  → summary statistics
 //	GET /api/flows/{name}/runs          → run records
+//	GET /api/runs/{id}/trace            → the run's span tree
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/api/runs/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/api/runs/")
+		parts := strings.SplitN(rest, "/", 2)
+		if len(parts) != 2 || parts[1] != "trace" {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			http.Error(w, "bad run id", http.StatusBadRequest)
+			return
+		}
+		run, ok := s.RunByID(id)
+		if !ok {
+			http.Error(w, "no such run", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"id":    run.ID,
+			"flow":  run.Flow,
+			"state": run.State,
+			"trace": run.Trace.Snapshot(),
+		})
+	})
 	mux.HandleFunc("/api/flows", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.FlowNames())
 	})

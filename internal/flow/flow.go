@@ -29,6 +29,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Env abstracts time so flows run on either the virtual or the real clock.
@@ -139,6 +140,11 @@ type Run struct {
 	Class faults.Class
 	Tasks []*TaskRun
 	Logs  []LogEntry
+	// Trace is the run's span tree, recorded on the env clock: the root
+	// span covers the whole run, each task adds a child, and the
+	// transfer/facility/streaming layers hang sub-spans off the task
+	// span they find in the context.
+	Trace *trace.Span
 }
 
 // Duration returns the run's elapsed time.
@@ -189,9 +195,14 @@ func (s *Server) Start(ctx context.Context, flowName string, env Env) *Ctx {
 	defer s.mu.Unlock()
 	s.nextID++
 	run := &Run{ID: s.nextID, Flow: flowName, State: Running, Start: env.Now()}
+	run.Trace = trace.NewRoot(flowName, run.Start)
 	s.runs = append(s.runs, run)
 	return &Ctx{Env: env, Run: run, ctx: ctx, server: s}
 }
+
+// Span returns the run's root span, for flow bodies that want to record
+// stages outside any task.
+func (c *Ctx) Span() *trace.Span { return c.Run.Trace }
 
 // Outcome labels under the fault taxonomy, as exported to the metrics
 // registry.
@@ -218,11 +229,14 @@ func outcomeOf(state State, class faults.Class) string {
 }
 
 // Complete finalizes the run; err marks it FAILED (or CANCELLED when the
-// error classifies as a cancellation).
+// error classifies as a cancellation). The root span closes at the same
+// env-clock instant, and every completed span feeds the per-stage
+// latency histograms when a metrics registry is attached.
 func (c *Ctx) Complete(err error) {
 	c.server.mu.Lock()
 	defer c.server.mu.Unlock()
 	c.Run.End = c.Env.Now()
+	c.Run.Trace.End(c.Run.End)
 	if err != nil {
 		c.Run.Class = faults.Classify(err)
 		if c.Run.Class == faults.Cancelled {
@@ -237,6 +251,23 @@ func (c *Ctx) Complete(err error) {
 	if c.server.metrics != nil {
 		c.server.metrics.Add(fmt.Sprintf("flow_runs_total{flow=%q,outcome=%q}",
 			c.Run.Flow, outcomeOf(c.Run.State, c.Run.Class)), 1)
+		c.server.metrics.Observe(fmt.Sprintf("flow_duration_seconds{flow=%q}", c.Run.Flow),
+			c.Run.Duration().Seconds())
+		root := c.Run.Trace
+		root.Walk(func(depth int, sp *trace.Span) {
+			if depth == 0 || !sp.Ended() {
+				return
+			}
+			c.server.metrics.Observe(fmt.Sprintf("flow_stage_seconds{flow=%q,stage=%q}",
+				c.Run.Flow, sp.Stage()), sp.Duration().Seconds())
+		})
+		// The uninstrumented remainder is a stage of its own, so the
+		// histograms account for every second of the run.
+		totals := root.StageTotals()
+		if n := len(totals); n > 0 {
+			c.server.metrics.Observe(fmt.Sprintf("flow_stage_seconds{flow=%q,stage=%q}",
+				c.Run.Flow, trace.GapStage), totals[n-1].Seconds)
+		}
 	}
 }
 
@@ -290,6 +321,7 @@ func (o TaskOptions) deadline(now time.Time) time.Time {
 // Permanent fault from fn short-circuits retries entirely.
 func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) error) error {
 	tr := &TaskRun{Name: name, State: Running, Start: c.Env.Now()}
+	span := c.Run.Trace.StartChild(name, tr.Start)
 	c.server.mu.Lock()
 	c.Run.Tasks = append(c.Run.Tasks, tr)
 	cached := opts.IdempotencyKey != "" && c.server.idemp[opts.IdempotencyKey]
@@ -299,15 +331,16 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 		tr.Cached = true
 		tr.State = Completed
 		tr.End = c.Env.Now()
+		span.End(tr.End)
 		return nil
 	}
 
 	deadline := opts.deadline(c.Env.Now())
-	tctx := c.ctx
+	tctx := trace.NewContext(c.ctx, span)
 	if !deadline.IsZero() {
 		if _, real := c.Env.(RealEnv); real {
 			var cancel context.CancelFunc
-			tctx, cancel = context.WithDeadline(c.ctx, deadline)
+			tctx, cancel = context.WithDeadline(tctx, deadline)
 			defer cancel()
 		}
 	}
@@ -341,6 +374,7 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 		}
 	}
 	tr.End = c.Env.Now()
+	span.End(tr.End)
 	if err != nil {
 		tr.Class = faults.Classify(err)
 		if tr.Class == faults.Cancelled {
@@ -462,6 +496,67 @@ func (s *Server) Durations(name string, n int) []float64 {
 // runs of a flow.
 func (s *Server) Summary(name string, n int) stats.Summary {
 	return stats.Summarize(s.Durations(name, n))
+}
+
+// RunByID returns the run with the given ID, if any.
+func (s *Server) RunByID(id int) (*Run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// StageStat is one entry of a flow's per-stage latency breakdown.
+type StageStat struct {
+	Stage string
+	MeanS float64
+}
+
+// StageMeans returns the mean seconds spent per top-level stage over the
+// last n completed runs of a flow (n ≤ 0 means all), in task execution
+// order with the trace.GapStage remainder last. Because each run's stage
+// totals sum to its duration, the stage means sum to the flow's mean
+// duration — the property that lets Table 2's right-skew be attributed
+// to a stage.
+func (s *Server) StageMeans(name string, n int) []StageStat {
+	runs := s.Runs(name)
+	var completed []*Run
+	for _, r := range runs {
+		if r.State == Completed {
+			completed = append(completed, r)
+		}
+	}
+	if n > 0 && len(completed) > n {
+		completed = completed[len(completed)-n:]
+	}
+	if len(completed) == 0 {
+		return nil
+	}
+	var order []string
+	sums := map[string]float64{}
+	var gap float64
+	for _, r := range completed {
+		for _, st := range r.Trace.StageTotals() {
+			if st.Stage == trace.GapStage {
+				gap += st.Seconds
+				continue
+			}
+			if _, seen := sums[st.Stage]; !seen {
+				order = append(order, st.Stage)
+			}
+			sums[st.Stage] += st.Seconds
+		}
+	}
+	nf := float64(len(completed))
+	out := make([]StageStat, 0, len(order)+1)
+	for _, st := range order {
+		out = append(out, StageStat{Stage: st, MeanS: sums[st] / nf})
+	}
+	return append(out, StageStat{Stage: trace.GapStage, MeanS: gap / nf})
 }
 
 // SuccessRate returns the fraction of finished runs that completed.

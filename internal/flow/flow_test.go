@@ -254,10 +254,8 @@ func TestTaskDeadlineRealClock(t *testing.T) {
 // of letting the full duration elapse.
 func TestRealEnvSleepCtx(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(5 * time.Millisecond)
-		cancel()
-	}()
+	timer := time.AfterFunc(5*time.Millisecond, cancel)
+	defer timer.Stop()
 	start := time.Now()
 	err := RealEnv{}.SleepCtx(ctx, time.Hour)
 	if !errors.Is(err, context.Canceled) {

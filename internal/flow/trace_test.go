@@ -1,0 +1,254 @@
+package flow
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestRunTraceMatchesDuration: the root span covers exactly the run, and
+// each task contributes one child span with the task's own bounds.
+func TestRunTraceMatchesDuration(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		fc := s.Start(nil, "traced", SimEnv{p})
+		fc.Task("copy", TaskOptions{}, func(context.Context) error {
+			p.Sleep(30 * time.Second)
+			return nil
+		})
+		p.Sleep(10 * time.Second) // uninstrumented flow-body time
+		fc.Task("recon", TaskOptions{}, func(context.Context) error {
+			p.Sleep(20 * time.Second)
+			return nil
+		})
+		fc.Complete(nil)
+	})
+	e.Run()
+	r := s.Runs("traced")[0]
+	root := r.Trace
+	if !root.Ended() || root.Duration() != r.Duration() {
+		t.Fatalf("root span %v..%v, run %v..%v", root.StartTime(), root.EndTime(), r.Start, r.End)
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "copy" || kids[1].Name() != "recon" {
+		t.Fatalf("children = %+v", kids)
+	}
+	if kids[0].Duration() != 30*time.Second || kids[1].Duration() != 20*time.Second {
+		t.Fatalf("child durations %v, %v", kids[0].Duration(), kids[1].Duration())
+	}
+	// Stage totals: copy 30 + recon 20 + 10s gap = the 60s run.
+	totals := root.StageTotals()
+	var sum float64
+	for _, st := range totals {
+		sum += st.Seconds
+	}
+	if sum != r.Duration().Seconds() {
+		t.Fatalf("stage sum %v != run duration %v", sum, r.Duration().Seconds())
+	}
+	last := totals[len(totals)-1]
+	if last.Stage != trace.GapStage || last.Seconds != 10 {
+		t.Fatalf("gap stage = %+v", last)
+	}
+}
+
+// TestTaskSpanPropagatesThroughContext: the task body's ctx carries the
+// task span, so lower layers can hang sub-spans off it.
+func TestTaskSpanPropagatesThroughContext(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		fc := s.Start(nil, "ctxspan", SimEnv{p})
+		fc.Task("outer", TaskOptions{}, func(ctx context.Context) error {
+			sp := trace.FromContext(ctx)
+			if sp == nil {
+				t.Error("task ctx carries no span")
+				return nil
+			}
+			child := sp.StartChildStage("sub", "substage", p.Now())
+			p.Sleep(5 * time.Second)
+			child.End(p.Now())
+			return nil
+		})
+		fc.Complete(nil)
+	})
+	e.Run()
+	root := s.Runs("ctxspan")[0].Trace
+	outer := root.Children()[0]
+	subs := outer.Children()
+	if len(subs) != 1 || subs[0].Stage() != "substage" || subs[0].Duration() != 5*time.Second {
+		t.Fatalf("sub-spans = %+v", subs)
+	}
+}
+
+// TestCachedTaskSpanCloses: an idempotency-cached task still records a
+// (zero-length) span so traces stay structurally complete.
+func TestCachedTaskSpanCloses(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			fc := s.Start(nil, "idem", SimEnv{p})
+			fc.Task("t", TaskOptions{IdempotencyKey: "k1"}, func(context.Context) error {
+				p.Sleep(time.Minute)
+				return nil
+			})
+			fc.Complete(nil)
+		}
+	})
+	e.Run()
+	second := s.Runs("idem")[1]
+	sp := second.Trace.Children()[0]
+	if !sp.Ended() || sp.Duration() != 0 {
+		t.Fatalf("cached task span = %v (ended=%v)", sp.Duration(), sp.Ended())
+	}
+}
+
+// TestStageMeansSumToMeanDuration: per-run stage totals equal run duration,
+// so the stage means over n runs sum to the mean duration — the invariant
+// behind the benchtables per-stage column.
+func TestStageMeansSumToMeanDuration(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		for i := 1; i <= 3; i++ {
+			d := time.Duration(i) * time.Minute
+			fc := s.Start(nil, "sm", SimEnv{p})
+			fc.Task("copy", TaskOptions{}, func(context.Context) error {
+				p.Sleep(d)
+				return nil
+			})
+			fc.Task("recon", TaskOptions{}, func(context.Context) error {
+				p.Sleep(2 * d)
+				return nil
+			})
+			fc.Complete(nil)
+		}
+	})
+	e.Run()
+	means := s.StageMeans("sm", 0)
+	if len(means) != 3 { // copy, recon, gap
+		t.Fatalf("means = %+v", means)
+	}
+	if means[0].Stage != "copy" || means[0].MeanS != 120 {
+		t.Fatalf("copy mean = %+v", means[0])
+	}
+	if means[1].Stage != "recon" || means[1].MeanS != 240 {
+		t.Fatalf("recon mean = %+v", means[1])
+	}
+	if means[2].Stage != trace.GapStage || means[2].MeanS != 0 {
+		t.Fatalf("gap mean = %+v", means[2])
+	}
+	var sum float64
+	for _, m := range means {
+		sum += m.MeanS
+	}
+	mean := s.Summary("sm", 0).Mean
+	if math.Abs(sum-mean) > 1e-9 {
+		t.Fatalf("stage means sum %v != mean duration %v", sum, mean)
+	}
+	if got := s.StageMeans("sm", 1); got[0].MeanS != 180 || got[1].MeanS != 360 {
+		t.Fatalf("last-1 means = %+v", got)
+	}
+	if got := s.StageMeans("absent", 0); got != nil {
+		t.Fatalf("unknown flow means = %+v", got)
+	}
+}
+
+// TestStageHistograms: completing a run with metrics attached populates
+// flow_duration_seconds and flow_stage_seconds histograms, gap included.
+func TestStageHistograms(t *testing.T) {
+	s := NewServer()
+	reg := monitor.NewRegistry()
+	s.SetMetrics(reg)
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		fc := s.Start(nil, "hist", SimEnv{p})
+		fc.Task("copy", TaskOptions{}, func(context.Context) error {
+			p.Sleep(30 * time.Second)
+			return nil
+		})
+		p.Sleep(15 * time.Second)
+		fc.Complete(nil)
+	})
+	e.Run()
+	h, ok := reg.Histogram(`flow_duration_seconds{flow="hist"}`)
+	if !ok || h.Count != 1 || h.Sum != 45 {
+		t.Fatalf("duration histogram = %+v ok=%v", h, ok)
+	}
+	h, ok = reg.Histogram(`flow_stage_seconds{flow="hist",stage="copy"}`)
+	if !ok || h.Count != 1 || h.Sum != 30 {
+		t.Fatalf("copy histogram = %+v ok=%v", h, ok)
+	}
+	h, ok = reg.Histogram(`flow_stage_seconds{flow="hist",stage="other"}`)
+	if !ok || h.Count != 1 || h.Sum != 15 {
+		t.Fatalf("gap histogram = %+v ok=%v", h, ok)
+	}
+}
+
+// TestTraceEndpoint: GET /api/runs/{id}/trace returns the span tree with a
+// root duration equal to the run's, and 4xx on bad requests.
+func TestTraceEndpoint(t *testing.T) {
+	s := NewServer()
+	e := sim.New(epoch)
+	e.Go("f", func(p *sim.Proc) {
+		fc := s.Start(nil, "api", SimEnv{p})
+		fc.Task("copy", TaskOptions{}, func(context.Context) error {
+			p.Sleep(42 * time.Second)
+			return nil
+		})
+		fc.Complete(nil)
+	})
+	e.Run()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/runs/1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		ID    int         `json:"id"`
+		Flow  string      `json:"flow"`
+		State string      `json:"state"`
+		Trace *trace.Node `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ID != 1 || body.Flow != "api" || body.State != "COMPLETED" {
+		t.Fatalf("body = %+v", body)
+	}
+	run := s.Runs("api")[0]
+	if body.Trace == nil || body.Trace.DurationS != run.Duration().Seconds() {
+		t.Fatalf("trace root = %+v, run duration %v", body.Trace, run.Duration())
+	}
+	if len(body.Trace.Children) != 1 || body.Trace.Children[0].DurationS != 42 {
+		t.Fatalf("trace children = %+v", body.Trace.Children)
+	}
+
+	for path, want := range map[string]int{
+		"/api/runs/99/trace":  http.StatusNotFound,
+		"/api/runs/x/trace":   http.StatusBadRequest,
+		"/api/runs/1/nothing": http.StatusNotFound,
+		"/api/runs/1":         http.StatusNotFound,
+	} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Fatalf("%s status = %d, want %d", path, r.StatusCode, want)
+		}
+	}
+}

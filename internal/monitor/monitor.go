@@ -9,20 +9,51 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
+// DefaultBuckets are the histogram upper bounds Observe uses: wide enough
+// to span millisecond streaming previews and half-hour reconstruction
+// flows on one axis (seconds).
+var DefaultBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300, 1200, 3600}
+
+// histogram is a fixed-bucket latency distribution. counts[i] is the
+// number of observations ≤ buckets[i]; counts[len(buckets)] is +Inf.
+type histogram struct {
+	buckets []float64
+	counts  []uint64
+	sum     float64
+	total   uint64
+}
+
+func (h *histogram) observe(v float64) {
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.counts[len(h.buckets)]++
+	h.sum += v
+	h.total++
+}
+
 // Registry is a thread-safe set of named metrics.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]float64
-	gauges   map[string]float64
+	mu         sync.Mutex
+	counters   map[string]float64
+	gauges     map[string]float64
+	histograms map[string]*histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]float64{}, gauges: map[string]float64{}}
+	return &Registry{
+		counters:   map[string]float64{},
+		gauges:     map[string]float64{},
+		histograms: map[string]*histogram{},
+	}
 }
 
 // Add increments a counter.
@@ -37,6 +68,61 @@ func (r *Registry) Set(name string, value float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gauges[name] = value
+}
+
+// Observe records one value (in seconds) into the named histogram,
+// creating it with DefaultBuckets on first use. Like counters, the name
+// carries its label set baked in, e.g.
+// `flow_stage_seconds{flow="nersc_recon_flow",stage="globus_to_cfs"}`.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &histogram{
+			buckets: DefaultBuckets,
+			counts:  make([]uint64, len(DefaultBuckets)+1),
+		}
+		r.histograms[name] = h
+	}
+	h.observe(v)
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram. Counts are
+// cumulative per bucket; the final implicit +Inf bucket equals Count.
+type HistogramSnapshot struct {
+	Buckets []float64
+	Counts  []uint64 // len(Buckets)+1, last is +Inf
+	Sum     float64
+	Count   uint64
+}
+
+// Histogram returns a snapshot of the named histogram, if it exists.
+func (r *Registry) Histogram(name string) (HistogramSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		return HistogramSnapshot{}, false
+	}
+	return HistogramSnapshot{
+		Buckets: append([]float64(nil), h.buckets...),
+		Counts:  append([]uint64(nil), h.counts...),
+		Sum:     h.sum,
+		Count:   h.total,
+	}, true
+}
+
+// HistogramNames returns the sorted names of all histograms.
+func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.histograms))
+	for k := range r.histograms {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Counter returns a counter's current value.
@@ -67,7 +153,30 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
-// Handler exposes the metrics in a Prometheus-style text format.
+// decorate splits a metric name with a baked-in label set and rebuilds it
+// with a suffix on the bare name and extra labels appended, so
+// `x{a="1"}` becomes e.g. `x_bucket{a="1",le="10"}`. Names without labels
+// gain a fresh label set when extra labels are given.
+func decorate(name, suffix, extraLabels string) string {
+	bare, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		bare, labels = name[:i], name[i+1:len(name)-1]
+	}
+	if extraLabels != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extraLabels
+	}
+	if labels == "" {
+		return bare + suffix
+	}
+	return bare + suffix + "{" + labels + "}"
+}
+
+// Handler exposes the metrics in a Prometheus-style text format:
+// counters and gauges as bare samples, histograms as cumulative
+// _bucket{le=...} series plus _sum and _count.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		snap := r.Snapshot()
@@ -79,6 +188,19 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		for _, k := range names {
 			fmt.Fprintf(w, "%s %g\n", k, snap[k])
+		}
+		for _, k := range r.HistogramNames() {
+			h, ok := r.Histogram(k)
+			if !ok {
+				continue
+			}
+			for i, ub := range h.Buckets {
+				fmt.Fprintf(w, "%s %d\n",
+					decorate(k, "_bucket", fmt.Sprintf("le=%q", fmt.Sprintf("%g", ub))), h.Counts[i])
+			}
+			fmt.Fprintf(w, "%s %d\n", decorate(k, "_bucket", `le="+Inf"`), h.Counts[len(h.Buckets)])
+			fmt.Fprintf(w, "%s %g\n", decorate(k, "_sum", ""), h.Sum)
+			fmt.Fprintf(w, "%s %d\n", decorate(k, "_count", ""), h.Count)
 		}
 	})
 }

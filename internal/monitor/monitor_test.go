@@ -167,3 +167,84 @@ func TestHealthHandlerStatusCodes(t *testing.T) {
 		t.Fatalf("healthy status %d", r2.StatusCode)
 	}
 }
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	name := `flow_stage_seconds{flow="nersc_recon_flow",stage="globus_to_cfs"}`
+	for _, v := range []float64{0.0005, 0.5, 5, 50, 5000} {
+		r.Observe(name, v)
+	}
+	h, ok := r.Histogram(name)
+	if !ok {
+		t.Fatal("histogram missing")
+	}
+	if h.Count != 5 || h.Sum != 5055.5005 {
+		t.Fatalf("count=%d sum=%v", h.Count, h.Sum)
+	}
+	// Cumulative bucket counts against DefaultBuckets
+	// {0.001,0.01,0.1,1,10,60,300,1200,3600}.
+	want := []uint64{1, 1, 1, 2, 3, 4, 4, 4, 4, 5}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("counts[%d] = %d, want %d (all %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if _, ok := r.Histogram("absent"); ok {
+		t.Fatal("absent histogram reported present")
+	}
+	names := r.HistogramNames()
+	if len(names) != 1 || names[0] != name {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Add("plain_total", 2)
+	r.Observe(`stage_seconds{stage="copy"}`, 0.5)
+	r.Observe(`stage_seconds{stage="copy"}`, 30)
+	r.Observe("unlabeled_seconds", 1)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for _, want := range []string{
+		"plain_total 2\n",
+		`stage_seconds_bucket{stage="copy",le="1"} 1` + "\n",
+		`stage_seconds_bucket{stage="copy",le="60"} 2` + "\n",
+		`stage_seconds_bucket{stage="copy",le="+Inf"} 2` + "\n",
+		`stage_seconds_sum{stage="copy"} 30.5` + "\n",
+		`stage_seconds_count{stage="copy"} 2` + "\n",
+		`unlabeled_seconds_bucket{le="+Inf"} 1` + "\n",
+		"unlabeled_seconds_sum 1\n",
+		"unlabeled_seconds_count 1\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Observe("h", float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	h, _ := r.Histogram("h")
+	if h.Count != 1600 {
+		t.Fatalf("count = %d", h.Count)
+	}
+}

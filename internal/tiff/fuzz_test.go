@@ -1,0 +1,93 @@
+package tiff
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/vol"
+)
+
+// fuzzImage derives a small deterministic image from fuzz bytes: the first
+// two bytes pick the dimensions (1..16 each), the rest fill pixels.
+func fuzzImage(raw []byte) *vol.Image {
+	if len(raw) < 2 {
+		return nil
+	}
+	w := int(raw[0])%16 + 1
+	h := int(raw[1])%16 + 1
+	im := vol.NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = float64(raw[(2+i)%len(raw)]) / 7
+	}
+	return im
+}
+
+// FuzzTIFFRoundTrip feeds arbitrary bytes to Decode (must error, never
+// panic) and checks decode(encode(x)) == x for an image derived from the
+// same bytes.
+func FuzzTIFFRoundTrip(f *testing.F) {
+	// Seed with valid encodings in both formats and some corruptions.
+	seed := vol.NewImage(3, 2)
+	for i := range seed.Pix {
+		seed.Pix[i] = float64(i) * 1.5
+	}
+	for _, format := range []SampleFormat{F32, U16} {
+		enc, err := Encode(seed, format)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+		f.Add(enc[:len(enc)-3])
+		mut := bytes.Clone(enc)
+		mut[8] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("II\x2a\x00"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		// Arbitrary input must decode cleanly or error — never panic,
+		// never allocate beyond what the strip bytes justify.
+		if im, err := Decode(raw); err == nil {
+			if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H {
+				t.Fatalf("decoded inconsistent image %dx%d with %d pixels", im.W, im.H, len(im.Pix))
+			}
+		}
+
+		im := fuzzImage(raw)
+		if im == nil {
+			return
+		}
+		// F32 is exact for float32-representable values; pixels here are
+		// small rationals so the round trip must be bit-perfect after one
+		// float32 narrowing.
+		enc, err := Encode(im, F32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of fresh encoding: %v", err)
+		}
+		if got.W != im.W || got.H != im.H {
+			t.Fatalf("round trip %dx%d -> %dx%d", im.W, im.H, got.W, got.H)
+		}
+		for i := range im.Pix {
+			if got.Pix[i] != float64(float32(im.Pix[i])) {
+				t.Fatalf("pixel %d: %v -> %v", i, im.Pix[i], got.Pix[i])
+			}
+		}
+		// U16 is lossy (min/max scaled) but must still round trip the
+		// geometry without error.
+		enc16, err := Encode(im, U16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got16, err := Decode(enc16)
+		if err != nil {
+			t.Fatalf("u16 decode: %v", err)
+		}
+		if got16.W != im.W || got16.H != im.H {
+			t.Fatalf("u16 round trip %dx%d -> %dx%d", im.W, im.H, got16.W, got16.H)
+		}
+	})
+}

@@ -159,25 +159,36 @@ func Decode(raw []byte) (*vol.Image, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("tiff: bad dimensions %dx%d", w, h)
 	}
-	if offset < 0 || offset+nbytes > len(raw) {
+	if offset < 0 || nbytes < 0 || offset+nbytes > len(raw) {
 		return nil, fmt.Errorf("tiff: strip out of range")
 	}
-	if nbytes != w*h*bits/8 {
+	// Resolve the sample encoding before sizing anything: w and h come
+	// from untrusted 32-bit tags, so the byte-count check is done in
+	// uint64 (w*h < 2^64 always fits) to rule out overflow tricking us
+	// into allocating a huge image for a tiny strip.
+	var bytesPer int
+	switch {
+	case bits == 32 && sampleFmt == 3:
+		bytesPer = 4
+	case bits == 16 && sampleFmt == 1:
+		bytesPer = 2
+	default:
+		return nil, fmt.Errorf("tiff: %d-bit sample format %d unsupported", bits, sampleFmt)
+	}
+	if nbytes%bytesPer != 0 || uint64(w)*uint64(h) != uint64(nbytes/bytesPer) {
 		return nil, fmt.Errorf("tiff: strip has %d bytes for %dx%d×%d-bit", nbytes, w, h, bits)
 	}
 	im := vol.NewImage(w, h)
 	strip := raw[offset : offset+nbytes]
-	switch {
-	case bits == 32 && sampleFmt == 3:
+	switch bytesPer {
+	case 4:
 		for i := range im.Pix {
 			im.Pix[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(strip[i*4:])))
 		}
-	case bits == 16 && sampleFmt == 1:
+	case 2:
 		for i := range im.Pix {
 			im.Pix[i] = float64(binary.LittleEndian.Uint16(strip[i*2:]))
 		}
-	default:
-		return nil, fmt.Errorf("tiff: %d-bit sample format %d unsupported", bits, sampleFmt)
 	}
 	return im, nil
 }

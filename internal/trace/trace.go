@@ -1,0 +1,273 @@
+// Package trace records per-run span trees — the stage-level latency
+// breakdown the paper's operators use to answer "where did the 1525
+// seconds of nersc_recon_flow go?" (§4.2, Table 2). A flow run owns a
+// root span; each task opens a child span automatically; and the
+// transfer, facility, and streaming layers hang finer-grained sub-spans
+// (per-file copies, queue wait vs walltime, cache/recon/preview) off the
+// span they find in the context, exactly as OpenTelemetry propagates the
+// active span.
+//
+// Spans never read a clock themselves: every Start/End takes an explicit
+// timestamp supplied by the caller's environment, so a trace recorded
+// under the discrete-event kernel is identical run to run, and the same
+// instrumentation works on the wall clock. All methods are nil-safe —
+// instrumented layers call them unconditionally, and when no trace is
+// active the calls are no-ops.
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a run. The root span covers the whole run;
+// children subdivide it. A span whose End has not been called yet is
+// "open"; Snapshot reports it as such.
+type Span struct {
+	// mu is shared by every span of one tree, so concurrent children
+	// (parallel sub-stages on the real clock) are safe under -race.
+	mu       *sync.Mutex
+	name     string
+	stage    string
+	start    time.Time
+	end      time.Time
+	children []*Span
+}
+
+// NewRoot opens a root span at the given time.
+func NewRoot(name string, at time.Time) *Span {
+	return &Span{mu: &sync.Mutex{}, name: name, stage: name, start: at}
+}
+
+// StartChild opens a child span whose stage equals its name. A nil
+// receiver returns nil, so uninstrumented call paths cost nothing.
+func (s *Span) StartChild(name string, at time.Time) *Span {
+	return s.StartChildStage(name, name, at)
+}
+
+// StartChildStage opens a child span with a display name distinct from
+// its histogram stage key — how per-file copy spans keep the file path
+// visible in the trace while aggregating under one "copy" stage.
+func (s *Span) StartChildStage(name, stage string, at time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := &Span{mu: s.mu, name: name, stage: stage, start: at}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span at the given time. Ending twice keeps the first
+// end; ending a nil span is a no-op.
+func (s *Span) End(at time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = at
+	}
+}
+
+// Name returns the span's display name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Stage returns the span's histogram stage key ("" for nil).
+func (s *Span) Stage() string {
+	if s == nil {
+		return ""
+	}
+	return s.stage
+}
+
+// StartTime returns when the span opened (zero for nil).
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// EndTime returns when the span closed (zero while open or for nil).
+func (s *Span) EndTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// Ended reports whether End has been called.
+func (s *Span) Ended() bool { return !s.EndTime().IsZero() }
+
+// Duration returns the span's elapsed time (0 while open or for nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Children returns a copy of the direct children in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Walk visits the span and every descendant depth-first in creation
+// order. depth is 0 for the receiver. fn runs outside the tree lock, so
+// it may call any span method.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	if s == nil {
+		return
+	}
+	type visit struct {
+		depth int
+		sp    *Span
+	}
+	var order []visit
+	s.mu.Lock()
+	var collect func(depth int, sp *Span)
+	collect = func(depth int, sp *Span) {
+		order = append(order, visit{depth, sp})
+		for _, c := range sp.children {
+			collect(depth+1, c)
+		}
+	}
+	collect(0, s)
+	s.mu.Unlock()
+	for _, v := range order {
+		fn(v.depth, v.sp)
+	}
+}
+
+// Node is the JSON form of a span, with times rebased to seconds since
+// the root start so sim-kernel and wall-clock traces read alike.
+type Node struct {
+	Name      string  `json:"name"`
+	Stage     string  `json:"stage,omitempty"` // omitted when equal to Name
+	OffsetS   float64 `json:"offset_s"`
+	DurationS float64 `json:"duration_s"`
+	Open      bool    `json:"open,omitempty"` // span not yet ended
+	Children  []*Node `json:"children,omitempty"`
+}
+
+// Snapshot renders the tree as JSON-ready nodes (nil for a nil span).
+func (s *Span) Snapshot() *Node {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked(s.start)
+}
+
+func (s *Span) snapshotLocked(epoch time.Time) *Node {
+	n := &Node{
+		Name:    s.name,
+		OffsetS: s.start.Sub(epoch).Seconds(),
+	}
+	if s.stage != s.name {
+		n.Stage = s.stage
+	}
+	if s.end.IsZero() {
+		n.Open = true
+	} else {
+		n.DurationS = s.end.Sub(s.start).Seconds()
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, c.snapshotLocked(epoch))
+	}
+	return n
+}
+
+// GapStage is the synthetic stage name for run time not covered by any
+// top-level child span (fixed per-scan overheads, inter-task gaps).
+const GapStage = "other"
+
+// StageTotal is one entry of a per-run stage breakdown.
+type StageTotal struct {
+	Stage   string
+	Seconds float64
+}
+
+// StageTotals sums the direct children of an ended span by stage, in
+// first-start order, and appends a GapStage entry for the remainder so
+// the totals always sum to the span's own duration. Overlapping children
+// (parallel stages) can push the gap negative; it is clamped to zero, at
+// the cost of the sum-equals-total invariant, which only holds for
+// sequential stages — the shape of every flow in this repo.
+func (s *Span) StageTotals() []StageTotal {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var order []string
+	sums := map[string]float64{}
+	var covered float64
+	for _, c := range s.children {
+		if c.end.IsZero() {
+			continue
+		}
+		d := c.end.Sub(c.start).Seconds()
+		if _, seen := sums[c.stage]; !seen {
+			order = append(order, c.stage)
+		}
+		sums[c.stage] += d
+		covered += d
+	}
+	var total float64
+	if !s.end.IsZero() {
+		total = s.end.Sub(s.start).Seconds()
+	}
+	gap := total - covered
+	if gap < 0 {
+		gap = 0
+	}
+	out := make([]StageTotal, 0, len(order)+1)
+	for _, st := range order {
+		out = append(out, StageTotal{Stage: st, Seconds: sums[st]})
+	}
+	return append(out, StageTotal{Stage: GapStage, Seconds: gap})
+}
+
+// ctxKey is the context key type for the active span.
+type ctxKey struct{}
+
+// NewContext returns a context carrying sp as the active span.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the active span, or nil if none (including nil
+// ctx) — combined with nil-safe span methods, callers never branch.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return epoch.Add(d) }
+
+func TestSpanTreeLifecycle(t *testing.T) {
+	root := NewRoot("nersc_recon_flow", epoch)
+	if root.Name() != "nersc_recon_flow" || root.Stage() != "nersc_recon_flow" {
+		t.Fatalf("root name %q stage %q", root.Name(), root.Stage())
+	}
+	if root.Ended() || root.Duration() != 0 {
+		t.Fatal("open span must report Ended=false, Duration=0")
+	}
+	c1 := root.StartChild("globus_to_cfs", at(10*time.Second))
+	c1.End(at(70 * time.Second))
+	c2 := root.StartChild("slurm_recon_job", at(70*time.Second))
+	sub := c2.StartChildStage("queue_wait tomopy-1", "queue_wait", at(70*time.Second))
+	sub.End(at(100 * time.Second))
+	c2.End(at(400 * time.Second))
+	root.End(at(410 * time.Second))
+
+	if root.Duration() != 410*time.Second {
+		t.Fatalf("root duration %v", root.Duration())
+	}
+	if got := root.StartTime(); !got.Equal(epoch) {
+		t.Fatalf("root start %v", got)
+	}
+	if got := root.EndTime(); !got.Equal(at(410 * time.Second)) {
+		t.Fatalf("root end %v", got)
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "globus_to_cfs" || kids[1].Name() != "slurm_recon_job" {
+		t.Fatalf("children %v", kids)
+	}
+	if sub.Stage() != "queue_wait" || sub.Name() != "queue_wait tomopy-1" {
+		t.Fatalf("sub name %q stage %q", sub.Name(), sub.Stage())
+	}
+	// End is first-wins.
+	root.End(at(999 * time.Second))
+	if root.Duration() != 410*time.Second {
+		t.Fatalf("second End moved the span: %v", root.Duration())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	if c := s.StartChild("x", epoch); c != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if c := s.StartChildStage("x", "y", epoch); c != nil {
+		t.Fatal("nil span spawned a staged child")
+	}
+	s.End(epoch) // must not panic
+	if s.Name() != "" || s.Stage() != "" || s.Duration() != 0 || s.Ended() {
+		t.Fatal("nil accessors must return zero values")
+	}
+	if !s.StartTime().IsZero() || !s.EndTime().IsZero() {
+		t.Fatal("nil times must be zero")
+	}
+	if s.Children() != nil || s.Snapshot() != nil || s.StageTotals() != nil {
+		t.Fatal("nil views must be nil")
+	}
+	s.Walk(func(int, *Span) { t.Fatal("nil walk visited a span") })
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Fatal("nil ctx must yield nil span")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty ctx must yield nil span")
+	}
+	sp := NewRoot("r", epoch)
+	ctx := NewContext(context.Background(), sp)
+	if FromContext(ctx) != sp {
+		t.Fatal("span lost through context")
+	}
+	// nil ctx is upgraded, matching the rest of the repo's nil-ctx style.
+	if FromContext(NewContext(nil, sp)) != sp {
+		t.Fatal("nil parent ctx not upgraded")
+	}
+	// A child ctx sees the nearest span.
+	inner := sp.StartChild("c", epoch)
+	ctx2 := NewContext(ctx, inner)
+	if FromContext(ctx2) != inner || FromContext(ctx) != sp {
+		t.Fatal("nesting broken")
+	}
+}
+
+func TestSnapshotOffsetsAndJSON(t *testing.T) {
+	root := NewRoot("f", epoch)
+	c := root.StartChild("copy", at(22*time.Second))
+	c.End(at(115 * time.Second))
+	open := root.StartChildStage("copy raw/s1.h5", "copy", at(115*time.Second))
+	_ = open // left open deliberately
+	root.End(at(120 * time.Second))
+
+	n := root.Snapshot()
+	if n.Name != "f" || n.OffsetS != 0 || n.DurationS != 120 {
+		t.Fatalf("root node %+v", n)
+	}
+	if len(n.Children) != 2 {
+		t.Fatalf("children %d", len(n.Children))
+	}
+	if n.Children[0].OffsetS != 22 || n.Children[0].DurationS != 93 {
+		t.Fatalf("child node %+v", n.Children[0])
+	}
+	if n.Children[0].Stage != "" {
+		t.Fatalf("stage==name must be omitted, got %q", n.Children[0].Stage)
+	}
+	if !n.Children[1].Open || n.Children[1].DurationS != 0 || n.Children[1].Stage != "copy" {
+		t.Fatalf("open node %+v", n.Children[1])
+	}
+	raw, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Node
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DurationS != 120 || len(back.Children) != 2 {
+		t.Fatalf("json round trip %+v", back)
+	}
+}
+
+func TestStageTotalsSumToDuration(t *testing.T) {
+	root := NewRoot("new_file_832", epoch)
+	// 22 s of uninstrumented overhead before the first task.
+	c1 := root.StartChild("stage_to_data_server", at(22*time.Second))
+	c1.End(at(115 * time.Second))
+	c2 := root.StartChild("validate_checksum", at(115*time.Second))
+	c2.End(at(120 * time.Second))
+	// Two spans of the same stage aggregate.
+	c3 := root.StartChildStage("ingest a", "ingest", at(120*time.Second))
+	c3.End(at(121 * time.Second))
+	c4 := root.StartChildStage("ingest b", "ingest", at(121*time.Second))
+	c4.End(at(123 * time.Second))
+	root.End(at(125 * time.Second))
+
+	totals := root.StageTotals()
+	want := []StageTotal{
+		{"stage_to_data_server", 93},
+		{"validate_checksum", 5},
+		{"ingest", 3},
+		{GapStage, 24},
+	}
+	if len(totals) != len(want) {
+		t.Fatalf("totals %v", totals)
+	}
+	var sum float64
+	for i, w := range want {
+		if totals[i] != w {
+			t.Fatalf("totals[%d] = %v, want %v", i, totals[i], w)
+		}
+		sum += totals[i].Seconds
+	}
+	if sum != root.Duration().Seconds() {
+		t.Fatalf("stage sum %v != duration %v", sum, root.Duration().Seconds())
+	}
+}
+
+func TestStageTotalsClampsOverlap(t *testing.T) {
+	root := NewRoot("par", epoch)
+	a := root.StartChild("a", epoch)
+	b := root.StartChild("b", epoch)
+	a.End(at(10 * time.Second))
+	b.End(at(10 * time.Second))
+	root.End(at(10 * time.Second))
+	totals := root.StageTotals()
+	gap := totals[len(totals)-1]
+	if gap.Stage != GapStage || gap.Seconds != 0 {
+		t.Fatalf("overlap gap %v, want clamped 0", gap)
+	}
+	// Open children are excluded from the sums.
+	root2 := NewRoot("open", epoch)
+	root2.StartChild("never_ended", epoch)
+	root2.End(at(5 * time.Second))
+	totals2 := root2.StageTotals()
+	if len(totals2) != 1 || totals2[0] != (StageTotal{GapStage, 5}) {
+		t.Fatalf("open-child totals %v", totals2)
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	root := NewRoot("r", epoch)
+	a := root.StartChild("a", epoch)
+	a.StartChild("a1", epoch).End(epoch)
+	a.End(epoch)
+	root.StartChild("b", epoch).End(epoch)
+	root.End(epoch)
+
+	var got []string
+	var depths []int
+	root.Walk(func(d int, sp *Span) {
+		got = append(got, sp.Name())
+		depths = append(depths, d)
+		_ = sp.Duration() // locking accessors must be legal inside fn
+	})
+	want := []string{"r", "a", "a1", "b"}
+	wantD := []int{0, 1, 2, 1}
+	for i := range want {
+		if got[i] != want[i] || depths[i] != wantD[i] {
+			t.Fatalf("walk %v depths %v", got, depths)
+		}
+	}
+}
+
+func TestConcurrentChildrenRace(t *testing.T) {
+	// Real-clock flows may open sub-spans from parallel goroutines; the
+	// shared tree mutex must keep that safe under -race.
+	root := NewRoot("r", time.Now())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.StartChild("c", time.Now())
+				c.StartChildStage("s", "s", time.Now()).End(time.Now())
+				c.End(time.Now())
+				_ = root.Snapshot()
+				_ = root.StageTotals()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End(time.Now())
+	if got := len(root.Children()); got != 16*50 {
+		t.Fatalf("children = %d", got)
+	}
+}

@@ -1,0 +1,85 @@
+package transfer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// TestSubmitRecordsCopySpans: each file moved produces one "copy" child
+// span on the caller's context span, and the spans cover the task's whole
+// duration (transfers are sequential, so copy time sums to task time).
+func TestSubmitRecordsCopySpans(t *testing.T) {
+	fx := newFixture()
+	root := trace.NewRoot("run", epoch)
+	ctx := trace.NewContext(context.Background(), root)
+	var task *Task
+	fx.e.Go("main", func(p *sim.Proc) {
+		fx.als.Put(p, "scan/a.dxf", 10<<30, "sha:a")
+		fx.als.Put(p, "scan/b.dxf", 20<<30, "sha:b")
+		task, _ = fx.svc.Submit(ctx, p, "raw", "als", "cfs", []string{"scan/"})
+	})
+	fx.e.Run()
+	if task.State != Succeeded {
+		t.Fatalf("task = %+v", task)
+	}
+	kids := root.Children()
+	if len(kids) != 2 {
+		t.Fatalf("copy spans = %d, want one per file", len(kids))
+	}
+	var sum time.Duration
+	for _, sp := range kids {
+		if sp.Stage() != "copy" || !sp.Ended() {
+			t.Fatalf("span %q stage=%q ended=%v", sp.Name(), sp.Stage(), sp.Ended())
+		}
+		sum += sp.Duration()
+	}
+	if sum != task.Duration() {
+		t.Fatalf("copy spans sum %v != task duration %v", sum, task.Duration())
+	}
+	if kids[0].Name() != "copy scan/a.dxf" || kids[1].Name() != "copy scan/b.dxf" {
+		t.Fatalf("span names = %q, %q", kids[0].Name(), kids[1].Name())
+	}
+}
+
+// TestFailedCopySpanCloses: a file that exhausts retries still closes its
+// span, so failed tasks leave no open spans in the trace.
+func TestFailedCopySpanCloses(t *testing.T) {
+	fx := newFixture()
+	fx.svc.Fault = func(task *Task, path string, attempt int) error {
+		return errors.New("endpoint flapping") // plain errors classify transient
+	}
+	root := trace.NewRoot("run", epoch)
+	ctx := trace.NewContext(context.Background(), root)
+	fx.e.Go("main", func(p *sim.Proc) {
+		fx.als.Put(p, "scan/a.dxf", 1<<20, "sha:a")
+		fx.svc.Submit(ctx, p, "doomed", "als", "cfs", []string{"scan/a.dxf"})
+	})
+	fx.e.Run()
+	kids := root.Children()
+	if len(kids) != 1 || !kids[0].Ended() {
+		t.Fatalf("failed copy span = %+v", kids)
+	}
+	// The span covers the retries and backoffs: 2 backoffs of 10s and 20s.
+	if kids[0].Duration() < 30*time.Second {
+		t.Fatalf("span %v should include retry backoffs", kids[0].Duration())
+	}
+}
+
+// TestUntracedSubmitIsFree: with no span in the context, Submit works
+// identically and records nothing.
+func TestUntracedSubmitIsFree(t *testing.T) {
+	fx := newFixture()
+	fx.e.Go("main", func(p *sim.Proc) {
+		fx.als.Put(p, "scan/a.dxf", 1<<20, "sha:a")
+		task, err := fx.svc.Submit(context.Background(), p, "plain", "als", "cfs", []string{"scan/a.dxf"})
+		if err != nil || task.State != Succeeded {
+			t.Errorf("task = %+v err = %v", task, err)
+		}
+	})
+	fx.e.Run()
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // TaskState is the lifecycle state of a transfer task.
@@ -158,11 +159,18 @@ func (s *Service) Submit(ctx context.Context, p *sim.Proc, label, src, dst strin
 		// A missing source cannot be fixed by retrying the transfer.
 		return s.fail(p, task, faults.Wrap(faults.Permanent, err))
 	}
+	// Per-file copy spans hang off whatever span the caller's context
+	// carries (typically the flow task), aggregating under one "copy"
+	// stage while keeping each path visible in the trace.
+	parent := trace.FromContext(ctx)
 	for _, f := range files {
 		if cerr := ctx.Err(); cerr != nil {
 			return s.fail(p, task, fmt.Errorf("transfer: %s aborted: %w", label, cerr))
 		}
-		if err := s.moveFile(ctx, p, task, srcEP, dstEP, f); err != nil {
+		span := parent.StartChildStage("copy "+f.Path, "copy", p.Now())
+		err := s.moveFile(ctx, p, task, srcEP, dstEP, f)
+		span.End(p.Now())
+		if err != nil {
 			return s.fail(p, task, err)
 		}
 		task.Files++

@@ -1,6 +1,8 @@
 #!/bin/sh
 # check.sh — the same gate as `make check`, for environments without make:
-# formatting, static analysis, build, and the race-enabled test suite.
+# formatting, static analysis, build, the race-enabled test suite, a fuzz
+# smoke pass over the codec round-trip targets, and per-package coverage
+# floors on the layers the tracing work leans on.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,5 +23,31 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fuzz smoke (5s per target) =="
+go test -run '^$' -fuzz '^FuzzDXFileRoundTrip$' -fuzztime 5s ./internal/dxfile
+go test -run '^$' -fuzz '^FuzzTIFFRoundTrip$' -fuzztime 5s ./internal/tiff
+
+echo "== coverage floors =="
+# floor() fails the gate when a package's statement coverage drops below
+# its floor — the regression guard for the instrumented layers.
+floor() {
+	pkg=$1
+	min=$2
+	pct=$(go test -cover "$pkg" | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {sub(/%/,"",$i); print $i}}')
+	if [ -z "$pct" ]; then
+		echo "no coverage reported for $pkg"
+		exit 1
+	fi
+	ok=$(awk -v p="$pct" -v m="$min" 'BEGIN{print (p>=m) ? 1 : 0}')
+	if [ "$ok" != 1 ]; then
+		echo "coverage for $pkg is ${pct}%, below the ${min}% floor"
+		exit 1
+	fi
+	echo "coverage $pkg: ${pct}% (floor ${min}%)"
+}
+floor ./internal/trace 90
+floor ./internal/faults 90
+floor ./internal/flow 85
 
 echo "OK"
