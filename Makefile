@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race
+.PHONY: check fmt vet lint build test race
 
-# check is the full gate: formatting, static analysis, build, and the
-# race-enabled test suite. CI and pre-commit both run this one target.
-check: fmt vet build race
+# check is the full gate: formatting, static analysis (vet + the repo's
+# own analyzers), build, and the race-enabled test suite. CI and
+# pre-commit both run this one target.
+check: fmt vet lint build race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -14,6 +15,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project-specific analyzers (simclock, wrapcheck,
+# ctxfirst, testsleep); see `go run ./cmd/repolint -list`.
+lint:
+	$(GO) run ./cmd/repolint ./...
 
 build:
 	$(GO) build ./...

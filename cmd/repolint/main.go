@@ -1,0 +1,93 @@
+// Command repolint is the repository's own static-analysis gate: a
+// stdlib-only driver (go/ast + go/parser + go/types, no module
+// dependencies) running the project-specific analyzers in internal/lint.
+//
+// Usage:
+//
+//	go run ./cmd/repolint [-list] [-c analyzer[,analyzer...]] [patterns]
+//
+// Patterns default to ./... relative to the module root, which is found
+// by walking up from the working directory. Diagnostics print one per
+// line as "file:line:col: [analyzer] message"; the exit status is 0 when
+// clean, 1 when any diagnostic fired, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	checks := fs.String("c", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.All
+	if *checks != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := lint.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(stderr, "repolint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.LoadAndRun(root, fs.Args(), analyzers, lint.DefaultConfig())
+	if err != nil {
+		fmt.Fprintf(stderr, "repolint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "repolint: %d diagnostic(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/phantom"
+	"repro/internal/tomo"
+	"repro/internal/trace"
+)
+
+// stepClock is a deterministic virtual clock: every Now() advances by a
+// fixed step, so two identical call sequences read identical timestamps.
+// It stands in for the discrete-event kernel in this regression test.
+type stepClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time        { c.t = c.t.Add(c.step); return c.t }
+func (c *stepClock) Sleep(d time.Duration) { c.t = c.t.Add(d) }
+
+// runPipelineOnce executes the full pipeline under a fresh injected clock
+// and returns the span-tree JSON and the raw DXchange bytes.
+func runPipelineOnce(t *testing.T, dir string) (spanJSON, rawFile []byte) {
+	t.Helper()
+	clk := &stepClock{t: time.Unix(1700000000, 0).UTC(), step: 125 * time.Millisecond}
+	root := trace.NewRoot("det_run", clk.Now())
+	ctx := trace.NewContext(context.Background(), root)
+	res, err := RunScanPipeline(ctx, "det-001", phantom.SheppLogan3D(16, 4),
+		tomo.UniformAngles(24), tomo.AcquireOptions{I0: 1e4, Seed: 7},
+		PipelineOptions{WorkDir: dir, Env: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End(clk.Now())
+	snap, err := json.Marshal(root.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(res.RawPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, raw
+}
+
+// TestPipelineDeterministicUnderInjectedClock is the regression test for
+// the wall-clock leak simclock exists to prevent: with every timestamp
+// routed through the environment clock, two identical runs must produce
+// byte-identical span trees AND byte-identical raw files (the DXchange
+// metadata embeds the acquisition start time).
+func TestPipelineDeterministicUnderInjectedClock(t *testing.T) {
+	snap1, raw1 := runPipelineOnce(t, t.TempDir())
+	snap2, raw2 := runPipelineOnce(t, t.TempDir())
+	if !bytes.Equal(snap1, snap2) {
+		t.Fatalf("span trees diverge between identical runs:\nrun1: %s\nrun2: %s", snap1, snap2)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("DXchange bytes diverge between identical runs")
+	}
+	for _, stage := range []string{"acquire", "write_raw", "recon", "outputs"} {
+		if !bytes.Contains(snap1, []byte(stage)) {
+			t.Errorf("span tree missing %q stage:\n%s", stage, snap1)
+		}
+	}
+}
+
+// TestPipelineStampsFromInjectedClock pins the other half of the
+// guarantee: the recorded durations reflect virtual time (the stepClock's
+// fixed increments), not however long the host took.
+func TestPipelineStampsFromInjectedClock(t *testing.T) {
+	clk := &stepClock{t: time.Unix(1700000000, 0).UTC(), step: time.Second}
+	res, err := RunScanPipeline(context.Background(), "det-002", phantom.SheppLogan3D(16, 4),
+		tomo.UniformAngles(24), tomo.AcquireOptions{I0: 1e4, Seed: 7},
+		PipelineOptions{WorkDir: t.TempDir(), Env: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each stage brackets its work with two Now() reads beyond the
+	// duration pair, so every recorded duration is an exact multiple of
+	// the step — impossible if any stage read the wall clock.
+	for name, d := range map[string]time.Duration{
+		"acquire": res.AcquireDur, "write": res.WriteDur,
+		"recon": res.ReconDur, "outputs": res.OutputDur,
+	} {
+		if d <= 0 || d%time.Second != 0 {
+			t.Errorf("%s duration %v is not a whole number of virtual steps", name, d)
+		}
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"time"
 
 	"repro/internal/dxfile"
+	"repro/internal/flow"
 	"repro/internal/scicat"
 	"repro/internal/tiff"
 	"repro/internal/tiled"
 	"repro/internal/tomo"
+	"repro/internal/trace"
 	"repro/internal/vol"
 	"repro/internal/zarr"
 )
@@ -34,6 +36,19 @@ type PipelineOptions struct {
 	// Tiled, when set, gets the reconstructed volume registered for
 	// web access under the scan id.
 	Tiled *tiled.Server
+	// Env is the clock every timestamp and duration is taken from (nil
+	// means the wall clock). Injecting a fixed or virtual clock makes the
+	// written DXchange metadata and the recorded span tree byte-identical
+	// across runs — the determinism guarantee the sim kernel promises.
+	Env flow.Env
+}
+
+// clock resolves the effective environment clock.
+func (o PipelineOptions) clock() flow.Env {
+	if o.Env != nil {
+		return o.Env
+	}
+	return flow.RealEnv{}
 }
 
 // PipelineResult reports what the pipeline produced.
@@ -58,10 +73,16 @@ type PipelineResult struct {
 // reconstruct every slice in parallel, write the multiscale Zarr pyramid,
 // and register metadata and access. It is the engine behind the
 // quickstart and case-study examples.
+//
+// All timestamps come from opts.Env, and each stage records a child span
+// on any trace carried by ctx, so a pipeline run under an injected clock
+// is fully reproducible.
 func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, theta []float64, acqOpts tomo.AcquireOptions, opts PipelineOptions) (*PipelineResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	env := opts.clock()
+	parent := trace.FromContext(ctx)
 	res := &PipelineResult{ScanID: scanID}
 	dir := opts.WorkDir
 	if dir == "" {
@@ -80,17 +101,20 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: pipeline %s: %w", scanID, err)
 	}
-	t0 := time.Now()
+	t0 := env.Now()
+	span := parent.StartChildStage("acquire "+scanID, "acquire", t0)
 	acq := tomo.Acquire(truth, theta, truth.W, acqOpts)
-	res.AcquireDur = time.Since(t0)
+	res.AcquireDur = env.Now().Sub(t0)
+	span.End(env.Now())
 
 	// File-writer: DXchange file with embedded metadata.
-	t0 = time.Now()
+	t0 = env.Now()
+	span = parent.StartChildStage("write_raw "+scanID, "write_raw", t0)
 	res.RawPath = filepath.Join(dir, scanID+".dxf")
 	meta := dxfile.ScanMeta{
 		ScanID: scanID, Beamline: "8.3.2", Sample: scanID,
 		Instrument: "microCT", Operator: "als-user",
-		StartTime: time.Now().UTC().Format(time.RFC3339), Energy: "25",
+		StartTime: env.Now().UTC().Format(time.RFC3339), Energy: "25",
 	}
 	if err := dxfile.WriteDXchange(res.RawPath, acq, meta); err != nil {
 		return nil, fmt.Errorf("core: write raw: %w", err)
@@ -98,13 +122,15 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	if st, err := os.Stat(res.RawPath); err == nil {
 		res.RawBytes = st.Size()
 	}
-	res.WriteDur = time.Since(t0)
+	res.WriteDur = env.Now().Sub(t0)
+	span.End(env.Now())
 
 	// HPC side: read back, preprocess, reconstruct in parallel.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: pipeline %s: %w", scanID, err)
 	}
-	t0 = time.Now()
+	t0 = env.Now()
+	span = parent.StartChildStage("recon "+scanID, "recon", t0)
 	loaded, loadedMeta, err := dxfile.ReadDXchange(res.RawPath)
 	if err != nil {
 		return nil, fmt.Errorf("core: read raw: %w", err)
@@ -118,13 +144,15 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 		return nil, fmt.Errorf("core: reconstruct: %w", err)
 	}
 	res.Volume = volume
-	res.ReconDur = time.Since(t0)
+	res.ReconDur = env.Now().Sub(t0)
+	span.End(env.Now())
 
 	// Outputs: multiscale Zarr, catalog, access layer.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: pipeline %s: %w", scanID, err)
 	}
-	t0 = time.Now()
+	t0 = env.Now()
+	span = parent.StartChildStage("outputs "+scanID, "outputs", t0)
 	res.ZarrPath = filepath.Join(dir, scanID+".zarr")
 	chunk := opts.ZarrChunk
 	if chunk <= 0 {
@@ -146,7 +174,7 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 		d, err := opts.Catalog.Ingest(scicat.Dataset{
 			ScanID: scanID, Sample: loadedMeta.Sample, Beamline: loadedMeta.Beamline,
 			Owner: loadedMeta.Operator, SizeBytes: res.RawBytes,
-			CreatedAt: time.Now(), SourcePath: res.RawPath,
+			CreatedAt: env.Now(), SourcePath: res.RawPath,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: catalog ingest: %w", err)
@@ -158,6 +186,7 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 			return nil, fmt.Errorf("core: tiled register: %w", err)
 		}
 	}
-	res.OutputDur = time.Since(t0)
+	res.OutputDur = env.Now().Sub(t0)
+	span.End(env.Now())
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/msgq"
 	"repro/internal/pva"
 	"repro/internal/tiled"
@@ -91,6 +92,10 @@ type StreamingService struct {
 	Channel     string
 	PreviewAddr string
 	Recon       tomo.ReconOptions
+	// Env supplies every timestamp the service records (nil means the
+	// wall clock), keeping span trees reproducible under an injected
+	// clock.
+	Env flow.Env
 
 	// ScansDone and LastLatency report progress for tests and the demo.
 	ScansDone   int
@@ -106,6 +111,14 @@ type StreamingService struct {
 // FramesSeen returns the number of frames the service has received so
 // far (valid or not). Safe to call while Run is in progress.
 func (s *StreamingService) FramesSeen() int64 { return s.frames.Load() }
+
+// clock resolves the effective environment clock.
+func (s *StreamingService) clock() flow.Env {
+	if s.Env != nil {
+		return s.Env
+	}
+	return flow.RealEnv{}
+}
 
 // scanCache accumulates one acquisition's frames.
 type scanCache struct {
@@ -132,8 +145,9 @@ func (s *StreamingService) Run(ctx context.Context) error {
 
 	// Streaming stages hang off whatever span the caller's context
 	// carries: one "cache" span per scan while frames accumulate, then
-	// "recon" and "preview_send" inside reconstructAndSend. The service
-	// runs on the wall clock, so spans do too.
+	// "recon" and "preview_send" inside reconstructAndSend. Timestamps
+	// come from the service's environment clock.
+	env := s.clock()
 	parent := trace.FromContext(ctx)
 	var cache *scanCache
 	var cacheSpan *trace.Span
@@ -153,8 +167,8 @@ func (s *StreamingService) Run(ctx context.Context) error {
 			if cache == nil {
 				continue
 			}
-			cacheSpan.End(time.Now())
-			t0 := time.Now()
+			cacheSpan.End(env.Now())
+			t0 := env.Now()
 			if err := s.reconstructAndSend(ctx, parent, push, cache, mon.Missed, t0); err != nil {
 				return err
 			}
@@ -167,9 +181,9 @@ func (s *StreamingService) Run(ctx context.Context) error {
 			continue // the file-writer drops invalid frames; so do we
 		}
 		if cache == nil || cache.scanID != f.ScanID {
-			cacheSpan.End(time.Now()) // geometry/scan change: close any stale span
+			cacheSpan.End(env.Now()) // geometry/scan change: close any stale span
 			cache = &scanCache{scanID: f.ScanID, rows: f.Rows, cols: f.Cols}
-			cacheSpan = parent.StartChildStage("cache "+f.ScanID, "cache", time.Now())
+			cacheSpan = parent.StartChildStage("cache "+f.ScanID, "cache", env.Now())
 		}
 		if f.Rows != cache.rows || f.Cols != cache.cols {
 			continue // geometry change mid-scan: drop frame
@@ -190,7 +204,8 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace
 	if len(c.projs) == 0 {
 		return fmt.Errorf("core: scan %s completed with no projections", c.scanID)
 	}
-	recon := parent.StartChildStage("recon "+c.scanID, "recon", time.Now())
+	env := s.clock()
+	recon := parent.StartChildStage("recon "+c.scanID, "recon", env.Now())
 	ps := tomo.NewProjectionSet(c.angles, c.rows, c.cols)
 	for a, proj := range c.projs {
 		dst := ps.Projection(a)
@@ -205,11 +220,11 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace
 	li := tomo.MinusLog(tomo.Normalize(ps, flat, dark))
 
 	xy, xz, yz, err := tomo.QuickPreview(ctx, li, s.Recon)
-	recon.End(time.Now())
+	recon.End(env.Now())
 	if err != nil {
 		return err
 	}
-	lat := time.Since(t0)
+	lat := env.Now().Sub(t0)
 	s.LastLatency = lat
 	s.LastMissed = missed
 	msg, err := EncodePreview(PreviewHeader{
@@ -219,9 +234,9 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace
 	if err != nil {
 		return err
 	}
-	send := parent.StartChildStage("preview_send "+c.scanID, "preview_send", time.Now())
-	err = push.Send(msg)
-	send.End(time.Now())
+	send := parent.StartChildStage("preview_send "+c.scanID, "preview_send", env.Now())
+	err = push.Send(ctx, msg)
+	send.End(env.Now())
 	return err
 }
 
@@ -251,6 +266,9 @@ func averageFrames(frames [][]uint16, n int, fallback float64) []float64 {
 // projection angle, then the end-of-scan marker. interFrame throttles the
 // stream (0 = as fast as possible).
 func PublishAcquisition(srv *pva.Server, channel, scanID string, acq *tomo.Acquisition, interFrame time.Duration) error {
+	// The publisher plays the role of the detector IOC, which genuinely
+	// runs on the wall clock; RealEnv is the sanctioned gateway for that.
+	env := flow.RealEnv{}
 	raw := acq.Raw
 	seq := uint64(0)
 	send := func(f *pva.Frame) error {
@@ -259,7 +277,7 @@ func PublishAcquisition(srv *pva.Server, channel, scanID string, acq *tomo.Acqui
 		f.ScanID = scanID
 		f.Rows = raw.NRows
 		f.Cols = raw.NCols
-		f.Timestamp = time.Now().UnixNano()
+		f.Timestamp = env.Now().UnixNano()
 		return srv.Publish(channel, f)
 	}
 	toU16 := func(xs []float64) []uint16 {
@@ -291,7 +309,7 @@ func PublishAcquisition(srv *pva.Server, channel, scanID string, acq *tomo.Acqui
 			return err
 		}
 		if interFrame > 0 {
-			time.Sleep(interFrame)
+			env.Sleep(interFrame)
 		}
 	}
 	return send(&pva.Frame{Kind: pva.KindEndOfScan})

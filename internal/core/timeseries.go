@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/tomo"
 	"repro/internal/vol"
 )
@@ -57,12 +58,15 @@ func Reconstruct4D(ctx context.Context, scanID string, acqs []*tomo.Acquisition,
 		return nil, fmt.Errorf("core: %d timestamps for %d timesteps", len(stamps), len(acqs))
 	}
 	ts := &TimeSeries{ScanID: scanID}
+	// ReconMS is diagnostic wall time, not data; RealEnv is the sanctioned
+	// gateway for reading it.
+	env := flow.RealEnv{}
 	for i, acq := range acqs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		li := tomo.MinusLog(tomo.Normalize(acq.Raw, acq.Flat, acq.Dark))
-		t0 := time.Now()
+		t0 := env.Now()
 		v, err := tomo.ReconstructVolume(ctx, li, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: timestep %d: %w", i, err)
@@ -73,7 +77,7 @@ func Reconstruct4D(ctx context.Context, scanID string, acqs []*tomo.Acquisition,
 		}
 		ts.Steps = append(ts.Steps, TimeStep{
 			Index: i, Time: stamp, Volume: v,
-			ReconMS: float64(time.Since(t0).Microseconds()) / 1000,
+			ReconMS: float64(env.Now().Sub(t0).Microseconds()) / 1000,
 		})
 	}
 	return ts, nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/flow"
 )
 
 // SFAPI is a real-time HTTP facade in the shape of NERSC's Superfacility
@@ -21,6 +22,7 @@ import (
 type SFAPI struct {
 	token    string
 	commands map[string]Command
+	env      flow.Env
 
 	mu     sync.Mutex
 	jobs   map[int]*SFJob
@@ -46,7 +48,16 @@ type SFJob struct {
 
 // NewSFAPI creates a facade requiring the given bearer token.
 func NewSFAPI(token string) *SFAPI {
-	return &SFAPI{token: token, commands: map[string]Command{}, jobs: map[int]*SFJob{}}
+	return &SFAPI{token: token, commands: map[string]Command{}, jobs: map[int]*SFJob{},
+		env: flow.RealEnv{}}
+}
+
+// SetEnv replaces the clock used for Submitted/Ended stamps (tests inject
+// a fixed or virtual clock). Call before submitting any jobs.
+func (s *SFAPI) SetEnv(env flow.Env) {
+	if env != nil {
+		s.env = env
+	}
 }
 
 // Register installs a named command.
@@ -77,7 +88,7 @@ func (s *SFAPI) SubmitCtx(ctx context.Context, command string, args map[string]s
 	s.nextID++
 	job := &SFJob{
 		ID: s.nextID, Command: command, Args: args,
-		State: Running, Submitted: time.Now(),
+		State: Running, Submitted: s.env.Now(),
 		cancel: cancel, done: make(chan struct{}),
 	}
 	s.jobs[job.ID] = job
@@ -90,7 +101,7 @@ func (s *SFAPI) SubmitCtx(ctx context.Context, command string, args map[string]s
 		err := cmd(ctx, args)
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		job.Ended = time.Now()
+		job.Ended = s.env.Now()
 		switch {
 		case ctx.Err() != nil:
 			job.State = Cancelled
@@ -112,7 +123,7 @@ func (s *SFAPI) Job(id int) (*SFJob, error) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		return nil, fmt.Errorf("sfapi: no job %d", id)
+		return nil, faults.Errorf(faults.Permanent, "sfapi: no job %d", id)
 	}
 	cp := *j
 	cp.cancel = nil
@@ -126,7 +137,7 @@ func (s *SFAPI) Cancel(id int) error {
 	j, ok := s.jobs[id]
 	s.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("sfapi: no job %d", id)
+		return faults.Errorf(faults.Permanent, "sfapi: no job %d", id)
 	}
 	j.cancel()
 	return nil

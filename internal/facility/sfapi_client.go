@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/flow"
 )
 
 // SFClient is the caller's side of the Superfacility API: the beamline
@@ -26,6 +27,9 @@ type SFClient struct {
 	HTTP *http.Client
 	// PollInterval paces Wait's status polling (default 250ms).
 	PollInterval time.Duration
+	// Env supplies the poll wait (nil means the wall clock), so Wait can
+	// run under an injected clock in tests and the sim kernel.
+	Env flow.Env
 }
 
 func (c *SFClient) httpClient() *http.Client {
@@ -33,6 +37,14 @@ func (c *SFClient) httpClient() *http.Client {
 		return c.HTTP
 	}
 	return http.DefaultClient
+}
+
+// clock resolves the effective environment clock.
+func (c *SFClient) clock() flow.Env {
+	if c.Env != nil {
+		return c.Env
+	}
+	return flow.RealEnv{}
 }
 
 // do issues one authenticated request and decodes the JSON response into
@@ -124,8 +136,7 @@ func (c *SFClient) Wait(ctx context.Context, id int) (*SFJob, error) {
 	if interval <= 0 {
 		interval = 250 * time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
+	env := c.clock()
 	for {
 		job, err := c.Job(ctx, id)
 		if err != nil {
@@ -135,9 +146,7 @@ func (c *SFClient) Wait(ctx context.Context, id int) (*SFJob, error) {
 		} else if terminal(job.State) {
 			return job, nil
 		}
-		select {
-		case <-ticker.C:
-		case <-ctx.Done():
+		if err := flow.SleepCtx(ctx, env, interval); err != nil {
 			return nil, fmt.Errorf("sfapi client: wait for job %d aborted: %w", id, ctx.Err())
 		}
 	}

@@ -46,10 +46,11 @@ type ctxSleeper interface {
 	SleepCtx(ctx context.Context, d time.Duration) error
 }
 
-// sleepCtx sleeps d on env, returning the context's error if it is (or
+// SleepCtx sleeps d on env, returning the context's error if it is (or
 // becomes) done. On envs without native ctx support the full sleep elapses
-// before cancellation is observed.
-func sleepCtx(ctx context.Context, env Env, d time.Duration) error {
+// before cancellation is observed. It is the ctx-aware wait every layer
+// shares (task backoff, SFAPI polling) instead of raw time.Sleep.
+func SleepCtx(ctx context.Context, env Env, d time.Duration) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -349,7 +350,7 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		if attempt > 0 {
 			c.Logf("WARN", "task %s attempt %d after error: %v", name, attempt+1, err)
-			if serr := sleepCtx(c.ctx, c.Env, opts.RetryDelay<<(attempt-1)); serr != nil {
+			if serr := SleepCtx(c.ctx, c.Env, opts.RetryDelay<<(attempt-1)); serr != nil {
 				err = fmt.Errorf("flow: task %s retry aborted: %w", name, serr)
 				break
 			}

@@ -1,0 +1,139 @@
+// Package leakcheck detects goroutines that outlive a package's tests —
+// the listener accept loops, monitor pumps, and forgotten timers that
+// accumulate across a long `go test ./...` run and turn -race runs flaky.
+// It is a stdlib-only take on the goleak idea: snapshot the stacks of
+// every live goroutine when TestMain finishes, discard the stanzas that
+// are known to live forever (the test runner itself, the runtime's own
+// workers), and retry with backoff before declaring a leak, since
+// goroutines legitimately need a moment to observe a Close and exit.
+//
+// Wire it into a package with one line:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxRetries and baseDelay pace the settle loop: total worst-case wait is
+// sum(baseDelay << i) ≈ 1.3s, far below any test timeout but enough for a
+// deferred Close to propagate to its accept loop under a loaded machine.
+const (
+	maxRetries = 7
+	baseDelay  = 10 * time.Millisecond
+)
+
+// ignoredSubstrings mark goroutine stanzas that are expected to be alive
+// after the tests finish: the testing framework, the runtime's own
+// machinery, and this package's snapshot taker.
+var ignoredSubstrings = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"runtime.goexit0",
+	"runtime.gc",
+	"runtime.MHeap",
+	"runtime/trace",
+	"signal.signal_recv",
+	"signal.loop",
+	"runtime.ensureSigM",
+	"leakcheck.Check",
+	"leakcheck.MainCode",
+	"os/signal.NotifyContext",
+	// The netpoller and GC background workers park forever by design.
+	"created by runtime",
+	"runtime.bgsweep",
+	"runtime.bgscavenge",
+	"runtime.forcegchelper",
+}
+
+// Main runs the package's tests and exits the process, failing (exit code
+// 1) when the tests passed but goroutines leaked. It is the standard
+// TestMain body.
+func Main(m *testing.M) {
+	os.Exit(MainCode(m.Run()))
+}
+
+// MainCode combines a test run's exit code with the leak verdict: a
+// failing test run is reported as-is (its failure output is more useful
+// than a leak report caused by aborted cleanup); a passing run is
+// promoted to failure when goroutines leaked.
+func MainCode(testCode int) int {
+	if testCode != 0 {
+		return testCode
+	}
+	if leaked := Check(); leaked != "" {
+		fmt.Fprintf(os.Stderr, "leakcheck: goroutines still running after tests:\n%s\n", leaked)
+		return 1
+	}
+	return 0
+}
+
+// Check snapshots the live goroutines, retrying with exponential backoff
+// while suspects remain, and returns the formatted stacks of any that
+// never exited ("" when clean).
+func Check() string {
+	var leaked []string
+	for attempt := 0; ; attempt++ {
+		leaked = suspectStacks()
+		if len(leaked) == 0 || attempt >= maxRetries {
+			break
+		}
+		time.Sleep(baseDelay << attempt)
+	}
+	return strings.Join(leaked, "\n")
+}
+
+// suspectStacks returns the goroutine stanzas not covered by the ignore
+// list.
+func suspectStacks() []string {
+	return filterStacks(stackDump(), ignoredSubstrings)
+}
+
+// stackDump captures the stacks of all goroutines, growing the buffer
+// until the dump fits.
+func stackDump() string {
+	buf := make([]byte, 1<<16)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// filterStacks splits an all-goroutine dump into per-goroutine stanzas
+// and drops those matching any ignore substring or belonging to the
+// calling goroutine (the first stanza in a dump is always the caller).
+func filterStacks(dump string, ignores []string) []string {
+	stanzas := strings.Split(strings.TrimSpace(dump), "\n\n")
+	var out []string
+	for i, st := range stanzas {
+		if i == 0 || st == "" {
+			continue // the caller's own goroutine
+		}
+		if matchesAny(st, ignores) {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// matchesAny reports whether any needle occurs in s.
+func matchesAny(s string, needles []string) bool {
+	for _, n := range needles {
+		if strings.Contains(s, n) {
+			return true
+		}
+	}
+	return false
+}

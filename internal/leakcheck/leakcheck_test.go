@@ -1,0 +1,84 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+func TestMainCodePassesThroughTestFailure(t *testing.T) {
+	// A failing test run keeps its own exit code even if goroutines are
+	// still up — the test failure is the signal worth reporting.
+	if got := MainCode(2); got != 2 {
+		t.Fatalf("MainCode(2) = %d", got)
+	}
+}
+
+func TestMainCodeCleanRun(t *testing.T) {
+	if got := MainCode(0); got != 0 {
+		t.Fatalf("MainCode(0) = %d, want 0 (no leaks expected mid-test)", got)
+	}
+}
+
+func TestCheckDetectsAndClearsLeak(t *testing.T) {
+	block := make(chan struct{})
+	released := make(chan struct{})
+	go func() {
+		leakyHelper(block)
+		close(released)
+	}()
+
+	got := Check()
+	if !strings.Contains(got, "leakyHelper") {
+		t.Fatalf("Check did not report the blocked goroutine:\n%s", got)
+	}
+
+	close(block)
+	<-released
+	if got := Check(); got != "" {
+		t.Fatalf("Check still reports leaks after release:\n%s", got)
+	}
+}
+
+// leakyHelper blocks until released; its name is what the leak report
+// must surface.
+func leakyHelper(block chan struct{}) { <-block }
+
+func TestFilterStacksSkipsCallerAndIgnores(t *testing.T) {
+	dump := strings.Join([]string{
+		"goroutine 1 [running]:\nmain.caller()\n\t/x.go:1",
+		"goroutine 7 [chan receive]:\ntesting.tRunner(0x0, 0x0)\n\t/t.go:2",
+		"goroutine 9 [chan receive]:\nrepro/internal/pva.(*Monitor).pump()\n\t/p.go:3",
+		"goroutine 11 [syscall]:\nsignal.signal_recv()\n\t/s.go:4",
+	}, "\n\n")
+	got := filterStacks(dump, ignoredSubstrings)
+	if len(got) != 1 || !strings.Contains(got[0], "pva.(*Monitor).pump") {
+		t.Fatalf("filterStacks = %#v, want only the pva pump stanza", got)
+	}
+}
+
+func TestFilterStacksEmptyDump(t *testing.T) {
+	if got := filterStacks("", nil); len(got) != 0 {
+		t.Fatalf("filterStacks(\"\") = %#v", got)
+	}
+}
+
+func TestStackDumpContainsAllGoroutines(t *testing.T) {
+	dump := stackDump()
+	if !strings.Contains(dump, "goroutine ") {
+		t.Fatalf("stack dump malformed:\n%.200s", dump)
+	}
+	if !strings.Contains(dump, "leakcheck") {
+		t.Fatal("dump should include this test's own stack")
+	}
+}
+
+func TestMatchesAny(t *testing.T) {
+	if matchesAny("abc", []string{"x", "y"}) {
+		t.Fatal("unexpected match")
+	}
+	if !matchesAny("abc", []string{"x", "b"}) {
+		t.Fatal("expected match")
+	}
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the repo's context discipline: context.Context is
+// always the first parameter of any function type that takes one (decls,
+// literals, interface methods, named function types), and never hides in
+// a struct field — a stored context outlives its cancellation scope and
+// silently detaches work from shutdown. The flow run handle is the one
+// allowlisted carrier.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "context.Context must be the first parameter and must not be stored " +
+		"in struct fields (allowlisted carriers excepted)",
+	Run: runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				p.checkParamOrder(n)
+			case *ast.TypeSpec:
+				if st, ok := n.Type.(*ast.StructType); ok {
+					p.checkStructFields(n.Name.Name, st)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkParamOrder reports a context.Context parameter at any position
+// after the first.
+func (p *Pass) checkParamOrder(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // positional index of the first name bound by each field
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1
+		}
+		if pos > 0 && p.isContextType(field.Type) {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += width
+	}
+}
+
+// checkStructFields reports context.Context stored in struct fields of
+// non-allowlisted types.
+func (p *Pass) checkStructFields(structName string, st *ast.StructType) {
+	if p.Config.CtxFirstAllowFields[p.Pkg.Path()+"."+structName] {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if p.isContextType(field.Type) {
+			p.Reportf(field.Pos(),
+				"context.Context stored in struct %s outlives its cancellation scope; pass it as a call parameter", structName)
+		}
+	}
+}
+
+// isContextType reports whether the expression's type is context.Context.
+func (p *Pass) isContextType(expr ast.Expr) bool {
+	named, ok := p.Info.TypeOf(expr).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

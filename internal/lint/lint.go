@@ -1,0 +1,280 @@
+// Package lint is a from-scratch static-analysis driver on the standard
+// library's go/ast, go/parser, and go/types — no module dependencies —
+// with project-specific analyzers that machine-check the invariants this
+// repo's layers rely on but the compiler cannot see:
+//
+//   - simclock: all time stamping in library code goes through the
+//     environment clock (flow.Env), so traces recorded under the
+//     discrete-event kernel are byte-identical run to run.
+//   - wrapcheck: error chains survive wrapping (%w, never %v/%s), and
+//     errors born at the transfer/facility/flow boundaries carry a
+//     faults class so retry loops classify them correctly.
+//   - ctxfirst: context.Context travels as the first parameter and never
+//     hides in struct fields.
+//   - testsleep: tests synchronize on observable state, not time.Sleep.
+//
+// Analyzers are semantic, not textual: the driver type-checks every
+// package (method-set aware, alias-proof), so `import t "time"` or a
+// shadowed identifier cannot fool a check. Each analyzer lives in its own
+// file and registers in All; adding a check is dropping in one file.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted as the machine-readable
+// "file:line:col: [analyzer] message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical gate format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name tags diagnostics and selects the analyzer on the command line.
+	Name string
+	// Doc is the one-paragraph description `repolint -list` prints.
+	Doc string
+	// Run inspects one type-checked package and reports findings.
+	Run func(*Pass)
+}
+
+// All is the analyzer registry, in reporting order.
+var All = []*Analyzer{Simclock, Wrapcheck, CtxFirst, TestSleep}
+
+// ByName returns the registered analyzer with the given name, if any.
+func ByName(name string) (*Analyzer, bool) {
+	for _, a := range All {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's syntax, including in-package _test.go files
+	// (external test packages form their own Pass).
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Config *Config
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// CalleeFunc resolves the static callee of a call expression, or nil for
+// dynamic calls, conversions, and built-ins.
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncPath returns the allowlist key of a function object: "pkgpath.Name"
+// for package functions, "pkgpath.Recv.Name" for methods (pointer
+// receivers spelled without the star).
+func FuncPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// Config scopes and allowlists the analyzers. The zero value disables all
+// scoping; DefaultConfig returns the repo's production gate.
+type Config struct {
+	// ModulePath of the code under analysis.
+	ModulePath string
+
+	// SimclockScope lists import-path prefixes simclock enforces (the
+	// library layers); empty means every package. Entry points (cmd/,
+	// examples/) legitimately run on the wall clock and stay outside.
+	SimclockScope []string
+	// SimclockAllowFuncs are the declarations allowed to touch the wall
+	// clock directly, keyed by FuncPath — the environment-clock gateway
+	// (flow.RealEnv) and the real-socket timeout waits.
+	SimclockAllowFuncs map[string]bool
+	// SimclockAllowPackages are packages allowed wholesale (test
+	// infrastructure that must poll real time, e.g. leakcheck).
+	SimclockAllowPackages map[string]bool
+
+	// WrapcheckBoundaryPackages are the layers whose newly created errors
+	// must carry a faults class (or wrap a classified cause with %w).
+	WrapcheckBoundaryPackages map[string]bool
+	// FaultsPackage is the import path of the fault-taxonomy package.
+	FaultsPackage string
+
+	// CtxFirstAllowFields are struct types ("pkgpath.Name") allowed to
+	// hold a context.Context field (e.g. the flow run handle).
+	CtxFirstAllowFields map[string]bool
+}
+
+// DefaultConfig is the gate enforced on this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		ModulePath:    "repro",
+		SimclockScope: []string{"repro/internal"},
+		SimclockAllowFuncs: map[string]bool{
+			// The one sanctioned wall-clock gateway.
+			"repro/internal/flow.RealEnv.Now":      true,
+			"repro/internal/flow.RealEnv.Sleep":    true,
+			"repro/internal/flow.RealEnv.SleepCtx": true,
+			// Real-socket operations need real timers for bounded waits:
+			// the timeout select in Pull.Recv and the reconnect backoff
+			// timer in Push.Send (which selects on ctx.Done).
+			"repro/internal/msgq.Pull.Recv": true,
+			"repro/internal/msgq.Push.Send": true,
+		},
+		SimclockAllowPackages: map[string]bool{
+			// Goroutine-leak polling is wall-clock by nature.
+			"repro/internal/leakcheck": true,
+		},
+		WrapcheckBoundaryPackages: map[string]bool{
+			"repro/internal/transfer": true,
+			"repro/internal/facility": true,
+			"repro/internal/flow":     true,
+		},
+		FaultsPackage: "repro/internal/faults",
+		CtxFirstAllowFields: map[string]bool{
+			// The flow run handle carries the run's context by design.
+			"repro/internal/flow.Ctx": true,
+		},
+	}
+}
+
+// simclockInScope reports whether simclock applies to the package.
+func (c *Config) simclockInScope(pkgPath string) bool {
+	if c.SimclockAllowPackages[pkgPath] {
+		return false
+	}
+	if len(c.SimclockScope) == 0 {
+		return true
+	}
+	for _, prefix := range c.SimclockScope {
+		if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
+	if cfg == nil {
+		cfg = DefaultConfig()
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Config:   cfg,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// parentMap records each node's syntactic parent within one file, for
+// checks that need to look outward from a match (e.g. "is this time.Now
+// feeding a SetDeadline?").
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(f *ast.File) parentMap {
+	parents := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFuncPath returns the FuncPath of the declaration containing n
+// ("" at file scope).
+func (p *Pass) enclosingFuncPath(parents parentMap, n ast.Node) string {
+	for cur := n; cur != nil; cur = parents[cur] {
+		decl, ok := cur.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn, _ := p.Info.Defs[decl.Name].(*types.Func)
+		return FuncPath(fn)
+	}
+	return ""
+}

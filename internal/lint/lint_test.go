@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Each fixture under testdata/ is a self-contained mini-module annotated
+// with `// want `regex`` comments in the analysistest style: a diagnostic
+// is expected on every annotated line, matching the regex, and any
+// unmatched diagnostic or leftover expectation fails the test.
+
+func TestSimclockGolden(t *testing.T) {
+	testFixture(t, "simclock", []*Analyzer{Simclock}, &Config{
+		SimclockAllowFuncs: map[string]bool{
+			"fixture.RealEnv.Now":   true,
+			"fixture.RealEnv.Sleep": true,
+		},
+		SimclockAllowPackages: map[string]bool{"fixture/allowed": true},
+	})
+}
+
+func TestWrapcheckGolden(t *testing.T) {
+	testFixture(t, "wrapcheck", []*Analyzer{Wrapcheck}, &Config{
+		WrapcheckBoundaryPackages: map[string]bool{"fixture/boundary": true},
+		FaultsPackage:             "fixture/faults",
+	})
+}
+
+func TestCtxFirstGolden(t *testing.T) {
+	testFixture(t, "ctxfirst", []*Analyzer{CtxFirst}, &Config{
+		CtxFirstAllowFields: map[string]bool{"fixture.Carrier": true},
+	})
+}
+
+func TestTestSleepGolden(t *testing.T) {
+	testFixture(t, "testsleep", []*Analyzer{TestSleep}, &Config{})
+}
+
+// TestRepoIsClean is the gate's self-check: the production configuration
+// over the whole repository must come back empty, i.e. `go run
+// ./cmd/repolint ./...` exits 0.
+func TestRepoIsClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "..", "..")
+	diags, err := LoadAndRun(root, nil, All, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range All {
+		got, ok := ByName(a.Name)
+		if !ok || got != a {
+			t.Fatalf("ByName(%q) = %v, %v", a.Name, got, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) should miss")
+	}
+}
+
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{Analyzer: "simclock", Message: "m"}
+	d.Pos.Filename, d.Pos.Line, d.Pos.Column = "a.go", 3, 7
+	if got, want := d.String(), "a.go:3:7: [simclock] m"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   string
+	}{
+		{"no verbs", ""},
+		{"%d and %s", "ds"},
+		{"100%% of %w", "w"},
+		{"%+v %#x %-8s %.2f %q", "vxsfq"},
+		{"trailing %", ""},
+	}
+	for _, c := range cases {
+		if got := string(formatVerbs(c.format)); got != c.want {
+			t.Errorf("formatVerbs(%q) = %q, want %q", c.format, got, c.want)
+		}
+	}
+}
+
+// testFixture loads the named testdata module, runs the analyzers, and
+// compares the diagnostics against the fixture's want annotations.
+func testFixture(t *testing.T, name string, analyzers []*Analyzer, cfg *Config) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := LoadAndRun(dir, nil, analyzers, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, dir)
+	for _, d := range diags {
+		rel, err := filepath.Rel(dir, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		key := fmt.Sprintf("%s:%d", filepath.ToSlash(rel), d.Pos.Line)
+		if !consumeWant(wants, key, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			t.Errorf("missing diagnostic at %s matching %q", key, re)
+		}
+	}
+}
+
+// wantComment extracts the expectation regexes from one source line.
+var wantComment = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)")
+
+// wantChunk splits the payload into individual backtick-quoted regexes.
+var wantChunk = regexp.MustCompile("`([^`]*)`")
+
+// parseWants scans every .go file under dir for want annotations, keyed
+// by "relpath:line".
+func parseWants(t *testing.T, dir string) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := map[string][]*regexp.Regexp{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			m := wantComment.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", filepath.ToSlash(rel), i+1)
+			for _, chunk := range wantChunk.FindAllStringSubmatch(m[1], -1) {
+				re, rerr := regexp.Compile(chunk[1])
+				if rerr != nil {
+					return fmt.Errorf("%s:%d: bad want regex: %w", rel, i+1, rerr)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+// consumeWant matches msg against the expectations at key, removing the
+// first match.
+func consumeWant(wants map[string][]*regexp.Regexp, key, msg string) bool {
+	for i, re := range wants[key] {
+		if re.MatchString(msg) {
+			wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+			if len(wants[key]) == 0 {
+				delete(wants, key)
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Simclock forbids direct wall-clock access in library code. Every
+// timestamp and sleep must route through the environment clock (flow.Env)
+// so a run under the discrete-event kernel produces byte-identical span
+// trees and file metadata every time. The only sanctioned escapes are the
+// allowlisted gateway declarations (flow.RealEnv and the real-socket
+// timeout waits) and the structural net-deadline idiom
+// `conn.SetDeadline(time.Now().Add(d))`, which parameterizes kernel I/O
+// timeouts rather than stamping data.
+var Simclock = &Analyzer{
+	Name: "simclock",
+	Doc: "forbid time.Now/Sleep/After/Since/NewTimer/NewTicker/Tick/AfterFunc/Until in library code; " +
+		"stamp through the environment clock (flow.Env) so sim traces are reproducible",
+	Run: runSimclock,
+}
+
+// wallClockFuncs are the package-time functions that read or depend on
+// the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true, "Tick": true,
+	"Since": true, "Until": true,
+}
+
+// connDeadlineSetters are the net.Conn deadline methods whose arguments
+// legitimately need `time.Now().Add(d)` arithmetic.
+var connDeadlineSetters = map[string]bool{
+	"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+}
+
+func runSimclock(p *Pass) {
+	if !p.Config.simclockInScope(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a method like time.Time.After, not the package function
+			}
+			if p.Config.SimclockAllowFuncs[p.enclosingFuncPath(parents, sel)] {
+				return true
+			}
+			if fn.Name() == "Now" && p.feedsConnDeadline(parents, sel) {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; stamp through the environment clock (flow.Env) so sim runs stay reproducible",
+				fn.Name())
+			return true
+		})
+	}
+}
+
+// feedsConnDeadline reports whether sel is the `time.Now` of the idiom
+// `x.Set{Read,Write,}Deadline(time.Now().Add(d))`.
+func (p *Pass) feedsConnDeadline(parents parentMap, sel *ast.SelectorExpr) bool {
+	nowCall, ok := parents[sel].(*ast.CallExpr) // time.Now()
+	if !ok || nowCall.Fun != sel {
+		return false
+	}
+	addSel, ok := parents[nowCall].(*ast.SelectorExpr) // .Add
+	if !ok || addSel.Sel.Name != "Add" {
+		return false
+	}
+	addCall, ok := parents[addSel].(*ast.CallExpr) // time.Now().Add(d)
+	if !ok || addCall.Fun != addSel {
+		return false
+	}
+	outer, ok := parents[addCall].(*ast.CallExpr) // the deadline setter
+	if !ok {
+		return false
+	}
+	outerSel, ok := ast.Unparen(outer.Fun).(*ast.SelectorExpr)
+	return ok && connDeadlineSetters[outerSel.Sel.Name]
+}

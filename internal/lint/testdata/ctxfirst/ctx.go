@@ -1,0 +1,29 @@
+package fixture
+
+import "context"
+
+func Good(ctx context.Context, n int) {}
+
+func Bad(n int, ctx context.Context) {} // want `context\.Context must be the first parameter`
+
+var Fn = func(n int, ctx context.Context) {} // want `context\.Context must be the first parameter`
+
+type Iface interface {
+	Do(n int, ctx context.Context) // want `context\.Context must be the first parameter`
+	Ok(ctx context.Context, n int)
+}
+
+type Worker struct {
+	ctx context.Context // want `context\.Context stored in struct Worker`
+	n   int
+}
+
+// Carrier is the allowlisted run handle: storing the run's context is its
+// whole job.
+type Carrier struct {
+	ctx context.Context
+}
+
+func (c *Carrier) Use() context.Context { return c.ctx }
+
+func (w *Worker) Use() context.Context { return w.ctx }

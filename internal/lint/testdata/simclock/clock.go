@@ -1,0 +1,42 @@
+package fixture
+
+import (
+	"net"
+	"time"
+
+	tt "time"
+)
+
+// RealEnv is the fixture's allowlisted wall-clock gateway.
+type RealEnv struct{}
+
+func (RealEnv) Now() time.Time        { return time.Now() }
+func (RealEnv) Sleep(d time.Duration) { time.Sleep(d) }
+
+func Stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func StampAliased() time.Time {
+	return tt.Now() // want `time\.Now reads the wall clock`
+}
+
+func Delay() {
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the wall clock`
+	<-time.After(time.Millisecond) // want `time\.After reads the wall clock`
+	_ = time.Since(time.Time{})    // want `time\.Since reads the wall clock`
+	_ = time.Tick(time.Second)     // want `time\.Tick reads the wall clock`
+	t := time.NewTimer(0)          // want `time\.NewTimer reads the wall clock`
+	t.Stop()
+}
+
+// Deadline uses the sanctioned structural idiom: time.Now().Add feeding a
+// net deadline setter parameterizes an I/O timeout, not a data stamp.
+func Deadline(c net.Conn) error {
+	return c.SetReadDeadline(time.Now().Add(time.Second))
+}
+
+// Method calls time.Time.After — a method, not the package function.
+func Method(t time.Time) bool {
+	return t.After(time.Time{})
+}

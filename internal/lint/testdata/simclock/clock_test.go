@@ -1,0 +1,11 @@
+package fixture
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are outside simclock's jurisdiction (testsleep owns them).
+func TestStamp(t *testing.T) {
+	_ = time.Now()
+}

@@ -1,0 +1,7 @@
+// Package fixture has a sleeping library function — testsleep only polices
+// _test.go files, so this one is someone else's problem (simclock's).
+package fixture
+
+import "time"
+
+func Settle() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,12 @@
+package fixture_test
+
+import (
+	"testing"
+	"time"
+)
+
+// External test packages form their own analysis unit; the ban applies
+// there too.
+func TestExternalSleep(t *testing.T) {
+	time.Sleep(time.Nanosecond) // want `time\.Sleep in a test invites flakes`
+}

@@ -1,0 +1,11 @@
+package fixture
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPollsBySleeping(t *testing.T) {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a test invites flakes`
+	Settle()
+}

@@ -1,0 +1,40 @@
+// Package boundary is configured as a fault boundary: every error minted
+// here must carry a faults class.
+package boundary
+
+import (
+	"errors"
+	"fmt"
+
+	"fixture/faults"
+)
+
+func Leaf(name string) error {
+	return fmt.Errorf("unknown endpoint %q", name) // want `fmt\.Errorf mints an unclassified error at a fault boundary`
+}
+
+func LeafNew() error {
+	return errors.New("bad handle") // want `errors\.New mints an unclassified error at a fault boundary`
+}
+
+func Classified(name string) error {
+	return faults.Errorf(faults.Permanent, "unknown endpoint %q", name)
+}
+
+func ClassifiedWrap(err error) error {
+	return faults.Wrap(faults.Transient, fmt.Errorf("transfer stalled: %w", err))
+}
+
+// Wrapping with %w keeps the chain; the boundary rule accepts it because
+// the classified cause stays visible to Classify.
+func Passthrough(err error) error {
+	return fmt.Errorf("copy: %w", err)
+}
+
+func FlattenedInsideWrap(err error) error {
+	return faults.Wrap(faults.Transient, fmt.Errorf("retry: %v", err)) // want `error operand formatted with %v`
+}
+
+func FaultsErrorfFlattens(err error) error {
+	return faults.Errorf(faults.Permanent, "gave up: %v", err) // want `error operand formatted with %v`
+}

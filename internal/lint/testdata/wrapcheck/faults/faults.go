@@ -1,0 +1,26 @@
+// Package faults is the fixture's fault taxonomy: the shape wrapcheck's
+// boundary rule resolves against.
+package faults
+
+import "fmt"
+
+type Class int
+
+const (
+	Transient Class = iota
+	Permanent
+)
+
+type fault struct {
+	class Class
+	err   error
+}
+
+func (f *fault) Error() string { return f.err.Error() }
+func (f *fault) Unwrap() error { return f.err }
+
+func Wrap(c Class, err error) error { return &fault{c, err} }
+
+func Errorf(c Class, format string, args ...interface{}) error {
+	return &fault{c, fmt.Errorf(format, args...)}
+}

@@ -1,0 +1,29 @@
+// Package plain is not a boundary: leaf errors are fine, but flattening a
+// chain is flagged everywhere.
+package plain
+
+import "fmt"
+
+func Flatten(err error) error {
+	return fmt.Errorf("run failed: %v", err) // want `error operand formatted with %v`
+}
+
+func Quote(err error) error {
+	return fmt.Errorf("run failed: %q", err) // want `error operand formatted with %q`
+}
+
+func Stringify(err error) error {
+	return fmt.Errorf("run failed: %s", err.Error()) // want `err\.Error\(\) stringifies the cause`
+}
+
+func Wrapped(err error) error {
+	return fmt.Errorf("run failed: %w", err)
+}
+
+func Leaf(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+func Percent(err error) error {
+	return fmt.Errorf("100%% broken: %w", err)
+}

@@ -1,0 +1,37 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TestSleep bans time.Sleep from _test.go files. Sleep-polling is the
+// classic flaky-test generator under -race and loaded CI machines; tests
+// here synchronize on observable state (frame counters, ctx-aware wait
+// helpers, channels) instead. Library code is simclock's jurisdiction;
+// this analyzer only looks at test files.
+var TestSleep = &Analyzer{
+	Name: "testsleep",
+	Doc:  "no time.Sleep in _test.go files; synchronize on observable state or ctx-aware waits",
+	Run:  runTestSleep,
+}
+
+func runTestSleep(p *Pass) {
+	for _, f := range p.Files {
+		if !p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				p.Reportf(sel.Pos(),
+					"time.Sleep in a test invites flakes; synchronize on observable state or a ctx-aware wait")
+			}
+			return true
+		})
+	}
+}

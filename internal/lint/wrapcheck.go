@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Wrapcheck keeps error chains intact so errors.Is and faults.Classify
+// can see through them:
+//
+//   - an error operand of fmt.Errorf (or faults.Errorf) must be formatted
+//     with %w, never %v/%s/%q — anything else flattens the chain;
+//   - err.Error() must not be passed where the error itself belongs;
+//   - in the boundary packages (transfer, facility, flow) a brand-new
+//     leaf error (fmt.Errorf with no %w operand, errors.New) must carry a
+//     faults class: construct it with faults.Errorf or wrap it in
+//     faults.Wrap, or every retry loop will misclassify it as the
+//     Transient default.
+//
+// The verb↔argument matching is positional (this repo uses no %[n]
+// argument indexes or * widths).
+var Wrapcheck = &Analyzer{
+	Name: "wrapcheck",
+	Doc: "fmt.Errorf with an error operand must use %w, and errors minted at the " +
+		"transfer/facility/flow boundaries must carry a faults class",
+	Run: runWrapcheck,
+}
+
+func runWrapcheck(p *Pass) {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	boundary := p.Config.WrapcheckBoundaryPackages[strings.TrimSuffix(p.Pkg.Path(), "_test")]
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.CalleeFunc(call)
+			switch FuncPath(fn) {
+			case "fmt.Errorf":
+				wrapped := p.checkVerbs(call, 1, errorIface)
+				if boundary && !wrapped && !insideFaultsCall(p, parents, call) {
+					p.Reportf(call.Pos(),
+						"fmt.Errorf mints an unclassified error at a fault boundary; use faults.Errorf or wrap it with faults.Wrap")
+				}
+			case p.Config.FaultsPackage + ".Errorf":
+				p.checkVerbs(call, 2, errorIface)
+			case "errors.New":
+				if boundary && !insideFaultsCall(p, parents, call) {
+					p.Reportf(call.Pos(),
+						"errors.New mints an unclassified error at a fault boundary; use faults.Errorf or wrap it with faults.Wrap")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkVerbs validates the verb each variadic operand is matched to,
+// reporting error operands formatted with anything but %w. argStart is
+// the index of the first operand after the format string. It reports
+// whether the call %w-wraps at least one error operand.
+func (p *Pass) checkVerbs(call *ast.CallExpr, argStart int, errorIface *types.Interface) bool {
+	if len(call.Args) < argStart {
+		return false
+	}
+	tv, ok := p.Info.Types[call.Args[argStart-1]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false // non-constant format: nothing to match against
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	wrapped := false
+	for i, arg := range call.Args[argStart:] {
+		if i >= len(verbs) {
+			break
+		}
+		t := p.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errorIface) {
+			if verbs[i] == 'w' {
+				wrapped = true
+			} else {
+				p.Reportf(arg.Pos(),
+					"error operand formatted with %%%c drops the chain from errors.Is/faults.Classify; use %%w", verbs[i])
+			}
+			continue
+		}
+		if isErrorStringCall(p, arg, errorIface) {
+			p.Reportf(arg.Pos(),
+				"err.Error() stringifies the cause and drops the chain; pass the error itself with %%w")
+		}
+	}
+	return wrapped
+}
+
+// isErrorStringCall reports whether arg is a call of the Error() string
+// method on an error value.
+func isErrorStringCall(p *Pass, arg ast.Expr, errorIface *types.Interface) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	recv := p.Info.TypeOf(sel.X)
+	return recv != nil && types.Implements(recv, errorIface)
+}
+
+// insideFaultsCall reports whether call sits (at any depth) inside a
+// faults.Wrap or faults.Errorf argument list, i.e. the minted error is
+// classified on the spot.
+func insideFaultsCall(p *Pass, parents parentMap, call *ast.CallExpr) bool {
+	for cur := parents[call]; cur != nil; cur = parents[cur] {
+		outer, ok := cur.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		switch FuncPath(p.CalleeFunc(outer)) {
+		case p.Config.FaultsPackage + ".Wrap", p.Config.FaultsPackage + ".Errorf":
+			return true
+		}
+	}
+	return false
+}
+
+// formatVerbs returns the verb letter matched to each successive operand
+// of a Printf-style format string. %% consumes no operand; flags, width,
+// and precision characters are skipped.
+func formatVerbs(s string) []byte {
+	var out []byte
+	for i := 0; i < len(s); {
+		if s[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(s) && s[i] == '%' {
+			i++
+			continue
+		}
+		for i < len(s) && strings.IndexByte("#+-. 0123456789[]*", s[i]) >= 0 {
+			i++
+		}
+		if i < len(s) {
+			out = append(out, s[i])
+			i++
+		}
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+package msgq
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package's tests on the goroutine-leak check: a
+// passing run with listeners or monitor pumps still alive fails.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

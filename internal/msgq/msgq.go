@@ -6,6 +6,7 @@
 package msgq
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -13,6 +14,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // MaxFrameBytes bounds a single frame (1 GiB) to catch corrupt lengths.
@@ -68,8 +71,13 @@ func NewPush(addr string) *Push {
 }
 
 // Send delivers one frame, dialing or re-dialing as needed. It tries up to
-// three connection attempts before giving up.
-func (p *Push) Send(payload []byte) error {
+// three connection attempts with linear backoff before giving up, and a
+// cancelled ctx aborts the wait immediately with a faults.Cancelled error
+// instead of sleeping out the backoff.
+func (p *Push) Send(ctx context.Context, payload []byte) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -77,11 +85,20 @@ func (p *Push) Send(payload []byte) error {
 	}
 	var lastErr error
 	for attempt := 0; attempt < 3; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return faults.Wrap(faults.Cancelled, fmt.Errorf("msgq: push to %s cancelled: %w", p.addr, err))
+		}
 		if p.conn == nil {
 			c, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
 			if err != nil {
 				lastErr = err
-				time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+				t := time.NewTimer(time.Duration(attempt+1) * 50 * time.Millisecond)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return faults.Wrap(faults.Cancelled, fmt.Errorf("msgq: push to %s cancelled during backoff: %w", p.addr, ctx.Err()))
+				}
 				continue
 			}
 			p.conn = c

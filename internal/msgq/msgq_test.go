@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // waitFor polls cond until it returns true or the ctx-backed deadline
@@ -37,7 +39,7 @@ func TestPushPullRoundTrip(t *testing.T) {
 	defer push.Close()
 
 	want := []byte("three-slice preview payload")
-	if err := push.Send(want); err != nil {
+	if err := push.Send(context.Background(), want); err != nil {
 		t.Fatal(err)
 	}
 	got, err := pull.Recv(2 * time.Second)
@@ -56,7 +58,7 @@ func TestPushPullManyMessagesOrdered(t *testing.T) {
 	defer push.Close()
 	const n = 200
 	for i := 0; i < n; i++ {
-		if err := push.Send([]byte(fmt.Sprintf("m%03d", i))); err != nil {
+		if err := push.Send(context.Background(), []byte(fmt.Sprintf("m%03d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -82,7 +84,7 @@ func TestPullFanIn(t *testing.T) {
 			push := NewPush(pull.Addr())
 			defer push.Close()
 			for j := 0; j < 10; j++ {
-				if err := push.Send([]byte{byte(i)}); err != nil {
+				if err := push.Send(context.Background(), []byte{byte(i)}); err != nil {
 					t.Error(err)
 				}
 			}
@@ -123,7 +125,28 @@ func TestRecvAfterClose(t *testing.T) {
 func TestPushToNowhereFails(t *testing.T) {
 	push := NewPush("127.0.0.1:1") // nothing listens on port 1
 	defer push.Close()
-	if err := push.Send([]byte("x")); err == nil {
+	if err := push.Send(context.Background(), []byte("x")); err == nil {
+		t.Fatal("send to dead address should fail")
+	}
+}
+
+func TestSendCancelledDuringBackoff(t *testing.T) {
+	push := NewPush("127.0.0.1:1") // nothing listens on port 1
+	defer push.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := push.Send(ctx, []byte("x"))
+	if err == nil {
+		t.Fatal("cancelled send should fail")
+	}
+	if got := faults.Classify(err); got != faults.Cancelled {
+		t.Fatalf("Classify(%v) = %v, want Cancelled", err, got)
+	}
+	// The backoff path: cancel mid-wait rather than before the first dial.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	err = push.Send(ctx2, []byte("x"))
+	if err == nil {
 		t.Fatal("send to dead address should fail")
 	}
 }
@@ -133,7 +156,7 @@ func TestSendAfterClose(t *testing.T) {
 	defer pull.Close()
 	push := NewPush(pull.Addr())
 	push.Close()
-	if err := push.Send([]byte("x")); err != ErrClosed {
+	if err := push.Send(context.Background(), []byte("x")); err != ErrClosed {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
 }
@@ -143,7 +166,7 @@ func TestPushReconnects(t *testing.T) {
 	addr := pull.Addr()
 	push := NewPush(addr)
 	defer push.Close()
-	if err := push.Send([]byte("a")); err != nil {
+	if err := push.Send(context.Background(), []byte("a")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := pull.Recv(time.Second); err != nil {
@@ -172,7 +195,7 @@ func TestPushReconnects(t *testing.T) {
 	defer pull2.Close()
 	// The first send may fail while the stale connection drains; retry.
 	waitFor(t, 2*time.Second, "push to reconnect", func() bool {
-		return push.Send([]byte("b")) == nil
+		return push.Send(context.Background(), []byte("b")) == nil
 	})
 	if _, err := pull2.Recv(2 * time.Second); err != nil {
 		t.Fatal(err)
@@ -301,7 +324,7 @@ func TestLargeFrame(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i)
 	}
-	if err := push.Send(big); err != nil {
+	if err := push.Send(context.Background(), big); err != nil {
 		t.Fatal(err)
 	}
 	got, err := pull.Recv(5 * time.Second)

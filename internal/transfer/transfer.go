@@ -109,7 +109,7 @@ func (s *Service) AddEndpoint(name, site string, store *storage.Store) *Endpoint
 func (s *Service) Endpoint(name string) (*Endpoint, error) {
 	ep, ok := s.endpoints[name]
 	if !ok {
-		return nil, fmt.Errorf("transfer: unknown endpoint %q", name)
+		return nil, faults.Errorf(faults.Permanent, "transfer: unknown endpoint %q", name)
 	}
 	return ep, nil
 }
@@ -263,7 +263,8 @@ func (s *Service) attemptFile(p *sim.Proc, task *Task, src, dst *Endpoint, f *st
 			return err
 		}
 		if got.Checksum != rec.Checksum {
-			return fmt.Errorf("transfer: %s: checksum mismatch after write", f.Path)
+			// A corrupted write may succeed on re-copy: Transient.
+			return faults.Errorf(faults.Transient, "transfer: %s: checksum mismatch after write", f.Path)
 		}
 	}
 	return nil

@@ -18,6 +18,9 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== repolint =="
+go run ./cmd/repolint ./...
+
 echo "== go build =="
 go build ./...
 
@@ -49,5 +52,7 @@ floor() {
 floor ./internal/trace 90
 floor ./internal/faults 90
 floor ./internal/flow 85
+floor ./internal/lint 85
+floor ./internal/leakcheck 85
 
 echo "OK"
