@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race
+.PHONY: check fmt vet lint build test race bench
 
 # check is the full gate: formatting, static analysis (vet + the repo's
 # own analyzers), build, and the race-enabled test suite. CI and
@@ -29,3 +29,8 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# bench snapshots the root benchmark suite to a JSON file; see
+# scripts/bench.sh for the BENCH_TIME/BENCH_FILTER/BENCH_LABEL knobs.
+bench:
+	sh scripts/bench.sh

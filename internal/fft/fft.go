@@ -3,13 +3,21 @@
 // filtered back projection and the polar-to-Cartesian resampling in the
 // gridrec-style Fourier reconstruction. Only power-of-two lengths are
 // supported; callers pad with NextPow2.
+//
+// Transforms are plan-based: a Plan for a given length precomputes the
+// bit-reversal permutation and the full twiddle table (each factor
+// evaluated directly from sin/cos, rather than by the error-accumulating
+// w *= wStep recurrence), so the steady-state transform performs no trig,
+// no allocation, and no redundant setup. Plans are cached per size and
+// safe for concurrent use; the package-level Forward/Inverse helpers look
+// the plan up transparently.
 package fft
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
-	"math/cmplx"
+	"sync"
 )
 
 // NextPow2 returns the smallest power of two ≥ n (and ≥ 1).
@@ -25,58 +33,217 @@ func IsPow2(n int) bool {
 	return n > 0 && n&(n-1) == 0
 }
 
-// Forward computes the in-place forward DFT of x. len(x) must be a power of
-// two. The transform is unnormalized: Inverse(Forward(x)) == x.
+// Plan holds the precomputed state for transforms of one length: the
+// bit-reversal swap list and twiddle tables for both directions. A Plan is
+// immutable after construction and safe for concurrent use by any number
+// of goroutines; per-call state lives entirely in the caller's buffer.
+type Plan struct {
+	n   int
+	rev []int32      // flattened (i, j) swap pairs, i < j
+	twF []complex128 // twF[k] = exp(-2πik/n), k < n/2
+	twI []complex128 // twI[k] = exp(+2πik/n), k < n/2
+}
+
+var (
+	planMu    sync.RWMutex
+	planCache = map[int]*Plan{}
+)
+
+// PlanFor returns the cached transform plan for power-of-two length n,
+// building it on first use. It panics when n is not a positive power of
+// two.
+func PlanFor(n int) *Plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	planMu.RLock()
+	p := planCache[n]
+	planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = newPlan(n)
+	planMu.Lock()
+	if q, ok := planCache[n]; ok {
+		p = q // another goroutine won the race; share its plan
+	} else {
+		planCache[n] = p
+	}
+	planMu.Unlock()
+	return p
+}
+
+func newPlan(n int) *Plan {
+	p := &Plan{n: n}
+	if n <= 1 {
+		return p
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			p.rev = append(p.rev, int32(i), int32(j))
+		}
+	}
+	half := n / 2
+	p.twF = make([]complex128, half)
+	p.twI = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		// Each twiddle is evaluated exactly at its own angle, so no
+		// rounding error accumulates across the table.
+		s, c := math.Sincos(2 * math.Pi * float64(k) / float64(n))
+		p.twF[k] = complex(c, -s)
+		p.twI[k] = complex(c, s)
+	}
+	return p
+}
+
+// Len returns the transform length the plan was built for.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT of x. len(x) must equal the
+// plan length. The transform is unnormalized: Inverse(Forward(x)) == x.
+func (p *Plan) Forward(x []complex128) {
+	p.checkLen(x)
+	p.scramble(x)
+	p.butterflies(x, p.twF)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization. len(x) must equal the plan length.
+func (p *Plan) Inverse(x []complex128) {
+	p.checkLen(x)
+	p.scramble(x)
+	p.butterflies(x, p.twI)
+	if p.n <= 1 {
+		return
+	}
+	// 1/n is exact for power-of-two n, so this componentwise scale is
+	// bit-identical to dividing by complex(n, 0).
+	s := 1 / float64(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*s, imag(x[i])*s)
+	}
+}
+
+// ConvolveInto circularly convolves x, in place, with the kernel whose
+// forward frequency response is spec: x ← IFFT(FFT(x) ⊙ spec). spec is
+// typically precomputed once (e.g. a windowed ramp filter) and reused for
+// every call; the operation performs no allocations.
+func (p *Plan) ConvolveInto(x, spec []complex128) {
+	p.checkLen(x)
+	p.checkLen(spec)
+	p.Forward(x)
+	for i := range x {
+		x[i] *= spec[i]
+	}
+	p.Inverse(x)
+}
+
+// Forward2D computes the forward DFT of the square n×n row-major image
+// img (n being the plan length) using col as column scratch (len ≥ n).
+// No allocations are performed.
+func (p *Plan) Forward2D(img, col []complex128) {
+	p.transform2D(img, col, false)
+}
+
+// Inverse2D computes the normalized inverse DFT of the square n×n image
+// img using col as column scratch (len ≥ n). No allocations are performed.
+func (p *Plan) Inverse2D(img, col []complex128) {
+	p.transform2D(img, col, true)
+}
+
+func (p *Plan) transform2D(img, col []complex128, inverse bool) {
+	n := p.n
+	if len(img) != n*n {
+		panic("fft: transform2D size mismatch")
+	}
+	if len(col) < n {
+		panic("fft: transform2D column scratch too short")
+	}
+	col = col[:n]
+	for y := 0; y < n; y++ {
+		row := img[y*n : (y+1)*n]
+		if inverse {
+			p.Inverse(row)
+		} else {
+			p.Forward(row)
+		}
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y] = img[y*n+x]
+		}
+		if inverse {
+			p.Inverse(col)
+		} else {
+			p.Forward(col)
+		}
+		for y := 0; y < n; y++ {
+			img[y*n+x] = col[y]
+		}
+	}
+}
+
+func (p *Plan) checkLen(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: buffer length %d does not match plan length %d", len(x), p.n))
+	}
+}
+
+// scramble applies the precomputed bit-reversal permutation.
+func (p *Plan) scramble(x []complex128) {
+	rev := p.rev
+	for i := 0; i < len(rev); i += 2 {
+		a, b := rev[i], rev[i+1]
+		x[a], x[b] = x[b], x[a]
+	}
+}
+
+// butterflies runs the iterative Cooley-Tukey stages against a twiddle
+// table (forward or inverse).
+func (p *Plan) butterflies(x []complex128, tw []complex128) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	// First stage (size 2): all twiddles are 1, so pure add/sub.
+	for i := 0; i < n; i += 2 {
+		a, b := x[i], x[i+1]
+		x[i], x[i+1] = a+b, a-b
+	}
+	for size := 4; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for i := start; i < start+half; i++ {
+				a := x[i]
+				b := x[i+half] * tw[k]
+				x[i] = a + b
+				x[i+half] = a - b
+				k += stride
+			}
+		}
+	}
+}
+
+// Forward computes the in-place forward DFT of x. len(x) must be a power
+// of two. The transform is unnormalized: Inverse(Forward(x)) == x.
 func Forward(x []complex128) {
-	transform(x, false)
+	if len(x) <= 1 {
+		return
+	}
+	PlanFor(len(x)).Forward(x)
 }
 
 // Inverse computes the in-place inverse DFT of x, including the 1/N
 // normalization. len(x) must be a power of two.
 func Inverse(x []complex128) {
-	transform(x, true)
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-}
-
-// transform is an iterative Cooley-Tukey radix-2 FFT.
-func transform(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
+	if len(x) <= 1 {
 		return
 	}
-	if !IsPow2(n) {
-		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
+	PlanFor(len(x)).Inverse(x)
 }
 
 // ForwardReal transforms a real signal into its complex spectrum of the
@@ -92,11 +259,12 @@ func ForwardReal(x []float64) []complex128 {
 
 // InverseReal inverts a spectrum and returns the real part, discarding the
 // (numerically tiny, for conjugate-symmetric input) imaginary residue.
+// The spectrum is inverted in place — c is consumed as scratch, avoiding a
+// defensive clone on a path that is almost always fed a throwaway buffer.
 func InverseReal(c []complex128) []float64 {
-	tmp := append([]complex128(nil), c...)
-	Inverse(tmp)
-	out := make([]float64, len(tmp))
-	for i, v := range tmp {
+	Inverse(c)
+	out := make([]float64, len(c))
+	for i, v := range c {
 		out[i] = real(v)
 	}
 	return out
@@ -108,12 +276,21 @@ func Convolve(a, b []float64) []float64 {
 	if len(a) != len(b) {
 		panic("fft: Convolve length mismatch")
 	}
-	fa := ForwardReal(a)
-	fb := ForwardReal(b)
-	for i := range fa {
-		fa[i] *= fb[i]
+	if len(a) == 0 {
+		return nil
 	}
-	return InverseReal(fa)
+	p := PlanFor(len(a))
+	x := make([]complex128, len(a))
+	for i, v := range a {
+		x[i] = complex(v, 0)
+	}
+	spec := ForwardReal(b)
+	p.ConvolveInto(x, spec)
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = real(v)
+	}
+	return out
 }
 
 // FreqIndex returns the signed frequency bin for index i of an n-point DFT,
@@ -145,40 +322,10 @@ func Shift2D(img []complex128, n int) {
 // Forward2D computes the forward DFT of a square n×n row-major image by
 // transforming rows then columns. n must be a power of two.
 func Forward2D(img []complex128, n int) {
-	transform2D(img, n, false)
+	PlanFor(n).Forward2D(img, make([]complex128, n))
 }
 
 // Inverse2D computes the inverse DFT (normalized) of a square n×n image.
 func Inverse2D(img []complex128, n int) {
-	transform2D(img, n, true)
-}
-
-func transform2D(img []complex128, n int, inverse bool) {
-	if len(img) != n*n {
-		panic("fft: transform2D size mismatch")
-	}
-	// Rows.
-	for y := 0; y < n; y++ {
-		row := img[y*n : (y+1)*n]
-		if inverse {
-			Inverse(row)
-		} else {
-			Forward(row)
-		}
-	}
-	// Columns, via a scratch buffer.
-	col := make([]complex128, n)
-	for x := 0; x < n; x++ {
-		for y := 0; y < n; y++ {
-			col[y] = img[y*n+x]
-		}
-		if inverse {
-			Inverse(col)
-		} else {
-			Forward(col)
-		}
-		for y := 0; y < n; y++ {
-			img[y*n+x] = col[y]
-		}
-	}
+	PlanFor(n).Inverse2D(img, make([]complex128, n))
 }

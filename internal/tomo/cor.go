@@ -79,12 +79,19 @@ func FindCenter(s *Sinogram, maxShift int) float64 {
 // sinogram whose rotation axis is offset by shift pixels.
 func ShiftSinogram(s *Sinogram, shift float64) *Sinogram {
 	out := NewSinogram(s.Theta, s.NCols)
+	ShiftSinogramInto(out, s, shift)
+	return out
+}
+
+// ShiftSinogramInto is the allocation-free core of ShiftSinogram,
+// resampling every row of s into dst (which must have matching
+// dimensions).
+func ShiftSinogramInto(dst, s *Sinogram, shift float64) {
 	for a := 0; a < s.NAngles; a++ {
 		src := s.Row(a)
-		dst := out.Row(a)
-		for c := range dst {
-			dst[c] = sampleShift(src, float64(c)+shift)
+		d := dst.Row(a)
+		for c := range d {
+			d[c] = sampleShift(src, float64(c)+shift)
 		}
 	}
-	return out
 }

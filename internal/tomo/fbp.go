@@ -95,32 +95,18 @@ func rampFilter(m int, tau float64, f Filter) []float64 {
 
 // FilterSinogram returns a copy of s with every projection row convolved
 // with the windowed ramp filter (zero-padded to avoid circular wrap).
+// The filter taps come from a cached reconstruction plan, so repeated
+// calls on one geometry never rebuild the ramp.
+//
+// q = IFFT(FFT(p)·|f|): the τ from approximating the continuous transform
+// by the DFT cancels against the Δf of the inverse frequency integral, so
+// no pitch factor remains.
 func FilterSinogram(s *Sinogram, f Filter) *Sinogram {
-	out := s.Clone()
-	m := fft.NextPow2(2 * s.NCols)
-	tau := 2.0 / float64(s.NCols)
-	h := rampFilter(m, tau, f)
-	buf := make([]complex128, m)
-	for a := 0; a < s.NAngles; a++ {
-		row := out.Row(a)
-		for i := range buf {
-			buf[i] = 0
-		}
-		for i, v := range row {
-			buf[i] = complex(v, 0)
-		}
-		fft.Forward(buf)
-		for i := range buf {
-			buf[i] *= complex(h[i], 0)
-		}
-		fft.Inverse(buf)
-		// q = IFFT(FFT(p)·|f|): the τ from approximating the
-		// continuous transform by the DFT cancels against the Δf of
-		// the inverse frequency integral, so no pitch factor remains.
-		for i := range row {
-			row[i] = real(buf[i])
-		}
-	}
+	p := mustPlan(s.Theta, s.NCols, ReconOptions{Algorithm: AlgFBP, Filter: f})
+	out := NewSinogram(s.Theta, s.NCols)
+	sc := p.GetScratch()
+	p.filterInto(out, s, sc.cbuf)
+	p.PutScratch(sc)
 	return out
 }
 
@@ -133,10 +119,21 @@ type FBPOptions struct {
 
 // FBP reconstructs a slice from its sinogram by filtered back projection —
 // the fast algorithm the streaming branch runs for sub-10-second previews.
+// It is a thin wrapper over a cached ReconPlan; hot loops should hold the
+// plan and a Scratch and call ReconstructInto directly.
 func FBP(s *Sinogram, opts FBPOptions) *vol.Image {
-	n := opts.Size
-	if n == 0 {
-		n = s.NCols
+	p := mustPlan(s.Theta, s.NCols, ReconOptions{Algorithm: AlgFBP, Filter: opts.Filter, Size: opts.Size})
+	return p.reconstruct(s)
+}
+
+// mustPlan backs the legacy one-shot entry points, whose signatures have
+// no error path; PlanRecon only fails on degenerate geometry (no angles,
+// no columns) or an unknown algorithm, neither reachable from them with
+// inputs the old code accepted.
+func mustPlan(theta []float64, ncols int, opts ReconOptions) *ReconPlan {
+	p, err := PlanRecon(theta, ncols, opts)
+	if err != nil {
+		panic(err)
 	}
-	return BackProject(FilterSinogram(s, opts.Filter), n)
+	return p
 }

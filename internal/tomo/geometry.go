@@ -112,10 +112,18 @@ func (p *ProjectionSet) Projection(a int) []float64 {
 // the angle-major layout is not contiguous per row).
 func (p *ProjectionSet) SinogramForRow(r int) *Sinogram {
 	s := NewSinogram(p.Theta, p.NCols)
-	for a := 0; a < p.NAngles; a++ {
-		copy(s.Row(a), p.Data[(a*p.NRows+r)*p.NCols:(a*p.NRows+r)*p.NCols+p.NCols])
-	}
+	p.SinogramForRowInto(s, r)
 	return s
+}
+
+// SinogramForRowInto copies the sinogram of object slice r into dst,
+// which must have matching NAngles and NCols (e.g. a plan scratch's
+// staging sinogram). Allocation-free.
+func (p *ProjectionSet) SinogramForRowInto(dst *Sinogram, r int) {
+	for a := 0; a < p.NAngles; a++ {
+		base := (a*p.NRows + r) * p.NCols
+		copy(dst.Row(a), p.Data[base:base+p.NCols])
+	}
 }
 
 // Validate checks structural consistency.

@@ -13,20 +13,34 @@ import (
 // a Cartesian frequency grid with bilinear weights, the accumulated grid
 // is weight-normalized, and a 2D inverse FFT yields the image. This is the
 // algorithm family TomoPy's default "gridrec" belongs to: much cheaper
-// than per-pixel backprojection for large angle counts.
+// than per-pixel backprojection for large angle counts. Thin wrapper over
+// a cached ReconPlan.
 func Gridrec(s *Sinogram, size int) *vol.Image {
 	n := size
 	if n == 0 {
 		n = s.NCols
 	}
+	p := cachedPlan(s.Theta, planKey{
+		alg: AlgGridrec, nangles: s.NAngles, ncols: s.NCols, size: n,
+	})
+	return p.reconstruct(s)
+}
+
+// gridrecInto runs the gridding reconstruction against the plan's cached
+// FFT plan, half-sample phase table, and trig tables, with every working
+// buffer drawn from the scratch — allocation-free in steady state.
+func (p *ReconPlan) gridrecInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
+	n := p.Size
 	// Oversampled frequency grid reduces gridding artifacts.
-	m := fft.NextPow2(2 * n)
-
-	grid := make([]complex128, m*m)
-	wsum := make([]float64, m*m)
-
-	buf := make([]complex128, m)
-	tau := 2.0 / float64(s.NCols) // detector pitch in object units
+	m := p.gm
+	grid, wsum, buf := sc.grid, sc.wsum, sc.cbuf
+	for i := range grid {
+		grid[i] = 0
+	}
+	for i := range wsum {
+		wsum[i] = 0
+	}
+	tau := 2.0 / float64(p.NCols) // detector pitch in object units
 
 	for a := 0; a < s.NAngles; a++ {
 		row := s.Row(a)
@@ -41,21 +55,19 @@ func Gridrec(s *Sinogram, size int) *vol.Image {
 			// c - ncols/2 + 0.5 samples from center. Place at
 			// wrapped index; the residual half-sample shift is
 			// corrected in phase below.
-			off := c - s.NCols/2
+			off := c - p.NCols/2
 			idx := ((off % m) + m) % m
 			buf[idx] = complex(v, 0)
 		}
-		fft.Forward(buf)
+		p.gp.Forward(buf)
 		// Half-sample phase correction: the true sample positions are
 		// (off+0.5)·τ, so divide by the shift phase e^{+iπk/m}.
 		for i := range buf {
-			k := float64(fft.FreqIndex(i, m))
-			ph := math.Pi * k / float64(m)
-			buf[i] *= complex(math.Cos(ph), -math.Sin(ph))
+			buf[i] *= p.phase[i]
 		}
 
-		ct := math.Cos(s.Theta[a])
-		st := math.Sin(s.Theta[a])
+		ct := p.cosT[a]
+		st := p.sinT[a]
 		// Splat each radial frequency sample. Bin i is frequency
 		// k·Δk with k = FreqIndex(i, m) and Δk = 1/(m·τ); the full
 		// bin range reaches exactly the detector Nyquist at |k| = m/2.
@@ -93,20 +105,19 @@ func Gridrec(s *Sinogram, size int) *vol.Image {
 		}
 	}
 
-	fft.Inverse2D(grid, m)
+	p.gp.Inverse2D(grid, sc.gcol)
 
 	// The image is centered at (0,0) with wraparound; extract the n×n
 	// region around it. The frequency grid spacing is Δk = 1/(m·tau),
 	// so after the inverse FFT one spatial grid cell spans
 	// 1/(m·Δk) = tau object units, while one output pixel spans 2/n.
-	out := vol.NewImage(n, n)
 	cellsPerPixel := (2.0 / float64(n)) / tau // = NCols/n
 	for py := 0; py < n; py++ {
 		for px := 0; px < n; px++ {
 			// Offset from image center in pixels.
 			ox := (float64(px) - float64(n)/2 + 0.5) * cellsPerPixel
 			oy := (float64(py) - float64(n)/2 + 0.5) * cellsPerPixel
-			out.Set(px, py, gridBilinear(grid, m, ox, oy))
+			dst.Set(px, py, gridBilinear(grid, m, ox, oy))
 		}
 	}
 
@@ -114,7 +125,7 @@ func Gridrec(s *Sinogram, size int) *vol.Image {
 	// the image must match the mean projection mass (each projection
 	// integrates the full object).
 	var massSino float64
-	for c := 0; c < s.NCols; c++ {
+	for c := 0; c < p.NCols; c++ {
 		massSino += s.Row(0)[c]
 	}
 	for a := 1; a < s.NAngles; a++ {
@@ -127,18 +138,17 @@ func Gridrec(s *Sinogram, size int) *vol.Image {
 	}
 	massSino = massSino / float64(s.NAngles) * tau // integral of one projection
 	var massImg float64
-	for _, v := range out.Pix {
+	for _, v := range dst.Pix {
 		massImg += v
 	}
 	pix := 2.0 / float64(n)
 	massImg *= pix * pix
 	if math.Abs(massImg) > 1e-12 {
 		k := massSino / massImg
-		for i := range out.Pix {
-			out.Pix[i] *= k
+		for i := range dst.Pix {
+			dst.Pix[i] *= k
 		}
 	}
-	return out
 }
 
 // gridBilinear samples the wrapped m×m complex grid's real part at

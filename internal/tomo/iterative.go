@@ -20,6 +20,8 @@ type SIRTOptions struct {
 // SIRT reconstructs a slice iteratively: x ← x + λ·C·Aᵀ·R·(b − A·x), where
 // A is the forward projector, Aᵀ the backprojector, and R, C row/column
 // inverse-sum normalizations approximated by projecting a uniform image.
+// The normalizations are ray weights fixed by geometry alone, so they
+// live on the cached plan and are reused across calls and iterations.
 func SIRT(s *Sinogram, opts SIRTOptions) *vol.Image {
 	n := opts.Size
 	if n == 0 {
@@ -33,47 +35,11 @@ func SIRT(s *Sinogram, opts SIRTOptions) *vol.Image {
 	if relax <= 0 {
 		relax = 1
 	}
-
-	// Normalization: R ≈ 1 / A(1), C ≈ 1 / Aᵀ(1).
-	ones := vol.NewImage(n, n)
-	ones.Fill(1)
-	rowSum := Project(ones, s.Theta, s.NCols)
-	onesSino := NewSinogram(s.Theta, s.NCols)
-	for i := range onesSino.Data {
-		onesSino.Data[i] = 1
-	}
-	colSum := BackProject(onesSino, n)
-
-	x := vol.NewImage(n, n)
-	for it := 0; it < iters; it++ {
-		// Residual r = b - A x.
-		ax := Project(x, s.Theta, s.NCols)
-		res := NewSinogram(s.Theta, s.NCols)
-		for i := range res.Data {
-			r := s.Data[i] - ax.Data[i]
-			if w := rowSum.Data[i]; w > 1e-9 {
-				r /= w
-			} else {
-				r = 0
-			}
-			res.Data[i] = r
-		}
-		// Update x += λ C Aᵀ r. BackProject includes a π/NAngles
-		// scale; fold it out through the column normalization, which
-		// was computed with the same backprojector and cancels it.
-		upd := BackProject(res, n)
-		for i := range x.Pix {
-			c := colSum.Pix[i]
-			if c <= 1e-9 {
-				continue
-			}
-			x.Pix[i] += relax * upd.Pix[i] / c
-			if opts.Positivity && x.Pix[i] < 0 {
-				x.Pix[i] = 0
-			}
-		}
-	}
-	return x
+	p := cachedPlan(s.Theta, planKey{
+		alg: AlgSIRT, nangles: s.NAngles, ncols: s.NCols,
+		size: n, iters: iters, relax: relax, positivity: opts.Positivity,
+	})
+	return p.reconstruct(s)
 }
 
 // Residual returns the root-mean-square projection-domain residual
@@ -99,7 +65,8 @@ type SARTOptions struct {
 
 // SART reconstructs a slice with the simultaneous algebraic reconstruction
 // technique: like SIRT but updating after each projection angle, which
-// converges in far fewer sweeps at the cost of ordering sensitivity.
+// converges in far fewer sweeps at the cost of ordering sensitivity. Like
+// SIRT, the per-angle ray weights come from the cached plan.
 func SART(s *Sinogram, opts SARTOptions) *vol.Image {
 	n := opts.Size
 	if n == 0 {
@@ -113,42 +80,9 @@ func SART(s *Sinogram, opts SARTOptions) *vol.Image {
 	if relax <= 0 {
 		relax = 0.5
 	}
-
-	ones := vol.NewImage(n, n)
-	ones.Fill(1)
-	rowSum := Project(ones, s.Theta, s.NCols)
-
-	x := vol.NewImage(n, n)
-	single := make([]float64, 1)
-	for it := 0; it < iters; it++ {
-		for a := 0; a < s.NAngles; a++ {
-			theta := single[:1]
-			theta[0] = s.Theta[a]
-			// Residual for this angle only.
-			ax := Project(x, theta, s.NCols)
-			res := NewSinogram(theta, s.NCols)
-			brow := s.Row(a)
-			wrow := rowSum.Row(a)
-			for c := 0; c < s.NCols; c++ {
-				r := brow[c] - ax.Data[c]
-				if wrow[c] > 1e-9 {
-					r /= wrow[c]
-				} else {
-					r = 0
-				}
-				res.Data[c] = r
-			}
-			upd := BackProject(res, n)
-			// BackProject scales by π/NAngles = π for a single
-			// angle; compensate to an O(1) step.
-			scale := relax / math.Pi
-			for i := range x.Pix {
-				x.Pix[i] += scale * upd.Pix[i]
-				if opts.Positivity && x.Pix[i] < 0 {
-					x.Pix[i] = 0
-				}
-			}
-		}
-	}
-	return x
+	p := cachedPlan(s.Theta, planKey{
+		alg: AlgSART, nangles: s.NAngles, ncols: s.NCols,
+		size: n, iters: iters, relax: relax, positivity: opts.Positivity,
+	})
+	return p.reconstruct(s)
 }

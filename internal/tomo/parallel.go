@@ -2,7 +2,6 @@ package tomo
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 
@@ -43,7 +42,8 @@ type ReconOptions struct {
 // ReconstructSlice reconstructs a single sinogram with the configured
 // algorithm. The sinogram is assumed to already hold line integrals
 // (post -log) unless opts.Preprocess is set, in which case it is treated
-// as normalized transmission and preprocessed first.
+// as normalized transmission and preprocessed first. One-shot wrapper
+// over a cached ReconPlan.
 func ReconstructSlice(s *Sinogram, opts ReconOptions) (*vol.Image, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -52,36 +52,25 @@ func ReconstructSlice(s *Sinogram, opts ReconOptions) (*vol.Image, error) {
 	if opts.Preprocess != (PreprocessOptions{}) {
 		work = Preprocess(work, opts.Preprocess)
 	}
-	if opts.CORShift != 0 {
-		work = ShiftSinogram(work, opts.CORShift)
+	p, err := PlanRecon(s.Theta, s.NCols, opts)
+	if err != nil {
+		return nil, err
 	}
-	switch opts.Algorithm {
-	case AlgFBP, "":
-		return FBP(work, FBPOptions{Filter: opts.Filter, Size: opts.Size}), nil
-	case AlgGridrec:
-		return Gridrec(work, opts.Size), nil
-	case AlgSIRT:
-		return SIRT(work, SIRTOptions{
-			Iterations: opts.Iterations, Size: opts.Size, Positivity: true,
-		}), nil
-	case AlgSART:
-		return SART(work, SARTOptions{
-			Iterations: opts.Iterations, Size: opts.Size, Positivity: true,
-		}), nil
-	}
-	return nil, fmt.Errorf("tomo: unknown algorithm %q", opts.Algorithm)
+	return p.reconstruct(work), nil
 }
 
 // ReconstructVolume reconstructs every detector row of ps into a volume,
 // fanning slices out over a bounded worker pool — the same decomposition
-// the paper's 128-core NERSC node exploits. ctx cancels outstanding work.
+// the paper's 128-core NERSC node exploits. One plan is built for the
+// whole volume; each worker holds one pooled scratch, so the steady-state
+// per-slice path performs no allocations beyond preprocessing. ctx
+// cancels outstanding work.
 func ReconstructVolume(ctx context.Context, ps *ProjectionSet, opts ReconOptions) (*vol.Volume, error) {
 	if err := ps.Validate(); err != nil {
 		return nil, err
 	}
-	n := opts.Size
-	if n == 0 {
-		n = ps.NCols
+	if opts.Size == 0 {
+		opts.Size = ps.NCols
 	}
 	if opts.AutoCOR {
 		mid := ps.SinogramForRow(ps.NRows / 2)
@@ -91,7 +80,11 @@ func ReconstructVolume(ctx context.Context, ps *ProjectionSet, opts ReconOptions
 		opts.CORShift = FindCenter(mid, 0)
 		opts.AutoCOR = false
 	}
-	out := vol.NewVolume(n, n, ps.NRows)
+	plan, err := PlanRecon(ps.Theta, ps.NCols, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := vol.NewVolume(plan.Size, plan.Size, ps.NRows)
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -108,16 +101,22 @@ func ReconstructVolume(ctx context.Context, ps *ProjectionSet, opts ReconOptions
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := plan.GetScratch()
+			defer plan.PutScratch(sc)
 			for r := range rows {
-				im, err := ReconstructSlice(ps.SinogramForRow(r), opts)
-				if err != nil {
+				ps.SinogramForRowInto(sc.rowIn, r)
+				work := sc.rowIn
+				if opts.Preprocess != (PreprocessOptions{}) {
+					work = Preprocess(work, opts.Preprocess)
+				}
+				if err := plan.ReconstructInto(sc.out, work, sc); err != nil {
 					select {
 					case errc <- err:
 					default:
 					}
 					return
 				}
-				out.SetSlice(r, im) // disjoint slices: no lock needed
+				out.SetSlice(r, sc.out) // disjoint slices: no lock needed
 			}
 		}()
 	}
@@ -148,7 +147,10 @@ feed:
 // reconstructed from its sinogram; the XZ and YZ previews are assembled
 // from FBP reconstructions of every row restricted to the central column —
 // to keep the sub-10-second budget this uses the fast FBP path at reduced
-// lateral resolution.
+// lateral resolution. The reduced-size pass shares one cached plan across
+// all rows (it used to re-derive the ramp filter and trig tables per row)
+// and the workers stride the row range with pooled scratches, keeping the
+// steady-state call nearly allocation-free.
 func QuickPreview(ctx context.Context, ps *ProjectionSet, opts ReconOptions) (xy, xz, yz *vol.Image, err error) {
 	if err := ps.Validate(); err != nil {
 		return nil, nil, nil, err
@@ -173,53 +175,81 @@ func QuickPreview(ctx context.Context, ps *ProjectionSet, opts ReconOptions) (xy
 	if small.Size < 16 {
 		small.Size = min(16, n)
 	}
-	m := small.Size
-	xz = vol.NewImage(m, ps.NRows)
-	yz = vol.NewImage(m, ps.NRows)
+	plan, err := PlanRecon(ps.Theta, ps.NCols, small)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	rows := make(chan int)
-	var wg sync.WaitGroup
-	var firstErr error
-	var mu sync.Mutex
+	if workers > ps.NRows {
+		workers = ps.NRows
+	}
+	pv := &previewPass{
+		ps:     ps,
+		plan:   plan,
+		pre:    small.Preprocess,
+		m:      small.Size,
+		stride: workers,
+		xz:     vol.NewImage(small.Size, ps.NRows),
+		yz:     vol.NewImage(small.Size, ps.NRows),
+	}
+	pv.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range rows {
-				im, e := ReconstructSlice(ps.SinogramForRow(r), small)
-				if e != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = e
-					}
-					mu.Unlock()
-					return
-				}
-				for i := 0; i < m; i++ {
-					xz.Set(i, r, im.At(i, m/2))
-					yz.Set(i, r, im.At(m/2, i))
-				}
-			}
-		}()
+		go pv.run(ctx, w)
 	}
-	for r := 0; r < ps.NRows; r++ {
-		select {
-		case rows <- r:
-		case <-ctx.Done():
-			r = ps.NRows
-		}
-	}
-	close(rows)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, nil, firstErr
+	pv.wg.Wait()
+	if pv.err != nil {
+		return nil, nil, nil, pv.err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, nil, err
 	}
-	return xy, xz, yz, nil
+	return xy, pv.xz, pv.yz, nil
+}
+
+// previewPass carries the shared state of QuickPreview's reduced-size row
+// sweep. Workers stride the row range (no feed channel) and write
+// disjoint rows of xz/yz, so the only synchronization is the WaitGroup
+// and the first-error mutex.
+type previewPass struct {
+	ps     *ProjectionSet
+	plan   *ReconPlan
+	pre    PreprocessOptions
+	m      int
+	stride int
+	xz, yz *vol.Image
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	err    error
+}
+
+func (pv *previewPass) run(ctx context.Context, start int) {
+	defer pv.wg.Done()
+	sc := pv.plan.GetScratch()
+	defer pv.plan.PutScratch(sc)
+	for r := start; r < pv.ps.NRows; r += pv.stride {
+		if ctx.Err() != nil {
+			return
+		}
+		pv.ps.SinogramForRowInto(sc.rowIn, r)
+		work := sc.rowIn
+		if pv.pre != (PreprocessOptions{}) {
+			work = Preprocess(work, pv.pre)
+		}
+		if err := pv.plan.ReconstructInto(sc.out, work, sc); err != nil {
+			pv.mu.Lock()
+			if pv.err == nil {
+				pv.err = err
+			}
+			pv.mu.Unlock()
+			return
+		}
+		for i := 0; i < pv.m; i++ {
+			pv.xz.Set(i, r, sc.out.At(i, pv.m/2))
+			pv.yz.Set(i, r, sc.out.At(pv.m/2, i))
+		}
+	}
 }

@@ -1,0 +1,548 @@
+package tomo
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/fft"
+	"repro/internal/vol"
+)
+
+// ReconPlan is the precomputed, immutable state for reconstructing slices
+// of one acquisition geometry: trig tables for every projection angle,
+// per-row reconstruction-circle pixel bounds, the windowed ramp-filter
+// spectrum and its FFT plan (FBP), the oversampled-grid FFT plan and
+// half-sample phase table (gridrec), and the ray-weight normalizations
+// (SIRT/SART). Build one per volume — or let the package-level wrappers
+// fetch a cached plan — and share it across any number of goroutines;
+// all per-call mutable state lives in a Scratch.
+//
+// Concurrency contract: a ReconPlan is read-only after construction and
+// safe for concurrent use. A Scratch is NOT: use one Scratch per
+// goroutine (NewScratch, or GetScratch/PutScratch for pooled reuse).
+type ReconPlan struct {
+	Algorithm  Algorithm
+	Filter     Filter // FBP only
+	NAngles    int
+	NCols      int
+	Size       int     // output image side length
+	Iterations int     // SIRT/SART only
+	Relax      float64 // SIRT/SART only
+	Positivity bool    // SIRT/SART only
+	// CORShift, when non-zero, recenters each sinogram (into scratch)
+	// before reconstruction. Derive a shifted variant of a cached plan
+	// with WithCOR rather than building a new one.
+	CORShift float64
+
+	theta []float64 // private copy of the acquisition angles
+	cosT  []float64 // cos θ per angle
+	sinT  []float64 // sin θ per angle
+	xs    []float64 // pixel-center coordinates in [-1,1], length Size
+	loPx  []int     // per image row: first pixel inside the circle
+	hiPx  []int     // per image row: one past the last inside pixel
+
+	// FBP: padded filter length, its FFT plan, and the ramp taps as a
+	// ready-to-multiply complex spectrum.
+	fm   int
+	fp   *fft.Plan
+	taps []complex128
+
+	// FBP backprojection stride tables: per-angle detector-column step
+	// along an image row, its reciprocal, and whether every |step| ≤ 1 —
+	// the precondition for the kernel's incremental interior walk (one
+	// carry adjust per pixel). Steps exceed 1 only when reconstructing
+	// onto a grid coarser than the detector (Size < NCols).
+	dTab   []float64
+	invD   []float64
+	stepOK bool
+
+	// Gridrec: oversampled grid side, its FFT plan, and the half-sample
+	// shift phase per frequency bin.
+	gm    int
+	gp    *fft.Plan
+	phase []complex128
+
+	// SIRT/SART ray-weight normalizations, computed once: rowSum ≈ A(1)
+	// for both; colSum ≈ Aᵀ(1) for SIRT.
+	rowSum *Sinogram
+	colSum *vol.Image
+
+	// pool hands out Scratch values to callers that do not hold their
+	// own; a pointer so WithCOR copies share it.
+	pool *sync.Pool
+}
+
+// Scratch holds every mutable buffer one goroutine needs to reconstruct
+// slices against a plan. The zero-allocation steady state depends on
+// reusing one Scratch across calls; never share one between goroutines.
+type Scratch struct {
+	rowIn    *Sinogram    // staging for ProjectionSet rows
+	shifted  *Sinogram    // COR-recentred copy (lazy: only if CORShift ≠ 0)
+	filtered *Sinogram    // FBP: ramp-filtered sinogram
+	cbuf     []complex128 // FBP: padded row pair; gridrec: radial line
+	grid     []complex128 // gridrec: accumulated spectrum
+	wsum     []float64    // gridrec: splat weights
+	gcol     []complex128 // gridrec: 2D FFT column scratch
+	ax       *Sinogram    // SIRT: forward projection of the iterate
+	res      *Sinogram    // SIRT: normalized residual
+	axOne    *Sinogram    // SART: single-angle forward projection
+	resOne   *Sinogram    // SART: single-angle residual
+	upd      *vol.Image   // SIRT/SART: backprojected update
+	out      *vol.Image   // volume/preview workers: per-slice output
+}
+
+// planKey identifies a cacheable plan. COR shift is deliberately absent:
+// it affects no precomputed table, so shifted variants share the cached
+// plan via WithCOR instead of multiplying cache entries per auto-COR
+// estimate.
+type planKey struct {
+	alg        Algorithm
+	filter     Filter
+	nangles    int
+	ncols      int
+	size       int
+	iters      int
+	relax      float64
+	positivity bool
+}
+
+// maxCachedPlans bounds the global plan cache; on overflow the cache is
+// reset rather than evicted LRU-style — plans are cheap to rebuild and
+// real workloads use a handful of geometries.
+const maxCachedPlans = 32
+
+var (
+	reconPlanMu    sync.Mutex
+	reconPlans     = map[planKey][]*ReconPlan{}
+	reconPlanCount int
+)
+
+// PlanRecon returns a reconstruction plan for the given angle set and
+// detector width, configured by the same options ReconstructVolume takes
+// (Preprocess, AutoCOR, and Workers are resolved by the caller and
+// ignored here). Plans are cached globally: repeated calls with the same
+// geometry and parameters return the same shared plan.
+func PlanRecon(theta []float64, ncols int, opts ReconOptions) (*ReconPlan, error) {
+	if len(theta) == 0 || ncols <= 0 {
+		return nil, fmt.Errorf("tomo: plan needs ≥1 angle and ≥1 detector column (got %d angles, %d cols)",
+			len(theta), ncols)
+	}
+	alg := opts.Algorithm
+	if alg == "" {
+		alg = AlgFBP
+	}
+	key := planKey{alg: alg, nangles: len(theta), ncols: ncols, size: opts.Size}
+	if key.size == 0 {
+		key.size = ncols
+	}
+	switch alg {
+	case AlgFBP:
+		key.filter = opts.Filter
+	case AlgGridrec:
+	case AlgSIRT:
+		key.iters = opts.Iterations
+		if key.iters <= 0 {
+			key.iters = 30
+		}
+		key.relax = 1
+		key.positivity = true
+	case AlgSART:
+		key.iters = opts.Iterations
+		if key.iters <= 0 {
+			key.iters = 5
+		}
+		key.relax = 0.5
+		key.positivity = true
+	default:
+		return nil, fmt.Errorf("tomo: unknown algorithm %q", opts.Algorithm)
+	}
+	p := cachedPlan(theta, key)
+	if opts.CORShift != 0 {
+		p = p.WithCOR(opts.CORShift)
+	}
+	return p, nil
+}
+
+// cachedPlan returns the cached plan for (theta, key), building and
+// inserting one on miss. Keys collide only across distinct theta contents
+// of equal length, so each key holds a short list compared by value.
+func cachedPlan(theta []float64, key planKey) *ReconPlan {
+	reconPlanMu.Lock()
+	for _, p := range reconPlans[key] {
+		if floatsEqual(p.theta, theta) {
+			reconPlanMu.Unlock()
+			return p
+		}
+	}
+	reconPlanMu.Unlock()
+
+	// Build outside the lock: SIRT/SART plans forward/back project a
+	// uniform image, which is far too slow to serialize globally. A
+	// racing builder may duplicate the work; the second check below
+	// keeps the cache single-copy.
+	p := buildPlan(theta, key)
+
+	reconPlanMu.Lock()
+	defer reconPlanMu.Unlock()
+	for _, q := range reconPlans[key] {
+		if floatsEqual(q.theta, theta) {
+			return q
+		}
+	}
+	if reconPlanCount >= maxCachedPlans {
+		reconPlans = map[planKey][]*ReconPlan{}
+		reconPlanCount = 0
+	}
+	reconPlans[key] = append(reconPlans[key], p)
+	reconPlanCount++
+	return p
+}
+
+func buildPlan(theta []float64, key planKey) *ReconPlan {
+	p := &ReconPlan{
+		Algorithm:  key.alg,
+		Filter:     key.filter,
+		NAngles:    key.nangles,
+		NCols:      key.ncols,
+		Size:       key.size,
+		Iterations: key.iters,
+		Relax:      key.relax,
+		Positivity: key.positivity,
+		theta:      append([]float64(nil), theta...),
+	}
+	p.cosT, p.sinT = trigTables(p.theta)
+	p.xs = pixelCenters(p.Size)
+	p.loPx, p.hiPx = circleBounds(p.xs)
+
+	switch key.alg {
+	case AlgFBP:
+		p.fm = fft.NextPow2(2 * p.NCols)
+		p.fp = fft.PlanFor(p.fm)
+		h := rampFilter(p.fm, 2.0/float64(p.NCols), p.Filter)
+		p.taps = make([]complex128, p.fm)
+		for i, v := range h {
+			p.taps[i] = complex(v, 0)
+		}
+		dxp := 2.0 / float64(p.Size)
+		halfC := float64(p.NCols) / 2
+		p.dTab = make([]float64, p.NAngles)
+		p.invD = make([]float64, p.NAngles)
+		p.stepOK = true
+		for a, ct := range p.cosT {
+			d := dxp * ct * halfC
+			p.dTab[a] = d
+			if d != 0 {
+				p.invD[a] = 1 / d
+			}
+			if math.Abs(d) > 1 {
+				p.stepOK = false
+			}
+		}
+	case AlgGridrec:
+		p.gm = fft.NextPow2(2 * p.Size)
+		p.gp = fft.PlanFor(p.gm)
+		p.phase = make([]complex128, p.gm)
+		for i := range p.phase {
+			k := float64(fft.FreqIndex(i, p.gm))
+			ph := math.Pi * k / float64(p.gm)
+			p.phase[i] = complex(math.Cos(ph), -math.Sin(ph))
+		}
+	case AlgSIRT, AlgSART:
+		ones := vol.NewImage(p.Size, p.Size)
+		ones.Fill(1)
+		p.rowSum = Project(ones, p.theta, p.NCols)
+		if key.alg == AlgSIRT {
+			onesSino := NewSinogram(p.theta, p.NCols)
+			for i := range onesSino.Data {
+				onesSino.Data[i] = 1
+			}
+			p.colSum = BackProject(onesSino, p.Size)
+		}
+	}
+	p.pool = &sync.Pool{New: func() any { return p.NewScratch() }}
+	return p
+}
+
+// WithCOR returns a plan identical to p but recentring sinograms by shift
+// detector pixels before reconstruction. The copy shares every table and
+// the scratch pool with p, so deriving one per auto-COR volume is cheap.
+func (p *ReconPlan) WithCOR(shift float64) *ReconPlan {
+	if shift == p.CORShift {
+		return p
+	}
+	q := *p
+	q.CORShift = shift
+	return &q
+}
+
+// NewScratch allocates a fresh scratch sized for p. Callers that
+// reconstruct many slices on one goroutine (workers, benchmarks) should
+// hold one; transient callers can borrow from the pool instead.
+func (p *ReconPlan) NewScratch() *Scratch {
+	sc := &Scratch{
+		rowIn: NewSinogram(p.theta, p.NCols),
+		out:   vol.NewImage(p.Size, p.Size),
+	}
+	switch p.Algorithm {
+	case AlgFBP:
+		sc.filtered = NewSinogram(p.theta, p.NCols)
+		sc.cbuf = make([]complex128, p.fm)
+	case AlgGridrec:
+		sc.grid = make([]complex128, p.gm*p.gm)
+		sc.wsum = make([]float64, p.gm*p.gm)
+		sc.cbuf = make([]complex128, p.gm)
+		sc.gcol = make([]complex128, p.gm)
+	case AlgSIRT:
+		sc.ax = NewSinogram(p.theta, p.NCols)
+		sc.res = NewSinogram(p.theta, p.NCols)
+		sc.upd = vol.NewImage(p.Size, p.Size)
+	case AlgSART:
+		sc.axOne = NewSinogram(p.theta[:1], p.NCols)
+		sc.resOne = NewSinogram(p.theta[:1], p.NCols)
+		sc.upd = vol.NewImage(p.Size, p.Size)
+	}
+	return sc
+}
+
+// GetScratch borrows a scratch from the plan's pool (allocating on a cold
+// pool). Return it with PutScratch.
+func (p *ReconPlan) GetScratch() *Scratch {
+	return p.pool.Get().(*Scratch)
+}
+
+// PutScratch returns a scratch obtained from GetScratch (or NewScratch)
+// to the pool for reuse.
+func (p *ReconPlan) PutScratch(sc *Scratch) {
+	p.pool.Put(sc)
+}
+
+// ReconstructInto reconstructs sinogram s into dst (which must be
+// Size×Size) using the plan's algorithm. sc may be nil, in which case a
+// pooled scratch is borrowed for the call; passing a goroutine-held
+// scratch makes the steady-state path allocation-free.
+func (p *ReconPlan) ReconstructInto(dst *vol.Image, s *Sinogram, sc *Scratch) error {
+	if s.NAngles != p.NAngles || s.NCols != p.NCols {
+		return fmt.Errorf("tomo: sinogram %d angles × %d cols does not match plan %d×%d",
+			s.NAngles, s.NCols, p.NAngles, p.NCols)
+	}
+	if dst.W != p.Size || dst.H != p.Size {
+		return fmt.Errorf("tomo: destination %d×%d does not match plan size %d", dst.W, dst.H, p.Size)
+	}
+	if sc == nil {
+		sc = p.GetScratch()
+		defer p.PutScratch(sc)
+	}
+	p.reconInto(dst, s, sc)
+	return nil
+}
+
+// reconstruct is the one-shot form: borrow a scratch, reconstruct into a
+// fresh image, return it. The thin public wrappers (FBP, Gridrec, SIRT,
+// SART) all reduce to this.
+func (p *ReconPlan) reconstruct(s *Sinogram) *vol.Image {
+	sc := p.GetScratch()
+	defer p.PutScratch(sc)
+	dst := vol.NewImage(p.Size, p.Size)
+	p.reconInto(dst, s, sc)
+	return dst
+}
+
+func (p *ReconPlan) reconInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
+	work := s
+	if p.CORShift != 0 {
+		// Lazy: scratches from a shared pool may predate the WithCOR
+		// derivation, so the shifted buffer appears on first use.
+		if sc.shifted == nil {
+			sc.shifted = NewSinogram(p.theta, p.NCols)
+		}
+		ShiftSinogramInto(sc.shifted, s, p.CORShift)
+		work = sc.shifted
+	}
+	switch p.Algorithm {
+	case AlgFBP:
+		p.fbpInto(dst, work, sc)
+	case AlgGridrec:
+		p.gridrecInto(dst, work, sc)
+	case AlgSIRT:
+		p.sirtInto(dst, work, sc)
+	case AlgSART:
+		p.sartInto(dst, work, sc)
+	}
+}
+
+func (p *ReconPlan) fbpInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
+	p.filterInto(sc.filtered, s, sc.cbuf)
+	dTab, invD := p.dTab, p.invD
+	if !p.stepOK {
+		dTab, invD = nil, nil
+	}
+	backProjectKernel(dst, sc.filtered, p.cosT, p.sinT, p.xs, p.loPx, p.hiPx,
+		math.Pi/float64(p.NAngles), true, dTab, invD)
+}
+
+// filterInto ramp-filters every row of src into dst using the plan's
+// precomputed taps. Rows are processed two at a time packed into the real
+// and imaginary parts of one complex FFT — valid because the windowed
+// ramp taps are real and even (a real, symmetric impulse response), so
+// the two convolutions never mix. This halves the FFT count relative to
+// the row-at-a-time path.
+func (p *ReconPlan) filterInto(dst, src *Sinogram, cbuf []complex128) {
+	nc := p.NCols
+	m := p.fm
+	a := 0
+	for ; a+1 < src.NAngles; a += 2 {
+		ra, rb := src.Row(a), src.Row(a+1)
+		for i := 0; i < nc; i++ {
+			cbuf[i] = complex(ra[i], rb[i])
+		}
+		for i := nc; i < m; i++ {
+			cbuf[i] = 0
+		}
+		p.fp.ConvolveInto(cbuf, p.taps)
+		da, db := dst.Row(a), dst.Row(a+1)
+		for i := 0; i < nc; i++ {
+			da[i] = real(cbuf[i])
+			db[i] = imag(cbuf[i])
+		}
+	}
+	if a < src.NAngles { // odd angle count: last row rides alone
+		ra := src.Row(a)
+		for i := 0; i < nc; i++ {
+			cbuf[i] = complex(ra[i], 0)
+		}
+		for i := nc; i < m; i++ {
+			cbuf[i] = 0
+		}
+		p.fp.ConvolveInto(cbuf, p.taps)
+		da := dst.Row(a)
+		for i := 0; i < nc; i++ {
+			da[i] = real(cbuf[i])
+		}
+	}
+}
+
+func (p *ReconPlan) sirtInto(x *vol.Image, s *Sinogram, sc *Scratch) {
+	for i := range x.Pix {
+		x.Pix[i] = 0
+	}
+	for it := 0; it < p.Iterations; it++ {
+		for a := 0; a < p.NAngles; a++ {
+			projectRow(sc.ax.Row(a), x, p.cosT[a], p.sinT[a])
+		}
+		for i := range sc.res.Data {
+			r := s.Data[i] - sc.ax.Data[i]
+			if w := p.rowSum.Data[i]; w > 1e-9 {
+				r /= w
+			} else {
+				r = 0
+			}
+			sc.res.Data[i] = r
+		}
+		backProjectKernel(sc.upd, sc.res, p.cosT, p.sinT, p.xs, p.loPx, p.hiPx,
+			math.Pi/float64(p.NAngles), false, nil, nil)
+		for i := range x.Pix {
+			c := p.colSum.Pix[i]
+			if c <= 1e-9 {
+				continue
+			}
+			x.Pix[i] += p.Relax * sc.upd.Pix[i] / c
+			if p.Positivity && x.Pix[i] < 0 {
+				x.Pix[i] = 0
+			}
+		}
+	}
+}
+
+func (p *ReconPlan) sartInto(x *vol.Image, s *Sinogram, sc *Scratch) {
+	for i := range x.Pix {
+		x.Pix[i] = 0
+	}
+	scale := p.Relax / math.Pi
+	for it := 0; it < p.Iterations; it++ {
+		for a := 0; a < p.NAngles; a++ {
+			axRow := sc.axOne.Row(0)
+			projectRow(axRow, x, p.cosT[a], p.sinT[a])
+			brow := s.Row(a)
+			wrow := p.rowSum.Row(a)
+			resRow := sc.resOne.Row(0)
+			for c := 0; c < p.NCols; c++ {
+				r := brow[c] - axRow[c]
+				if wrow[c] > 1e-9 {
+					r /= wrow[c]
+				} else {
+					r = 0
+				}
+				resRow[c] = r
+			}
+			// Single-angle backprojection scales by π/1; the relax/π
+			// step compensates, exactly as the one-shot SART did.
+			backProjectKernel(sc.upd, sc.resOne, p.cosT[a:a+1], p.sinT[a:a+1],
+				p.xs, p.loPx, p.hiPx, math.Pi, false, nil, nil)
+			for i := range x.Pix {
+				x.Pix[i] += scale * sc.upd.Pix[i]
+				if p.Positivity && x.Pix[i] < 0 {
+					x.Pix[i] = 0
+				}
+			}
+		}
+	}
+}
+
+// trigTables evaluates cos θ and sin θ per angle — the same per-angle
+// values the kernels previously computed inline, hoisted into the plan.
+func trigTables(theta []float64) (cosT, sinT []float64) {
+	cosT = make([]float64, len(theta))
+	sinT = make([]float64, len(theta))
+	for i, th := range theta {
+		cosT[i] = math.Cos(th)
+		sinT[i] = math.Sin(th)
+	}
+	return cosT, sinT
+}
+
+// pixelCenters returns the n pixel-center coordinates -1+(2i+1)/n, shared
+// by both image axes (reconstructions are square).
+func pixelCenters(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = -1 + (2*float64(i)+1)/float64(n)
+	}
+	return xs
+}
+
+// circleBounds computes, per image row, the contiguous pixel range inside
+// the reconstruction circle, using the identical x²+y² > 1 predicate the
+// per-pixel kernels used — so the planned path touches exactly the same
+// pixel set.
+func circleBounds(xs []float64) (lo, hi []int) {
+	n := len(xs)
+	lo = make([]int, n)
+	hi = make([]int, n)
+	for py := 0; py < n; py++ {
+		y := xs[py]
+		l := 0
+		for l < n && xs[l]*xs[l]+y*y > 1 {
+			l++
+		}
+		h := n
+		for h > l && xs[h-1]*xs[h-1]+y*y > 1 {
+			h--
+		}
+		lo[py] = l
+		hi[py] = h
+	}
+	return lo, hi
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

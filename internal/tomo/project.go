@@ -2,58 +2,94 @@ package tomo
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/vol"
 )
 
-// Project computes the parallel-beam Radon transform of im for the given
-// angles, producing a sinogram with ncols detector columns. Rays are
-// integrated by stepping through the unit square with bilinear sampling at
-// half-pixel steps.
-func Project(im *vol.Image, theta []float64, ncols int) *Sinogram {
-	s := NewSinogram(theta, ncols)
+// projectRow integrates the parallel-beam Radon transform of im along the
+// rays of a single projection angle (given as its cosine and sine),
+// filling one sinogram row. Rays step through the unit square with
+// bilinear sampling at half-pixel steps. Allocation-free.
+func projectRow(row []float64, im *vol.Image, ct, st float64) {
 	n := im.W
 	step := 1.0 / float64(n) // half a pixel in [-1,1] units
 	tMax := math.Sqrt2
 	nSteps := int(2 * tMax / step)
-	for a, th := range theta {
-		ct, st := math.Cos(th), math.Sin(th)
-		row := s.Row(a)
-		for c := 0; c < ncols; c++ {
-			sc := -1 + (2*float64(c)+1)/float64(ncols)
-			var sum float64
-			for k := 0; k <= nSteps; k++ {
-				t := -tMax + float64(k)*step
-				// Ray point in object coordinates.
-				x := sc*ct - t*st
-				y := sc*st + t*ct
-				if x < -1 || x > 1 || y < -1 || y > 1 {
-					continue
-				}
-				// Map to pixel coordinates (pixel centers at
-				// -1+(2i+1)/n).
-				px := (x+1)/2*float64(n) - 0.5
-				py := (y+1)/2*float64(im.H) - 0.5
-				sum += im.Bilinear(px, py)
+	ncols := len(row)
+	for c := 0; c < ncols; c++ {
+		sc := -1 + (2*float64(c)+1)/float64(ncols)
+		var sum float64
+		for k := 0; k <= nSteps; k++ {
+			t := -tMax + float64(k)*step
+			// Ray point in object coordinates.
+			x := sc*ct - t*st
+			y := sc*st + t*ct
+			if x < -1 || x > 1 || y < -1 || y > 1 {
+				continue
 			}
-			row[c] = sum * step
+			// Map to pixel coordinates (pixel centers at -1+(2i+1)/n).
+			px := (x+1)/2*float64(n) - 0.5
+			py := (y+1)/2*float64(im.H) - 0.5
+			sum += im.Bilinear(px, py)
 		}
+		row[c] = sum * step
+	}
+}
+
+// Project computes the parallel-beam Radon transform of im for the given
+// angles, producing a sinogram with ncols detector columns.
+func Project(im *vol.Image, theta []float64, ncols int) *Sinogram {
+	s := NewSinogram(theta, ncols)
+	for a, th := range theta {
+		projectRow(s.Row(a), im, math.Cos(th), math.Sin(th))
 	}
 	return s
 }
 
 // ProjectVolume forward projects every slice of v, assembling the full
 // angle-major projection set the detector would emit. Each volume slice z
-// becomes detector row z.
+// becomes detector row z. Slices are independent, so the work fans out
+// over a bounded worker pool (GOMAXPROCS), each worker writing its
+// disjoint detector rows directly into the shared set — output is
+// byte-identical to the serial order.
 func ProjectVolume(v *vol.Volume, theta []float64, ncols int) *ProjectionSet {
 	ps := NewProjectionSet(theta, v.D, ncols)
-	for z := 0; z < v.D; z++ {
-		sino := Project(v.Slice(z), theta, ncols)
-		for a := 0; a < ps.NAngles; a++ {
-			copy(ps.Data[(a*ps.NRows+z)*ps.NCols:(a*ps.NRows+z)*ps.NCols+ps.NCols], sino.Row(a))
-		}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > v.D {
+		workers = v.D
 	}
+	if workers <= 1 {
+		for z := 0; z < v.D; z++ {
+			projectSliceInto(ps, v, z)
+		}
+		return ps
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go projectWorker(&wg, ps, v, w, workers)
+	}
+	wg.Wait()
 	return ps
+}
+
+func projectWorker(wg *sync.WaitGroup, ps *ProjectionSet, v *vol.Volume, start, stride int) {
+	defer wg.Done()
+	for z := start; z < v.D; z += stride {
+		projectSliceInto(ps, v, z)
+	}
+}
+
+// projectSliceInto forward projects volume slice z into detector row z of
+// ps, writing each angle's row in place.
+func projectSliceInto(ps *ProjectionSet, v *vol.Volume, z int) {
+	im := v.Slice(z)
+	for a, th := range ps.Theta {
+		base := (a*ps.NRows + z) * ps.NCols
+		projectRow(ps.Data[base:base+ps.NCols], im, math.Cos(th), math.Sin(th))
+	}
 }
 
 // BackProject computes the unfiltered adjoint of Project onto an n×n image:
@@ -63,38 +99,333 @@ func ProjectVolume(v *vol.Volume, theta []float64, ncols int) *ProjectionSet {
 // operator the iterative solvers use.
 func BackProject(s *Sinogram, n int) *vol.Image {
 	im := vol.NewImage(n, n)
-	scale := math.Pi / float64(s.NAngles)
-	cos := make([]float64, s.NAngles)
-	sin := make([]float64, s.NAngles)
-	for a, th := range s.Theta {
-		cos[a] = math.Cos(th)
-		sin[a] = math.Sin(th)
+	cosT, sinT := trigTables(s.Theta)
+	xs := pixelCenters(n)
+	lo, hi := circleBounds(xs)
+	backProjectKernel(im, s, cosT, sinT, xs, lo, hi, math.Pi/float64(s.NAngles), false, nil, nil)
+	return im
+}
+
+// backProjectKernel accumulates the backprojection of s into dst (zeroing
+// it first), restricted per image row to the reconstruction-circle pixel
+// range [lo, hi), then applies the final scale. cosT/sinT must have one
+// entry per sinogram row. Allocation-free.
+//
+// The affine form exploits that along an image row the detector
+// coordinate fc is affine in the pixel index, replacing the two
+// multiplies and two adds of s = x·cosθ + y·sinθ per sample with one
+// multiply-add from the row's base coordinate. The multiply form
+// (base + k·Δ, not a running sum) keeps the deviation from the exact
+// per-pixel evaluation at ~1e-13 even across thousands of columns. It
+// processes four angles per pixel pass: the four interpolation chains
+// are data-independent, so their floor/load/lerp latencies overlap
+// instead of serialising on the accumulator. The exact form reproduces
+// the naive arithmetic bit-for-bit and is what the iterative solvers
+// use, where per-iteration drift would amplify.
+//
+// dTab/invD, when non-nil, are the plan's per-angle detector steps
+// Δ = dx·cosθ·ncols/2 and reciprocals, with every |Δ| ≤ 1 guaranteed by
+// the caller. They enable the incremental interior walk: within the
+// span of a row where fc provably stays inside (0, lastCol) — located
+// conservatively from Δ's reciprocal, with the leftovers handed to the
+// exact multiply-form predicate — the per-sample floor/convert/range
+// checks collapse to one addition and a carry adjust. The walk's
+// accumulated rounding (≲1e-13) only perturbs the interpolation point
+// of a continuous piecewise-linear function, never an include/exclude
+// decision, so results stay within the plan's 1e-12 equivalence bound.
+func backProjectKernel(dst *vol.Image, s *Sinogram, cosT, sinT, xs []float64, lo, hi []int, scale float64, affine bool, dTab, invD []float64) {
+	n := dst.W
+	pix := dst.Pix
+	for i := range pix {
+		pix[i] = 0
 	}
+	ncolsF := float64(s.NCols)
+	halfC := ncolsF / 2
+	dx := 2.0 / float64(n) // pixel pitch in object units
+	lastCol := s.NCols - 1
+	lastColF := float64(lastCol)
+	nang := len(cosT)
 	for py := 0; py < n; py++ {
-		y := -1 + (2*float64(py)+1)/float64(n)
-		for px := 0; px < n; px++ {
-			x := -1 + (2*float64(px)+1)/float64(n)
-			if x*x+y*y > 1 {
-				continue // outside the reconstruction circle
+		l, h := lo[py], hi[py]
+		if l >= h {
+			continue
+		}
+		y := xs[py]
+		out := pix[py*n : (py+1)*n]
+		if affine {
+			x0 := xs[l]
+			row := out[l:h]
+			m := len(row)
+			ncols := s.NCols
+			a := 0
+			for ; a+3 < nang; a += 4 {
+				src0 := s.Data[a*ncols : (a+1)*ncols]
+				src1 := s.Data[(a+1)*ncols : (a+2)*ncols]
+				src2 := s.Data[(a+2)*ncols : (a+3)*ncols]
+				src3 := s.Data[(a+3)*ncols : (a+4)*ncols]
+				// fc(px) = (x·ct + y·st + 1)·ncols/2 − 0.5 with
+				// x = xs[l] + (px−l)·dx.
+				fc0 := (x0*cosT[a]+y*sinT[a]+1)*halfC - 0.5
+				fc1 := (x0*cosT[a+1]+y*sinT[a+1]+1)*halfC - 0.5
+				fc2 := (x0*cosT[a+2]+y*sinT[a+2]+1)*halfC - 0.5
+				fc3 := (x0*cosT[a+3]+y*sinT[a+3]+1)*halfC - 0.5
+				var d0, d1, d2, d3 float64
+				if dTab != nil {
+					d0, d1, d2, d3 = dTab[a], dTab[a+1], dTab[a+2], dTab[a+3]
+				} else {
+					d0 = dx * cosT[a] * halfC
+					d1 = dx * cosT[a+1] * halfC
+					d2 = dx * cosT[a+2] * halfC
+					d3 = dx * cosT[a+3] * halfC
+				}
+				if dTab == nil {
+					affineQuad(row, 0, m, src0, src1, src2, src3,
+						fc0, fc1, fc2, fc3, d0, d1, d2, d3, lastCol, lastColF)
+					continue
+				}
+				// Interior where all four chains provably stay inside
+				// the detector; the conservative estimate hands edge
+				// pixels to the exact predicate in affineSpan.
+				jLo, jHi := 0, m
+				lo0, hi0 := stepSpan(fc0, d0, invD[a], m, lastColF)
+				lo1, hi1 := stepSpan(fc1, d1, invD[a+1], m, lastColF)
+				lo2, hi2 := stepSpan(fc2, d2, invD[a+2], m, lastColF)
+				lo3, hi3 := stepSpan(fc3, d3, invD[a+3], m, lastColF)
+				jLo = max4(lo0, lo1, lo2, lo3)
+				jHi = min4(hi0, hi1, hi2, hi3)
+				if jHi < jLo {
+					jLo, jHi = 0, 0
+				}
+				if jLo > 0 || jHi < m {
+					affineSpan(row, 0, jLo, src0, fc0, d0, lastCol, lastColF)
+					affineSpan(row, 0, jLo, src1, fc1, d1, lastCol, lastColF)
+					affineSpan(row, 0, jLo, src2, fc2, d2, lastCol, lastColF)
+					affineSpan(row, 0, jLo, src3, fc3, d3, lastCol, lastColF)
+					affineSpan(row, jHi, m, src0, fc0, d0, lastCol, lastColF)
+					affineSpan(row, jHi, m, src1, fc1, d1, lastCol, lastColF)
+					affineSpan(row, jHi, m, src2, fc2, d2, lastCol, lastColF)
+					affineSpan(row, jHi, m, src3, fc3, d3, lastCol, lastColF)
+				}
+				if jLo >= jHi {
+					continue
+				}
+				f0 := fc0 + float64(jLo)*d0
+				f1 := fc1 + float64(jLo)*d1
+				f2 := fc2 + float64(jLo)*d2
+				f3 := fc3 + float64(jLo)*d3
+				fl0, fl1 := math.Floor(f0), math.Floor(f1)
+				fl2, fl3 := math.Floor(f2), math.Floor(f3)
+				c0, c1, c2, c3 := int(fl0), int(fl1), int(fl2), int(fl3)
+				fr0, fr1, fr2, fr3 := f0-fl0, f1-fl1, f2-fl2, f3-fl3
+				for j := jLo; j < jHi; j++ {
+					v01 := src0[c0] + fr0*(src0[c0+1]-src0[c0])
+					v01 += src1[c1] + fr1*(src1[c1+1]-src1[c1])
+					v23 := src2[c2] + fr2*(src2[c2+1]-src2[c2])
+					v23 += src3[c3] + fr3*(src3[c3+1]-src3[c3])
+					row[j] += v01 + v23
+					fr0 += d0
+					if fr0 >= 1 {
+						fr0--
+						c0++
+					} else if fr0 < 0 {
+						fr0++
+						c0--
+					}
+					fr1 += d1
+					if fr1 >= 1 {
+						fr1--
+						c1++
+					} else if fr1 < 0 {
+						fr1++
+						c1--
+					}
+					fr2 += d2
+					if fr2 >= 1 {
+						fr2--
+						c2++
+					} else if fr2 < 0 {
+						fr2++
+						c2--
+					}
+					fr3 += d3
+					if fr3 >= 1 {
+						fr3--
+						c3++
+					} else if fr3 < 0 {
+						fr3++
+						c3--
+					}
+				}
 			}
-			var acc float64
-			for a := 0; a < s.NAngles; a++ {
-				sc := x*cos[a] + y*sin[a]
+			for ; a < nang; a++ {
+				ct, st := cosT[a], sinT[a]
+				src := s.Data[a*ncols : (a+1)*ncols]
+				fc0 := (x0*ct+y*st+1)*halfC - 0.5
+				dfc := dx * ct * halfC
+				if dTab != nil {
+					dfc = dTab[a]
+				}
+				affineSpan(row, 0, m, src, fc0, dfc, lastCol, lastColF)
+			}
+			continue
+		}
+		for a := 0; a < nang; a++ {
+			ct, st := cosT[a], sinT[a]
+			src := s.Data[a*s.NCols : (a+1)*s.NCols]
+			for px := l; px < h; px++ {
+				sc := xs[px]*ct + y*st
 				// Detector column with centers at -1+(2c+1)/ncols.
-				fc := (sc+1)/2*float64(s.NCols) - 0.5
+				fc := (sc+1)/2*ncolsF - 0.5
 				c0 := int(math.Floor(fc))
-				if c0 < 0 || c0 >= s.NCols-1 {
-					if c0 == s.NCols-1 && fc <= float64(s.NCols-1) {
-						acc += s.Row(a)[c0]
+				if c0 < 0 || c0 >= lastCol {
+					if c0 == lastCol && fc <= lastColF {
+						out[px] += src[c0]
 					}
 					continue
 				}
 				f := fc - float64(c0)
-				row := s.Row(a)
-				acc += row[c0]*(1-f) + row[c0+1]*f
+				out[px] += src[c0]*(1-f) + src[c0+1]*f
 			}
-			im.Set(px, py, acc*scale)
 		}
 	}
-	return im
+	for i := range pix {
+		pix[i] *= scale
+	}
+}
+
+// affineQuad accumulates four angles into row[j0:j1) with the exact
+// multiply-form detector coordinate and the full naive include/exclude
+// predicate per sample — the fallback when an incremental walk is not
+// licensed (some |Δ| > 1, i.e. reconstruction grid coarser than the
+// detector).
+func affineQuad(row []float64, j0, j1 int, src0, src1, src2, src3 []float64,
+	fc0, fc1, fc2, fc3, d0, d1, d2, d3 float64, lastCol int, lastColF float64) {
+	kf := float64(j0)
+	for j := j0; j < j1; j++ {
+		f0 := fc0 + kf*d0
+		f1 := fc1 + kf*d1
+		f2 := fc2 + kf*d2
+		f3 := fc3 + kf*d3
+		kf++
+		var v01, v23 float64
+		fl := math.Floor(f0)
+		c := int(fl)
+		if c >= 0 && c < len(src0)-1 {
+			fr := f0 - fl
+			v01 = src0[c] + fr*(src0[c+1]-src0[c])
+		} else if c == lastCol && f0 <= lastColF {
+			v01 = src0[lastCol]
+		}
+		fl = math.Floor(f1)
+		c = int(fl)
+		if c >= 0 && c < len(src1)-1 {
+			fr := f1 - fl
+			v01 += src1[c] + fr*(src1[c+1]-src1[c])
+		} else if c == lastCol && f1 <= lastColF {
+			v01 += src1[lastCol]
+		}
+		fl = math.Floor(f2)
+		c = int(fl)
+		if c >= 0 && c < len(src2)-1 {
+			fr := f2 - fl
+			v23 = src2[c] + fr*(src2[c+1]-src2[c])
+		} else if c == lastCol && f2 <= lastColF {
+			v23 = src2[lastCol]
+		}
+		fl = math.Floor(f3)
+		c = int(fl)
+		if c >= 0 && c < len(src3)-1 {
+			fr := f3 - fl
+			v23 += src3[c] + fr*(src3[c+1]-src3[c])
+		} else if c == lastCol && f3 <= lastColF {
+			v23 += src3[lastCol]
+		}
+		row[j] += v01 + v23
+	}
+}
+
+// affineSpan accumulates one angle into row[j0:j1) with the exact
+// multiply-form coordinate and the full naive predicate — used for the
+// edge pixels around an incremental interior and for tail angles left
+// over by the four-wide blocking.
+func affineSpan(row []float64, j0, j1 int, src []float64, fc, d float64, lastCol int, lastColF float64) {
+	kf := float64(j0)
+	for j := j0; j < j1; j++ {
+		f := fc + kf*d
+		kf++
+		fl := math.Floor(f)
+		c := int(fl)
+		if c >= 0 && c < len(src)-1 {
+			fr := f - fl
+			row[j] += src[c] + fr*(src[c+1]-src[c])
+		} else if c == lastCol && f <= lastColF {
+			row[j] += src[lastCol]
+		}
+	}
+}
+
+// stepSpan conservatively bounds the index range [lo, hi) within [0, m)
+// where fc + j·d stays strictly inside (0, lastColF), with at least
+// stepEps clearance. The two-sample margin over the analytic crossing
+// absorbs the reciprocal-multiply rounding, so every index returned is
+// guaranteed interior; indices wrongly excluded just fall back to the
+// exact predicate and cost a little speed, never correctness.
+func stepSpan(fc, d, inv float64, m int, lastColF float64) (int, int) {
+	const stepEps = 1e-9
+	if d == 0 {
+		if fc >= stepEps && fc <= lastColF-stepEps {
+			return 0, m
+		}
+		return 0, 0
+	}
+	t0 := (stepEps - fc) * inv
+	t1 := (lastColF - stepEps - fc) * inv
+	if d < 0 {
+		t0, t1 = t1, t0
+	}
+	// t0/t1 now bracket the admissible j interval from below/above.
+	lo := 0
+	if t0 > 0 {
+		if t0 >= float64(m) {
+			return 0, 0
+		}
+		lo = int(t0) + 2
+	}
+	hi := m
+	if t1 < float64(m) {
+		if t1 <= 0 {
+			return 0, 0
+		}
+		hi = int(t1) - 1
+	}
+	if lo >= hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+func max4(a, b, c, d int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	if d > a {
+		a = d
+	}
+	return a
+}
+
+func min4(a, b, c, d int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	if d < a {
+		a = d
+	}
+	return a
 }

@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite (one benchmark per paper table /
+# figure, plus the ablations) with -benchmem and emit a machine-readable
+# JSON snapshot of op time, allocs/op, and every custom metric. The file
+# seeds the perf trajectory: each perf PR records its before/after pair in
+# EXPERIMENTS.md against the committed snapshot.
+#
+# Usage:
+#   scripts/bench.sh [out.json]        # default out: BENCH_PR4.json
+# Environment:
+#   BENCH_TIME    go test -benchtime value (default 1s)
+#   BENCH_FILTER  -bench regexp (default ., i.e. the full suite)
+#   BENCH_LABEL   free-form label stored in the snapshot (default "current")
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_PR4.json}
+benchtime=${BENCH_TIME:-1s}
+filter=${BENCH_FILTER:-.}
+label=${BENCH_LABEL:-current}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench $filter -benchtime $benchtime -benchmem (root suite) =="
+go test -run '^$' -bench "$filter" -benchtime "$benchtime" -benchmem . | tee "$raw"
+
+awk -v label="$label" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 3 {
+	name = $1
+	iters = $2
+	ns = ""; bytes = ""; allocs = ""; metrics = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op") ns = v
+		else if (u == "B/op") bytes = v
+		else if (u == "allocs/op") allocs = v
+		else {
+			if (metrics != "") metrics = metrics ","
+			metrics = metrics sprintf("\"%s\":%s", u, v)
+		}
+	}
+	line = sprintf("    {\"name\":\"%s\",\"iterations\":%s", name, iters)
+	if (ns != "") line = line sprintf(",\"ns_per_op\":%s", ns)
+	if (bytes != "") line = line sprintf(",\"bytes_per_op\":%s", bytes)
+	if (allocs != "") line = line sprintf(",\"allocs_per_op\":%s", allocs)
+	if (metrics != "") line = line sprintf(",\"metrics\":{%s}", metrics)
+	line = line "}"
+	rows[n++] = line
+}
+END {
+	printf "{\n  \"label\": \"%s\",\n  \"benchmarks\": [\n", label
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1) ? "," : ""
+	printf "  ]\n}\n"
+}
+' "$raw" >"$out"
+
+echo "wrote $out"

@@ -27,6 +27,12 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== smoke bench (1 iteration per benchmark) =="
+# One untimed pass over the root benchmark suite: catches benchmarks that
+# panic, allocate unexpectedly, or regress API without paying for a real
+# measurement run (scripts/bench.sh does that).
+go test -run '^$' -bench . -benchtime 1x -short .
+
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzDXFileRoundTrip$' -fuzztime 5s ./internal/dxfile
 go test -run '^$' -fuzz '^FuzzTIFFRoundTrip$' -fuzztime 5s ./internal/tiff
