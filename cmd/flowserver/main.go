@@ -11,10 +11,13 @@
 //
 //	/api/flows, /api/flows/{name}/stats, /api/flows/{name}/runs
 //	/api/runs/{id}/trace (per-run span tree)
+//	/api/events   (run-correlated event journal; ?run=&level=&component=)
+//	/api/slo      (objective attainment, error budgets, burn-rate alerts)
 //	/api/datasets (SciCat)
 //	/api/volumes  (Tiled)
 //	/api/v1/...   (SFAPI; Authorization: Bearer <token>)
-//	/metrics      (flow outcome counters, Prometheus text format)
+//	/metrics      (flow outcome counters + runtime gauges, Prometheus text)
+//	/debug/pprof/ (with -pprof: CPU/heap/goroutine profiling)
 //
 // On SIGINT/SIGTERM the server drains: the HTTP listener shuts down
 // gracefully, running SFAPI jobs are cancelled, and any flows still in
@@ -26,8 +29,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,19 +40,36 @@ import (
 	"repro/internal/core"
 	"repro/internal/facility"
 	"repro/internal/monitor"
+	"repro/internal/obslog"
 	"repro/internal/phantom"
 	"repro/internal/tiled"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("flowserver: ")
+// wallClock stamps the operational journal. The campaign journal inside
+// the Beamline runs on the sim clock; this one narrates the real server.
+type wallClock struct{}
 
+func (wallClock) Now() time.Time { return time.Now() }
+
+func main() {
 	addr := flag.String("addr", "127.0.0.1:8832", "listen address")
 	scans := flag.Int("scans", 100, "simulated campaign size for flow statistics")
 	token := flag.String("token", "demo-token", "SFAPI bearer token")
 	oneshot := flag.Bool("oneshot", false, "print a status summary and exit (for smoke tests)")
+	journalPath := flag.String("journal", "", "dump the campaign event journal as JSONL to this file")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	// Operational journal: wall-clocked, text-rendered to stderr — the
+	// replacement for stdlib log, with the same journal schema the
+	// campaign timeline uses.
+	ops := obslog.New(wallClock{}, 1024)
+	ops.AddSink(obslog.NewTextSink(os.Stderr))
+	opsCtx := obslog.NewContext(context.Background(), ops)
+	fatal := func(msg string, fields ...obslog.Field) {
+		obslog.Error(opsCtx, "flowserver", msg, fields...)
+		os.Exit(1)
+	}
 
 	// One ctx from signal to shutdown: SIGINT/SIGTERM cancels everything
 	// hanging off it.
@@ -63,7 +83,27 @@ func main() {
 	metrics := monitor.NewRegistry()
 	b.Flows.SetMetrics(metrics)
 	res := b.RunProductionCampaign(ctx, *scans, *scans)
-	log.Printf("campaign complete: %d scans through both branches", *scans)
+	obslog.Info(opsCtx, "flowserver", "campaign complete",
+		obslog.F("scans", *scans),
+		obslog.F("events", b.Journal.Len()))
+
+	// The -journal dump is the determinism gate's artifact: two runs with
+	// the same seed must produce byte-identical files.
+	if *journalPath != "" {
+		f, err := os.Create(*journalPath)
+		if err != nil {
+			fatal("create journal file", obslog.F("err", err))
+		}
+		if err := b.Journal.WriteJSONL(f, obslog.Filter{}); err != nil {
+			f.Close()
+			fatal("write journal", obslog.F("err", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal("close journal file", obslog.F("err", err))
+		}
+		obslog.Info(opsCtx, "flowserver", "journal written",
+			obslog.F("path", *journalPath))
+	}
 
 	// Metadata catalog was filled by the campaign; add an access-layer
 	// demo volume.
@@ -90,7 +130,18 @@ func main() {
 	mux.Handle("/api/volumes", access.Handler())
 	mux.Handle("/api/volumes/", access.Handler())
 	mux.Handle("/api/v1/", api.Handler())
+	mux.Handle("/api/events", b.Journal.Handler())
+	mux.Handle("/api/slo", b.SLO.Handler())
 	mux.Handle("/metrics", metrics.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		obslog.Info(opsCtx, "flowserver", "pprof enabled",
+			obslog.F("path", "/debug/pprof/"))
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -104,35 +155,54 @@ func main() {
 		return
 	}
 
+	// Runtime introspection: sample goroutine/heap/GC gauges into the
+	// registry so /metrics answers "is the server healthy" at a glance.
+	monitor.SampleRuntime(metrics)
+	go func() {
+		tick := time.NewTicker(10 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				monitor.SampleRuntime(metrics)
+			}
+		}
+	}()
+
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		<-ctx.Done()
-		log.Printf("signal received, draining")
+		obslog.Info(opsCtx, "flowserver", "signal received, draining")
 		if n := api.CancelAll(); n > 0 {
-			log.Printf("cancelled %d running SFAPI job(s)", n)
+			obslog.Warn(opsCtx, "flowserver", "cancelled running SFAPI jobs",
+				obslog.F("jobs", n))
 		}
 		if inflight := b.Flows.InFlight(); len(inflight) > 0 {
 			for _, run := range inflight {
-				log.Printf("flow still in flight: %s (run %d)", run.Flow, run.ID)
+				obslog.Warn(opsCtx, "flowserver", "flow still in flight",
+					obslog.F("flow", run.Flow), obslog.F("run", run.ID))
 			}
 		} else {
-			log.Printf("no flows in flight")
+			obslog.Info(opsCtx, "flowserver", "no flows in flight")
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			obslog.Error(opsCtx, "flowserver", "shutdown", obslog.F("err", err))
 		}
 	}()
 
-	log.Printf("listening on http://%s/", *addr)
+	obslog.Info(opsCtx, "flowserver", "listening",
+		obslog.F("url", "http://"+*addr+"/"))
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("serve", obslog.F("err", err))
 	}
 	<-done
-	log.Printf("shutdown complete")
+	obslog.Info(opsCtx, "flowserver", "shutdown complete")
 }
 
 func statusText(b *core.Beamline, res *core.Table2Result) string {

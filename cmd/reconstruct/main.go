@@ -11,20 +11,30 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/dxfile"
+	"repro/internal/obslog"
 	"repro/internal/tiff"
 	"repro/internal/tomo"
 	"repro/internal/zarr"
 )
 
+// wallClock stamps the CLI's journal; entry points run on real time.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("reconstruct: ")
+	journal := obslog.New(wallClock{}, 64)
+	journal.AddSink(obslog.NewTextSink(os.Stderr))
+	ctx := obslog.NewContext(context.Background(), journal)
+	fatal := func(msg string, fields ...obslog.Field) {
+		obslog.Error(ctx, "reconstruct", msg, fields...)
+		os.Exit(1)
+	}
 
 	in := flag.String("in", "", "input DXchange file (required)")
 	out := flag.String("out", "", "output Zarr directory (required)")
@@ -47,10 +57,12 @@ func main() {
 
 	acq, meta, err := dxfile.ReadDXchange(*in)
 	if err != nil {
-		log.Fatalf("read %s: %v", *in, err)
+		fatal("read input", obslog.F("path", *in), obslog.F("err", err))
 	}
-	log.Printf("scan %s: %d angles × %d rows × %d cols (sample %q)",
-		meta.ScanID, acq.Raw.NAngles, acq.Raw.NRows, acq.Raw.NCols, meta.Sample)
+	obslog.Info(ctx, "reconstruct", "scan loaded",
+		obslog.F("scan", meta.ScanID), obslog.F("sample", meta.Sample),
+		obslog.F("angles", acq.Raw.NAngles), obslog.F("rows", acq.Raw.NRows),
+		obslog.F("cols", acq.Raw.NCols))
 
 	li := tomo.MinusLog(tomo.Normalize(acq.Raw, acq.Flat, acq.Dark))
 
@@ -67,7 +79,7 @@ func main() {
 	}
 	f, err := tomo.ParseFilter(*filter)
 	if err != nil {
-		log.Fatal(err)
+		fatal("parse filter", obslog.F("err", err))
 	}
 	opts.Filter = f
 	// The preprocessing chain includes its own -log, so hand it
@@ -78,22 +90,24 @@ func main() {
 	}
 
 	t0 := time.Now()
-	volume, err := tomo.ReconstructVolume(context.Background(), work, opts)
+	volume, err := tomo.ReconstructVolume(ctx, work, opts)
 	if err != nil {
-		log.Fatalf("reconstruct: %v", err)
+		fatal("reconstruct", obslog.F("err", err))
 	}
-	log.Printf("reconstructed %d slices in %v with %d workers",
-		volume.D, time.Since(t0).Round(time.Millisecond), *workers)
+	obslog.Info(ctx, "reconstruct", "volume reconstructed",
+		obslog.F("slices", volume.D),
+		obslog.F("duration", time.Since(t0).Round(time.Millisecond)),
+		obslog.F("workers", *workers))
 
 	m, err := zarr.Write(*out, volume, *chunk, 0)
 	if err != nil {
-		log.Fatalf("write zarr: %v", err)
+		fatal("write zarr", obslog.F("err", err))
 	}
 	size, _ := zarr.SizeBytes(*out)
 	fmt.Printf("wrote %s: %d levels, %.1f MB\n", *out, m.Levels, float64(size)/1e6)
 	if *tiffDir != "" {
 		if err := tiff.WriteStack(*tiffDir, volume, tiff.F32); err != nil {
-			log.Fatalf("write tiff: %v", err)
+			fatal("write tiff", obslog.F("err", err))
 		}
 		fmt.Printf("wrote %s: %d TIFF slices\n", *tiffDir, volume.D)
 	}

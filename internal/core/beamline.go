@@ -10,15 +10,18 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/facility"
 	"repro/internal/flow"
+	"repro/internal/obslog"
 	"repro/internal/scicat"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/slo"
 	"repro/internal/storage"
 	"repro/internal/transfer"
 )
@@ -135,6 +138,12 @@ type Beamline struct {
 	Transfer *transfer.Service
 	Flows    *flow.Server
 	Catalog  *scicat.Catalog
+	// Journal is the run-correlated event timeline, stamped on the sim
+	// clock; flow.Start injects it into every run's context.
+	Journal *obslog.Journal
+	// SLO judges flow completions and transfer tasks against the paper's
+	// latency objectives, firing alert events into Journal.
+	SLO *slo.Engine
 
 	// Storage tiers (paper §4.3).
 	Detector *storage.Store // acquisition server
@@ -165,6 +174,13 @@ func NewBeamline(epoch time.Time, cfg SimConfig) *Beamline {
 		Catalog: scicat.New(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
+	// The observability layer: a sim-clocked journal wired through the
+	// flow server (which injects it into every run's context) and an SLO
+	// engine fed by flow completions and transfer task outcomes.
+	b.Journal = obslog.New(e, 0)
+	b.SLO = slo.NewEngine(e, b.Journal, slo.PaperObjectives()...)
+	b.Flows.SetJournal(b.Journal)
+	b.Flows.SetObserver(b.SLO)
 
 	b.Detector = storage.New(e, storage.Config{
 		Name: "detector", WriteBW: 1 << 30, ReadBW: 4 << 30,
@@ -192,6 +208,9 @@ func NewBeamline(epoch time.Time, cfg SimConfig) *Beamline {
 	})
 
 	b.Transfer = transfer.NewService(e, net)
+	b.Transfer.Observer = func(ctx context.Context, t *transfer.Task) {
+		b.SLO.Record(ctx, "transfer", t.Duration(), t.State == transfer.Succeeded)
+	}
 	b.Transfer.AddEndpoint(EPBeamline, SiteALS, b.DataSrv)
 	b.Transfer.AddEndpoint(EPCFS, SiteNERSC, b.CFS)
 	b.Transfer.AddEndpoint(EPScratch, SiteNERSC, b.Scratch)

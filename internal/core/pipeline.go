@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dxfile"
 	"repro/internal/flow"
+	"repro/internal/obslog"
 	"repro/internal/scicat"
 	"repro/internal/tiff"
 	"repro/internal/tiled"
@@ -106,6 +107,9 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	acq := tomo.Acquire(truth, theta, truth.W, acqOpts)
 	res.AcquireDur = env.Now().Sub(t0)
 	span.End(env.Now())
+	obslog.Info(ctx, "pipeline", "stage finished",
+		obslog.F("scan", scanID), obslog.F("stage", "acquire"),
+		obslog.F("duration", res.AcquireDur))
 
 	// File-writer: DXchange file with embedded metadata.
 	t0 = env.Now()
@@ -124,6 +128,9 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	}
 	res.WriteDur = env.Now().Sub(t0)
 	span.End(env.Now())
+	obslog.Info(ctx, "pipeline", "stage finished",
+		obslog.F("scan", scanID), obslog.F("stage", "write_raw"),
+		obslog.F("bytes", res.RawBytes), obslog.F("duration", res.WriteDur))
 
 	// HPC side: read back, preprocess, reconstruct in parallel.
 	if err := ctx.Err(); err != nil {
@@ -146,6 +153,9 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	res.Volume = volume
 	res.ReconDur = env.Now().Sub(t0)
 	span.End(env.Now())
+	obslog.Info(ctx, "pipeline", "stage finished",
+		obslog.F("scan", scanID), obslog.F("stage", "recon"),
+		obslog.F("duration", res.ReconDur))
 
 	// Outputs: multiscale Zarr, catalog, access layer.
 	if err := ctx.Err(); err != nil {
@@ -188,5 +198,8 @@ func RunScanPipeline(ctx context.Context, scanID string, truth *vol.Volume, thet
 	}
 	res.OutputDur = env.Now().Sub(t0)
 	span.End(env.Now())
+	obslog.Info(ctx, "pipeline", "stage finished",
+		obslog.F("scan", scanID), obslog.F("stage", "outputs"),
+		obslog.F("bytes", res.ZarrBytes), obslog.F("duration", res.OutputDur))
 	return res, nil
 }

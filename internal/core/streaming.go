@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/flow"
 	"repro/internal/msgq"
+	"repro/internal/obslog"
 	"repro/internal/pva"
 	"repro/internal/tiled"
 	"repro/internal/tomo"
@@ -184,6 +185,8 @@ func (s *StreamingService) Run(ctx context.Context) error {
 			cacheSpan.End(env.Now()) // geometry/scan change: close any stale span
 			cache = &scanCache{scanID: f.ScanID, rows: f.Rows, cols: f.Cols}
 			cacheSpan = parent.StartChildStage("cache "+f.ScanID, "cache", env.Now())
+			obslog.Debug(ctx, "streaming", "scan started",
+				obslog.F("scan", f.ScanID), obslog.F("rows", f.Rows), obslog.F("cols", f.Cols))
 		}
 		if f.Rows != cache.rows || f.Cols != cache.cols {
 			continue // geometry change mid-scan: drop frame
@@ -222,6 +225,8 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace
 	xy, xz, yz, err := tomo.QuickPreview(ctx, li, s.Recon)
 	recon.End(env.Now())
 	if err != nil {
+		obslog.Error(ctx, "streaming", "preview reconstruction failed",
+			obslog.F("scan", c.scanID), obslog.F("err", err))
 		return err
 	}
 	lat := env.Now().Sub(t0)
@@ -237,6 +242,11 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace
 	send := parent.StartChildStage("preview_send "+c.scanID, "preview_send", env.Now())
 	err = push.Send(ctx, msg)
 	send.End(env.Now())
+	if err == nil {
+		obslog.Info(ctx, "streaming", "preview sent",
+			obslog.F("scan", c.scanID), obslog.F("angles", len(c.angles)),
+			obslog.F("missed", missed), obslog.F("latency", lat))
+	}
 	return err
 }
 

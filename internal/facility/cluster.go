@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obslog"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -145,6 +146,11 @@ func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Jo
 		QOS: spec.QOS, Nodes: spec.Nodes, State: Pending, Submitted: proc.Now(),
 	}
 	c.jobs = append(c.jobs, job)
+	obslog.Debug(ctx, "facility", "job submitted",
+		obslog.F("cluster", c.Name), obslog.F("job", job.ID),
+		obslog.F("name", spec.Name), obslog.F("partition", spec.Partition),
+		obslog.F("qos", spec.QOS), obslog.F("nodes", spec.Nodes),
+		obslog.F("state", string(Pending)))
 
 	// Queue and wait for a grant, recording pending time vs walltime as
 	// separate trace stages — the split the paper's Table 2 diagnosis
@@ -169,12 +175,19 @@ func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Jo
 		job.Err = cerr.Error()
 		part.free += job.Nodes
 		c.dispatch(part)
+		obslog.Warn(ctx, "facility", "job cancelled while pending",
+			obslog.F("cluster", c.Name), obslog.F("job", job.ID),
+			obslog.F("name", spec.Name), obslog.F("state", string(Cancelled)))
 		return job, fmt.Errorf("facility: %s: job %q cancelled before start: %w",
 			c.Name, spec.Name, cerr)
 	}
 
 	job.State = Running
 	job.Started = proc.Now()
+	obslog.Debug(ctx, "facility", "job running",
+		obslog.F("cluster", c.Name), obslog.F("job", job.ID),
+		obslog.F("name", spec.Name), obslog.F("queue_wait", job.QueueWait()),
+		obslog.F("state", string(Running)))
 	wt := span.StartChildStage("walltime "+spec.Name, "walltime", proc.Now())
 	var err error
 	if spec.Run != nil {
@@ -185,8 +198,17 @@ func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Jo
 	if err != nil {
 		job.State = JobFailed
 		job.Err = err.Error()
+		obslog.Error(ctx, "facility", "job failed",
+			obslog.F("cluster", c.Name), obslog.F("job", job.ID),
+			obslog.F("name", spec.Name), obslog.F("walltime", job.Walltime()),
+			obslog.F("class", string(faults.Classify(err))),
+			obslog.F("state", string(JobFailed)), obslog.F("err", err))
 	} else {
 		job.State = Completed
+		obslog.Info(ctx, "facility", "job completed",
+			obslog.F("cluster", c.Name), obslog.F("job", job.ID),
+			obslog.F("name", spec.Name), obslog.F("queue_wait", job.QueueWait()),
+			obslog.F("walltime", job.Walltime()), obslog.F("state", string(Completed)))
 	}
 	part.free += job.Nodes
 	c.dispatch(part)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/flow"
+	"repro/internal/obslog"
 )
 
 // SFAPI is a real-time HTTP facade in the shape of NERSC's Superfacility
@@ -96,11 +97,13 @@ func (s *SFAPI) SubmitCtx(ctx context.Context, command string, args map[string]s
 	snapshot.cancel = nil
 	snapshot.done = nil
 	s.mu.Unlock()
+	obslog.Info(ctx, "sfapi", "job submitted",
+		obslog.F("job", job.ID), obslog.F("command", command),
+		obslog.F("state", string(Running)))
 
 	go func() {
 		err := cmd(ctx, args)
 		s.mu.Lock()
-		defer s.mu.Unlock()
 		job.Ended = s.env.Now()
 		switch {
 		case ctx.Err() != nil:
@@ -112,7 +115,21 @@ func (s *SFAPI) SubmitCtx(ctx context.Context, command string, args map[string]s
 		default:
 			job.State = Completed
 		}
+		state := job.State
+		ended := job.Ended
 		close(job.done)
+		s.mu.Unlock()
+		level := obslog.LevelInfo
+		fields := []obslog.Field{
+			obslog.F("job", job.ID), obslog.F("command", command),
+			obslog.F("state", string(state)),
+			obslog.F("duration", ended.Sub(job.Submitted)),
+		}
+		if err != nil {
+			level = obslog.LevelError
+			fields = append(fields, obslog.F("err", err))
+		}
+		obslog.Log(ctx, level, "sfapi", "job finished", fields...)
 	}()
 	return &snapshot, nil
 }

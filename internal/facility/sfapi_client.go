@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/flow"
+	"repro/internal/obslog"
 )
 
 // SFClient is the caller's side of the Superfacility API: the beamline
@@ -137,13 +138,19 @@ func (c *SFClient) Wait(ctx context.Context, id int) (*SFJob, error) {
 		interval = 250 * time.Millisecond
 	}
 	env := c.clock()
-	for {
+	for poll := 1; ; poll++ {
 		job, err := c.Job(ctx, id)
 		if err != nil {
 			if !faults.Retryable(err) {
 				return nil, err
 			}
+			obslog.Warn(ctx, "sfapi", "status poll failed, retrying",
+				obslog.F("job", id), obslog.F("poll", poll),
+				obslog.F("class", string(faults.Classify(err))), obslog.F("err", err))
 		} else if terminal(job.State) {
+			obslog.Debug(ctx, "sfapi", "poll observed terminal state",
+				obslog.F("job", id), obslog.F("polls", poll),
+				obslog.F("state", string(job.State)))
 			return job, nil
 		}
 		if err := flow.SleepCtx(ctx, env, interval); err != nil {

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/monitor"
+	"repro/internal/obslog"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -154,11 +155,19 @@ func (r *Run) Duration() time.Duration { return r.End.Sub(r.Start) }
 // Server is the orchestration server: it owns run history, idempotency
 // state, and the statistics API.
 type Server struct {
-	mu      sync.Mutex
-	runs    []*Run
-	nextID  int
-	idemp   map[string]bool
-	metrics *monitor.Registry
+	mu       sync.Mutex
+	runs     []*Run
+	nextID   int
+	idemp    map[string]bool
+	metrics  *monitor.Registry
+	journal  *obslog.Journal
+	observer CompletionObserver
+}
+
+// CompletionObserver receives every finished run — how the SLO engine
+// judges flow latency without the flow layer importing it.
+type CompletionObserver interface {
+	RunCompleted(ctx context.Context, flow, outcome string, duration time.Duration)
 }
 
 // NewServer creates an empty orchestration server.
@@ -173,6 +182,22 @@ func (s *Server) SetMetrics(reg *monitor.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics = reg
+}
+
+// SetJournal attaches an event journal; Start then injects it (and the
+// run ID) into every run's context, so all downstream layers journal
+// run-correlated events with no extra plumbing.
+func (s *Server) SetJournal(j *obslog.Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
+// SetObserver attaches a completion observer (e.g. the SLO engine).
+func (s *Server) SetObserver(o CompletionObserver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = o
 }
 
 // Ctx is the handle a running flow uses to record tasks and logs.
@@ -193,11 +218,16 @@ func (s *Server) Start(ctx context.Context, flowName string, env Env) *Ctx {
 		ctx = context.Background()
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextID++
 	run := &Run{ID: s.nextID, Flow: flowName, State: Running, Start: env.Now()}
 	run.Trace = trace.NewRoot(flowName, run.Start)
 	s.runs = append(s.runs, run)
+	journal := s.journal
+	s.mu.Unlock()
+	// The run's context carries the journal and its own ID from here on,
+	// so transfer/facility/msgq events downstream correlate automatically.
+	ctx = obslog.WithRun(obslog.NewContext(ctx, journal), run.ID)
+	obslog.Info(ctx, "flow", "run started", obslog.F("flow", flowName))
 	return &Ctx{Env: env, Run: run, ctx: ctx, server: s}
 }
 
@@ -235,7 +265,6 @@ func outcomeOf(state State, class faults.Class) string {
 // latency histograms when a metrics registry is attached.
 func (c *Ctx) Complete(err error) {
 	c.server.mu.Lock()
-	defer c.server.mu.Unlock()
 	c.Run.End = c.Env.Now()
 	c.Run.Trace.End(c.Run.End)
 	if err != nil {
@@ -249,26 +278,46 @@ func (c *Ctx) Complete(err error) {
 	} else {
 		c.Run.State = Completed
 	}
+	outcome := outcomeOf(c.Run.State, c.Run.Class)
+	flowLabel := monitor.L("flow", c.Run.Flow)
 	if c.server.metrics != nil {
-		c.server.metrics.Add(fmt.Sprintf("flow_runs_total{flow=%q,outcome=%q}",
-			c.Run.Flow, outcomeOf(c.Run.State, c.Run.Class)), 1)
-		c.server.metrics.Observe(fmt.Sprintf("flow_duration_seconds{flow=%q}", c.Run.Flow),
-			c.Run.Duration().Seconds())
+		m := c.server.metrics
+		m.AddL("flow_runs_total", 1, flowLabel, monitor.L("outcome", outcome))
+		m.ObserveL("flow_duration_seconds", c.Run.Duration().Seconds(), flowLabel)
 		root := c.Run.Trace
 		root.Walk(func(depth int, sp *trace.Span) {
 			if depth == 0 || !sp.Ended() {
 				return
 			}
-			c.server.metrics.Observe(fmt.Sprintf("flow_stage_seconds{flow=%q,stage=%q}",
-				c.Run.Flow, sp.Stage()), sp.Duration().Seconds())
+			m.ObserveL("flow_stage_seconds", sp.Duration().Seconds(),
+				flowLabel, monitor.L("stage", sp.Stage()))
 		})
 		// The uninstrumented remainder is a stage of its own, so the
 		// histograms account for every second of the run.
 		totals := root.StageTotals()
 		if n := len(totals); n > 0 {
-			c.server.metrics.Observe(fmt.Sprintf("flow_stage_seconds{flow=%q,stage=%q}",
-				c.Run.Flow, trace.GapStage), totals[n-1].Seconds)
+			m.ObserveL("flow_stage_seconds", totals[n-1].Seconds,
+				flowLabel, monitor.L("stage", trace.GapStage))
 		}
+	}
+	observer := c.server.observer
+	c.server.mu.Unlock()
+
+	level := obslog.LevelInfo
+	fields := []obslog.Field{
+		obslog.F("flow", c.Run.Flow),
+		obslog.F("outcome", outcome),
+		obslog.F("duration", c.Run.Duration()),
+	}
+	if err != nil {
+		level = obslog.LevelError
+		fields = append(fields, obslog.F("class", string(c.Run.Class)), obslog.F("err", err))
+	}
+	obslog.Log(c.ctx, level, "flow", "run completed", fields...)
+	// Observers run outside the server lock: the SLO engine may fire an
+	// alert event, and neither it nor its journal calls back into flow.
+	if observer != nil {
+		observer.RunCompleted(c.ctx, c.Run.Flow, outcome, c.Run.Duration())
 	}
 }
 
@@ -333,11 +382,14 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 		tr.State = Completed
 		tr.End = c.Env.Now()
 		span.End(tr.End)
+		obslog.Debug(c.ctx, "flow", "task skipped (idempotent)",
+			obslog.F("task", name), obslog.F("key", opts.IdempotencyKey))
 		return nil
 	}
 
 	deadline := opts.deadline(c.Env.Now())
 	tctx := trace.NewContext(c.ctx, span)
+	obslog.Debug(tctx, "flow", "task started", obslog.F("task", name))
 	if !deadline.IsZero() {
 		if _, real := c.Env.(RealEnv); real {
 			var cancel context.CancelFunc
@@ -350,6 +402,9 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 	for attempt := 0; attempt <= opts.Retries; attempt++ {
 		if attempt > 0 {
 			c.Logf("WARN", "task %s attempt %d after error: %v", name, attempt+1, err)
+			obslog.Warn(tctx, "flow", "task retrying",
+				obslog.F("task", name), obslog.F("attempt", attempt+1),
+				obslog.F("backoff", opts.RetryDelay<<(attempt-1)), obslog.F("err", err))
 			if serr := SleepCtx(c.ctx, c.Env, opts.RetryDelay<<(attempt-1)); serr != nil {
 				err = fmt.Errorf("flow: task %s retry aborted: %w", name, serr)
 				break
@@ -371,6 +426,8 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 		}
 		if cls := faults.Classify(err); !cls.Retryable() {
 			c.Logf("WARN", "task %s %s fault, not retrying: %v", name, cls, err)
+			obslog.Warn(tctx, "flow", "task fault not retryable",
+				obslog.F("task", name), obslog.F("class", string(cls)), obslog.F("err", err))
 			break
 		}
 	}
@@ -384,9 +441,15 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 			tr.State = Failed
 		}
 		tr.Err = err.Error()
+		obslog.Error(tctx, "flow", "task failed",
+			obslog.F("task", name), obslog.F("class", string(tr.Class)),
+			obslog.F("attempts", tr.Attempts), obslog.F("err", err))
 		return err
 	}
 	tr.State = Completed
+	obslog.Info(tctx, "flow", "task completed",
+		obslog.F("task", name), obslog.F("duration", tr.Duration()),
+		obslog.F("attempts", tr.Attempts))
 	if opts.IdempotencyKey != "" {
 		c.server.mu.Lock()
 		c.server.idemp[opts.IdempotencyKey] = true

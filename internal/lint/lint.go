@@ -52,7 +52,7 @@ type Analyzer struct {
 }
 
 // All is the analyzer registry, in reporting order.
-var All = []*Analyzer{Simclock, Wrapcheck, CtxFirst, TestSleep}
+var All = []*Analyzer{Simclock, Wrapcheck, CtxFirst, TestSleep, Stdlog}
 
 // ByName returns the registered analyzer with the given name, if any.
 func ByName(name string) (*Analyzer, bool) {
@@ -155,6 +155,11 @@ type Config struct {
 	// CtxFirstAllowFields are struct types ("pkgpath.Name") allowed to
 	// hold a context.Context field (e.g. the flow run handle).
 	CtxFirstAllowFields map[string]bool
+
+	// StdlogScope lists import-path prefixes where importing the stdlib
+	// log package is forbidden (library code journals through obslog);
+	// empty means every package. There is deliberately no allowlist.
+	StdlogScope []string
 }
 
 // DefaultConfig is the gate enforced on this repository.
@@ -187,6 +192,7 @@ func DefaultConfig() *Config {
 			// The flow run handle carries the run's context by design.
 			"repro/internal/flow.Ctx": true,
 		},
+		StdlogScope: []string{"repro/internal"},
 	}
 }
 
@@ -199,6 +205,19 @@ func (c *Config) simclockInScope(pkgPath string) bool {
 		return true
 	}
 	for _, prefix := range c.SimclockScope {
+		if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// stdlogInScope reports whether stdlog applies to the package.
+func (c *Config) stdlogInScope(pkgPath string) bool {
+	if len(c.StdlogScope) == 0 {
+		return true
+	}
+	for _, prefix := range c.StdlogScope {
 		if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
 			return true
 		}

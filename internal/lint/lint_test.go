@@ -41,6 +41,12 @@ func TestTestSleepGolden(t *testing.T) {
 	testFixture(t, "testsleep", []*Analyzer{TestSleep}, &Config{})
 }
 
+func TestStdlogGolden(t *testing.T) {
+	testFixture(t, "stdlog", []*Analyzer{Stdlog}, &Config{
+		StdlogScope: []string{"fixture/lib"},
+	})
+}
+
 // TestRepoIsClean is the gate's self-check: the production configuration
 // over the whole repository must come back empty, i.e. `go run
 // ./cmd/repolint ./...` exits 0.

@@ -1,0 +1,31 @@
+package lint
+
+import "strconv"
+
+// Stdlog bans the stdlib log package from the library layers. Stdlib log
+// writes straight to stderr on the wall clock with no levels, no fields,
+// and no run correlation — everything the obslog journal exists to
+// provide. Library code journals through obslog (clock-injected,
+// deterministic under the sim kernel); entry points under cmd/ attach a
+// TextSink and stay outside the scope.
+var Stdlog = &Analyzer{
+	Name: "stdlog",
+	Doc:  "no stdlib log in library packages; journal through obslog so events carry levels, fields, and run IDs",
+	Run:  runStdlog,
+}
+
+func runStdlog(p *Pass) {
+	if !p.Config.stdlogInScope(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "log" {
+				continue
+			}
+			p.Reportf(imp.Pos(),
+				"stdlib log bypasses the obslog journal (no levels, fields, or run correlation); use obslog")
+		}
+	}
+}

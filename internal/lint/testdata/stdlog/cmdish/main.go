@@ -1,0 +1,8 @@
+// Package cmdish stands in for an entry point outside the scope: stdlib
+// log is tolerated here (real cmds attach an obslog TextSink instead, but
+// the analyzer does not police them).
+package cmdish
+
+import "log"
+
+func Run() { log.Println("booting") }

@@ -1,0 +1,12 @@
+// Package lib is in-scope library code: importing stdlib log here is the
+// violation stdlog exists to catch.
+package lib
+
+import (
+	"fmt"
+	"log" // want `stdlib log bypasses the obslog journal`
+)
+
+func Announce(msg string) {
+	log.Printf("announce: %s", fmt.Sprintf("%q", msg))
+}

@@ -45,6 +45,9 @@ type Registry struct {
 	counters   map[string]float64
 	gauges     map[string]float64
 	histograms map[string]*histogram
+	// series tracks, per bare metric name, the label sets materialized
+	// through AddL/ObserveL/SetL — the state behind MaxSeriesPerMetric.
+	series map[string]map[string]bool
 }
 
 // NewRegistry creates an empty registry.
@@ -53,6 +56,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]float64{},
 		gauges:     map[string]float64{},
 		histograms: map[string]*histogram{},
+		series:     map[string]map[string]bool{},
 	}
 }
 

@@ -1,0 +1,23 @@
+package monitor
+
+import "runtime"
+
+// SampleRuntime reads the Go runtime's introspection counters into reg
+// as gauges: goroutine count, heap occupancy, and GC activity. The
+// flowserver samples these on a ticker so /metrics answers "is the
+// service leaking goroutines or thrashing the collector" without
+// attaching a profiler; pprof (behind -pprof) is the deep-dive follow-up.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Set("go_goroutines", float64(runtime.NumGoroutine()))
+	reg.Set("go_heap_alloc_bytes", float64(ms.HeapAlloc))
+	reg.Set("go_heap_objects", float64(ms.HeapObjects))
+	reg.Set("go_sys_bytes", float64(ms.Sys))
+	reg.Set("go_gc_cycles_total", float64(ms.NumGC))
+	reg.Set("go_gc_pause_total_seconds", float64(ms.PauseTotalNs)/1e9)
+	reg.Set("go_next_gc_bytes", float64(ms.NextGC))
+}

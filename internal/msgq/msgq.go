@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obslog"
 )
 
 // MaxFrameBytes bounds a single frame (1 GiB) to catch corrupt lengths.
@@ -92,7 +93,11 @@ func (p *Push) Send(ctx context.Context, payload []byte) error {
 			c, err := net.DialTimeout("tcp", p.addr, 2*time.Second)
 			if err != nil {
 				lastErr = err
-				t := time.NewTimer(time.Duration(attempt+1) * 50 * time.Millisecond)
+				backoff := time.Duration(attempt+1) * 50 * time.Millisecond
+				obslog.Warn(ctx, "msgq", "push reconnect backoff",
+					obslog.F("addr", p.addr), obslog.F("attempt", attempt+1),
+					obslog.F("backoff", backoff), obslog.F("err", err))
+				t := time.NewTimer(backoff)
 				select {
 				case <-t.C:
 				case <-ctx.Done():
@@ -107,6 +112,9 @@ func (p *Push) Send(ctx context.Context, payload []byte) error {
 			p.conn.Close()
 			p.conn = nil
 			lastErr = err
+			obslog.Warn(ctx, "msgq", "push send failed, reconnecting",
+				obslog.F("addr", p.addr), obslog.F("attempt", attempt+1),
+				obslog.F("err", err))
 			continue
 		}
 		return nil

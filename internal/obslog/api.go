@@ -1,0 +1,83 @@
+package obslog
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// eventsResponse is the JSON envelope served by Handler.
+type eventsResponse struct {
+	// Total is the number of retained events before filtering.
+	Total int `json:"total"`
+	// Evicted counts events dropped by the bounded ring.
+	Evicted uint64 `json:"evicted"`
+	// LastSeq is the newest sequence number ever assigned.
+	LastSeq uint64  `json:"last_seq"`
+	Events  []Event `json:"events"`
+}
+
+// Handler serves the journal as JSON for GET /api/events. Query
+// parameters filter the timeline:
+//
+//	run=3            only events correlated to flow run 3
+//	level=warn       only events at or above the level
+//	component=flow   only events from that component
+//	since=120        only events with seq > 120 (incremental polling)
+//	limit=200        at most the newest 200 matches
+func (j *Journal) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		var f Filter
+		if s := q.Get("run"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad run: "+s, http.StatusBadRequest)
+				return
+			}
+			f.Run = n
+		}
+		if s := q.Get("level"); s != "" {
+			lv, ok := ParseLevel(s)
+			if !ok {
+				http.Error(w, "bad level: "+s, http.StatusBadRequest)
+				return
+			}
+			f.MinLevel = lv
+		}
+		f.Component = q.Get("component")
+		if s := q.Get("since"); s != "" {
+			n, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+s, http.StatusBadRequest)
+				return
+			}
+			f.AfterSeq = n
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit: "+s, http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		resp := eventsResponse{
+			Total:   j.Len(),
+			Evicted: j.Evicted(),
+			LastSeq: j.LastSeq(),
+			Events:  j.Events(f),
+		}
+		if resp.Events == nil {
+			resp.Events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}

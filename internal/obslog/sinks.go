@@ -1,0 +1,82 @@
+package obslog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// TextSink renders events as human-readable lines for the command-line
+// binaries:
+//
+//	2026-08-05T10:00:00Z INFO  [flow] run completed run=3 span=streaming_recon outcome=succeeded
+//
+// Write is invoked under the journal lock, so emission order is the line
+// order and no extra locking is needed.
+type TextSink struct {
+	W io.Writer
+}
+
+// NewTextSink returns a text sink writing to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{W: w} }
+
+// Write renders one event as a single line.
+func (s *TextSink) Write(e Event) {
+	if s == nil || s.W == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(e.Time.UTC().Format(time.RFC3339))
+	fmt.Fprintf(&b, " %-5s [%s] %s", e.Level, e.Component, e.Msg)
+	if e.Run != 0 {
+		fmt.Fprintf(&b, " run=%d", e.Run)
+	}
+	if e.Span != "" {
+		fmt.Fprintf(&b, " span=%s", e.Span)
+	}
+	for _, f := range e.Fields {
+		v := f.Value
+		if strings.ContainsAny(v, " \t\"") {
+			v = fmt.Sprintf("%q", v)
+		}
+		fmt.Fprintf(&b, " %s=%s", f.Key, v)
+	}
+	b.WriteByte('\n')
+	io.WriteString(s.W, b.String())
+}
+
+// JSONLSink streams every accepted event as one JSON object per line —
+// the machine-readable form the determinism gate compares byte for byte.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a JSONL sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Write encodes one event as a JSON line. Field order follows the Event
+// struct, so identical journals encode to identical bytes.
+func (s *JSONLSink) Write(e Event) {
+	if s == nil || s.enc == nil {
+		return
+	}
+	s.enc.Encode(e)
+}
+
+// WriteJSONL dumps the retained events matching f to w, one JSON object
+// per line, oldest first. Two journals with identical contents produce
+// identical bytes — the property scripts/check.sh's determinism stage
+// asserts across sim runs.
+func (j *Journal) WriteJSONL(w io.Writer, f Filter) error {
+	enc := json.NewEncoder(w)
+	for _, e := range j.Events(f) {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("obslog: encode event %d: %w", e.Seq, err)
+		}
+	}
+	return nil
+}

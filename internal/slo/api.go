@@ -1,0 +1,33 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// report is the JSON envelope served by Handler.
+type report struct {
+	Objectives []ObjectiveReport `json:"objectives"`
+	Alerts     []Alert           `json:"alerts"`
+}
+
+// Handler serves the current SLO report as JSON for GET /api/slo.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		resp := report{Objectives: e.Report(), Alerts: e.Alerts()}
+		if resp.Objectives == nil {
+			resp.Objectives = []ObjectiveReport{}
+		}
+		if resp.Alerts == nil {
+			resp.Alerts = []Alert{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}

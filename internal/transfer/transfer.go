@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obslog"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/storage"
@@ -85,6 +86,10 @@ type Service struct {
 	// VerifyChecksums enables end-to-end integrity verification, as the
 	// production deployment does.
 	VerifyChecksums bool
+	// Observer, if set, is invoked with every finished task (succeeded or
+	// failed) — the hook the SLO engine's transfer-success objective feeds
+	// from. ctx is the submitting run's context, so alerts correlate.
+	Observer func(ctx context.Context, t *Task)
 }
 
 // NewService creates a transfer service over the network.
@@ -153,11 +158,14 @@ func (s *Service) Submit(ctx context.Context, p *sim.Proc, label, src, dst strin
 		Paths: paths, State: Active, Submitted: p.Now(),
 	}
 	s.tasks = append(s.tasks, task)
+	obslog.Debug(ctx, "transfer", "task submitted",
+		obslog.F("task", task.ID), obslog.F("label", label),
+		obslog.F("src", src), obslog.F("dst", dst), obslog.F("paths", len(paths)))
 
 	files, err := expand(srcEP.Store, paths)
 	if err != nil {
 		// A missing source cannot be fixed by retrying the transfer.
-		return s.fail(p, task, faults.Wrap(faults.Permanent, err))
+		return s.fail(ctx, p, task, faults.Wrap(faults.Permanent, err))
 	}
 	// Per-file copy spans hang off whatever span the caller's context
 	// carries (typically the flow task), aggregating under one "copy"
@@ -165,26 +173,44 @@ func (s *Service) Submit(ctx context.Context, p *sim.Proc, label, src, dst strin
 	parent := trace.FromContext(ctx)
 	for _, f := range files {
 		if cerr := ctx.Err(); cerr != nil {
-			return s.fail(p, task, fmt.Errorf("transfer: %s aborted: %w", label, cerr))
+			return s.fail(ctx, p, task, fmt.Errorf("transfer: %s aborted: %w", label, cerr))
 		}
 		span := parent.StartChildStage("copy "+f.Path, "copy", p.Now())
 		err := s.moveFile(ctx, p, task, srcEP, dstEP, f)
 		span.End(p.Now())
 		if err != nil {
-			return s.fail(p, task, err)
+			return s.fail(ctx, p, task, err)
 		}
 		task.Files++
 		task.Bytes += f.Size
 	}
-	task.State = Succeeded
-	task.Completed = p.Now()
-	return task, nil
+	return s.succeed(ctx, p, task), nil
 }
 
-func (s *Service) fail(p *sim.Proc, task *Task, err error) (*Task, error) {
+// succeed finalizes a task, journals it, and notifies the observer.
+func (s *Service) succeed(ctx context.Context, p *sim.Proc, task *Task) *Task {
+	task.State = Succeeded
+	task.Completed = p.Now()
+	obslog.Info(ctx, "transfer", "task succeeded",
+		obslog.F("task", task.ID), obslog.F("label", task.Label),
+		obslog.F("files", task.Files), obslog.F("bytes", task.Bytes),
+		obslog.F("retries", task.Retries), obslog.F("duration", task.Duration()))
+	if s.Observer != nil {
+		s.Observer(ctx, task)
+	}
+	return task
+}
+
+func (s *Service) fail(ctx context.Context, p *sim.Proc, task *Task, err error) (*Task, error) {
 	task.State = Failed
 	task.Err = err.Error()
 	task.Completed = p.Now()
+	obslog.Error(ctx, "transfer", "task failed",
+		obslog.F("task", task.ID), obslog.F("label", task.Label),
+		obslog.F("class", string(faults.Classify(err))), obslog.F("err", err))
+	if s.Observer != nil {
+		s.Observer(ctx, task)
+	}
 	return task, err
 }
 
@@ -222,7 +248,12 @@ func (s *Service) moveFile(ctx context.Context, p *sim.Proc, task *Task, src, ds
 	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
 		if attempt > 0 {
 			task.Retries++
-			p.Sleep(s.RetryDelay << (attempt - 1))
+			backoff := s.RetryDelay << (attempt - 1)
+			obslog.Warn(ctx, "transfer", "file retrying",
+				obslog.F("path", f.Path), obslog.F("attempt", attempt+1),
+				obslog.F("backoff", backoff),
+				obslog.F("class", string(faults.Classify(lastErr))), obslog.F("err", lastErr))
+			p.Sleep(backoff)
 			if cerr := ctx.Err(); cerr != nil {
 				return fmt.Errorf("transfer: %s: retry aborted: %w", f.Path, cerr)
 			}
@@ -232,6 +263,9 @@ func (s *Service) moveFile(ctx context.Context, p *sim.Proc, task *Task, src, ds
 			return nil
 		}
 		if !faults.Retryable(lastErr) {
+			obslog.Warn(ctx, "transfer", "file fault not retryable",
+				obslog.F("path", f.Path),
+				obslog.F("class", string(faults.Classify(lastErr))), obslog.F("err", lastErr))
 			return lastErr
 		}
 	}
@@ -290,12 +324,12 @@ func (s *Service) Delete(ctx context.Context, p *sim.Proc, label, endpoint strin
 	var firstErr error
 	for _, path := range paths {
 		if cerr := ctx.Err(); cerr != nil {
-			return s.fail(p, task, fmt.Errorf("transfer: %s aborted: %w", label, cerr))
+			return s.fail(ctx, p, task, fmt.Errorf("transfer: %s aborted: %w", label, cerr))
 		}
 		if s.Fault != nil {
 			if ferr := s.Fault(task, path, 0); ferr != nil {
 				if failFast {
-					return s.fail(p, task, ferr)
+					return s.fail(ctx, p, task, ferr)
 				}
 				if firstErr == nil {
 					firstErr = ferr
@@ -309,7 +343,7 @@ func (s *Service) Delete(ctx context.Context, p *sim.Proc, label, endpoint strin
 		p.Sleep(200 * time.Millisecond) // per-delete API call
 		if err := ep.Store.Delete(path); err != nil {
 			if failFast {
-				return s.fail(p, task, err)
+				return s.fail(ctx, p, task, err)
 			}
 			if firstErr == nil {
 				firstErr = err
@@ -319,9 +353,7 @@ func (s *Service) Delete(ctx context.Context, p *sim.Proc, label, endpoint strin
 		task.Files++
 	}
 	if firstErr != nil {
-		return s.fail(p, task, firstErr)
+		return s.fail(ctx, p, task, firstErr)
 	}
-	task.State = Succeeded
-	task.Completed = p.Now()
-	return task, nil
+	return s.succeed(ctx, p, task), nil
 }

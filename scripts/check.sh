@@ -33,6 +33,23 @@ echo "== smoke bench (1 iteration per benchmark) =="
 # measurement run (scripts/bench.sh does that).
 go test -run '^$' -bench . -benchtime 1x -short .
 
+echo "== obslog determinism (two campaign runs, byte-identical journals) =="
+# The event journal is stamped purely from the sim clock, so two runs of
+# the same seeded campaign must dump byte-identical JSONL timelines.
+jdir=$(mktemp -d)
+trap 'rm -rf "$jdir"' EXIT
+go run ./cmd/flowserver -oneshot -scans 15 -journal "$jdir/a.jsonl" >/dev/null 2>&1
+go run ./cmd/flowserver -oneshot -scans 15 -journal "$jdir/b.jsonl" >/dev/null 2>&1
+if ! cmp -s "$jdir/a.jsonl" "$jdir/b.jsonl"; then
+	echo "journal dumps differ between identical campaign runs"
+	exit 1
+fi
+if ! [ -s "$jdir/a.jsonl" ]; then
+	echo "journal dump is empty"
+	exit 1
+fi
+echo "journals identical ($(wc -l <"$jdir/a.jsonl") events)"
+
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzDXFileRoundTrip$' -fuzztime 5s ./internal/dxfile
 go test -run '^$' -fuzz '^FuzzTIFFRoundTrip$' -fuzztime 5s ./internal/tiff
@@ -60,5 +77,8 @@ floor ./internal/faults 90
 floor ./internal/flow 85
 floor ./internal/lint 85
 floor ./internal/leakcheck 85
+floor ./internal/obslog 85
+floor ./internal/slo 90
+floor ./internal/monitor 90
 
 echo "OK"
