@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/phantom"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/tomo"
 	"repro/internal/vol"
@@ -208,6 +209,63 @@ func BenchmarkContentionPolicy(b *testing.B) {
 	b.ReportMetric(shared.Under10s*100, "shared_under10s_pct")
 	b.ReportMetric(reserved.Under10s*100, "reserved_under10s_pct")
 	b.ReportMetric(shared.Latency.Max, "shared_max_s")
+}
+
+// BenchmarkCampaignScheduler replays the multi-tenant campaign — four
+// beamlines over the shared NERSC+ALCF pool under the fair-share,
+// SLO-aware scheduler — and reports the three acceptance figures: pool
+// scaling (runs/h at 1, 2, 4 workers over the same offered load),
+// streaming protection under an injected reprocessing burst with
+// admission control deferring and shedding file work, and fair-share
+// tracking of the 3:2:2:1 weights at a mid-backlog checkpoint.
+func BenchmarkCampaignScheduler(b *testing.B) {
+	var w1, w2, w4, dev float64
+	var res *core.CampaignResult
+	for i := 0; i < b.N; i++ {
+		// (a) worker-pool scaling over an identical backlogged load.
+		scale := func(workers int) float64 {
+			cfg := core.DefaultCampaignConfig()
+			cfg.Workers = workers
+			cfg.Reserved = 0
+			cfg.ScanInterval = 20 * time.Minute
+			cfg.Admission = sched.Admission{}
+			return core.NewCampaign(epoch, cfg).Run(5).RunsPerHour
+		}
+		w1, w2, w4 = scale(1), scale(2), scale(4)
+
+		// (b) admission under a reprocessing burst: hundreds of scans,
+		// both facilities, streaming protected while file work sheds.
+		cfg := core.DefaultCampaignConfig()
+		cfg.BurstAt = 2 * time.Hour
+		cfg.BurstScans = 20
+		res = core.NewCampaign(epoch, cfg).Run(50)
+
+		// (c) fair share measured while every file tenant is backlogged.
+		fcfg := core.DefaultCampaignConfig()
+		fcfg.Sim.StagingSlowProb = 0
+		fcfg.Sim.RealtimeBusyProb = 0
+		fcfg.Sim.NERSCReconFixed = time.Minute
+		fcfg.Sim.NERSCReconRate = 1e9
+		fcfg.Sim.ALCFReconFixed = time.Minute
+		fcfg.Sim.ALCFReconRate = 1e9
+		fcfg.Workers = 2
+		fcfg.Reserved = 1
+		fcfg.ScanInterval = time.Minute
+		fcfg.Admission = sched.Admission{}
+		fc := core.NewCampaign(epoch, fcfg)
+		fc.Launch(60)
+		fc.Base.Engine.RunUntil(epoch.Add(9 * time.Hour))
+		dev = core.FileShareDeviation(fc.Sched.Snapshot())
+		fc.Base.Engine.Run()
+	}
+	b.ReportMetric(w1, "runs_per_hour_w1")
+	b.ReportMetric(w2, "runs_per_hour_w2")
+	b.ReportMetric(w4, "runs_per_hour_w4")
+	b.ReportMetric(float64(res.Scans), "scans")
+	b.ReportMetric(res.StreamingUnder10sPct, "reserved_under10s_pct")
+	b.ReportMetric(float64(res.Deferred), "deferred_runs")
+	b.ReportMetric(float64(res.Shed), "shed_runs")
+	b.ReportMetric(dev, "fairshare_dev_pct")
 }
 
 // BenchmarkPreprocessAblation (A3) measures what the file branch's

@@ -42,14 +42,9 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/obslog"
 	"repro/internal/phantom"
+	"repro/internal/sim"
 	"repro/internal/tiled"
 )
-
-// wallClock stamps the operational journal. The campaign journal inside
-// the Beamline runs on the sim clock; this one narrates the real server.
-type wallClock struct{}
-
-func (wallClock) Now() time.Time { return time.Now() }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8832", "listen address")
@@ -58,12 +53,18 @@ func main() {
 	oneshot := flag.Bool("oneshot", false, "print a status summary and exit (for smoke tests)")
 	journalPath := flag.String("journal", "", "dump the campaign event journal as JSONL to this file")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	beamlines := flag.Int("beamlines", 4, "beamlines in the multi-tenant campaign")
+	workers := flag.Int("workers", 4, "scheduler worker-pool size for the campaign")
+	reserved := flag.Int("reserved", 1, "workers reserved for the streaming class")
+	campaignScans := flag.Int("campaign-scans", 6, "scans per beamline in the multi-tenant campaign")
+	schedJournalPath := flag.String("sched-journal", "", "dump the multi-tenant campaign's event journal as JSONL to this file")
 	flag.Parse()
 
 	// Operational journal: wall-clocked, text-rendered to stderr — the
 	// replacement for stdlib log, with the same journal schema the
-	// campaign timeline uses.
-	ops := obslog.New(wallClock{}, 1024)
+	// campaign timeline uses. (The sim journals run on the engine clock;
+	// sim.WallClock is the sanctioned bridge to real time.)
+	ops := obslog.New(sim.WallClock{}, 1024)
 	ops.AddSink(obslog.NewTextSink(os.Stderr))
 	opsCtx := obslog.NewContext(context.Background(), ops)
 	fatal := func(msg string, fields ...obslog.Field) {
@@ -105,6 +106,42 @@ func main() {
 			obslog.F("path", *journalPath))
 	}
 
+	// The multi-tenant campaign: N beamlines sharing one facility pool
+	// under the fair-share, SLO-aware scheduler, with a reprocessing
+	// burst so the decision stream exercises defer and shed. Its live
+	// report is served at /api/sched.
+	campCfg := core.DefaultCampaignConfig()
+	campCfg.Beamlines = *beamlines
+	campCfg.Workers = *workers
+	campCfg.Reserved = *reserved
+	campCfg.Metrics = metrics
+	campCfg.BurstAt = 2 * time.Hour
+	campCfg.BurstScans = 14
+	camp := core.NewCampaign(epoch, campCfg)
+	cres := camp.Run(*campaignScans)
+	obslog.Info(opsCtx, "flowserver", "multi-tenant campaign complete",
+		obslog.F("beamlines", cres.Beamlines),
+		obslog.F("scans", cres.Scans),
+		obslog.F("runs_per_hour", fmt.Sprintf("%.1f", cres.RunsPerHour)),
+		obslog.F("streaming_under10s_pct", cres.StreamingUnder10sPct),
+		obslog.F("deferred", cres.Deferred),
+		obslog.F("shed", cres.Shed))
+	if *schedJournalPath != "" {
+		f, err := os.Create(*schedJournalPath)
+		if err != nil {
+			fatal("create sched journal file", obslog.F("err", err))
+		}
+		if err := camp.Base.Journal.WriteJSONL(f, obslog.Filter{}); err != nil {
+			f.Close()
+			fatal("write sched journal", obslog.F("err", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal("close sched journal file", obslog.F("err", err))
+		}
+		obslog.Info(opsCtx, "flowserver", "sched journal written",
+			obslog.F("path", *schedJournalPath))
+	}
+
 	// Metadata catalog was filled by the campaign; add an access-layer
 	// demo volume.
 	access := tiled.NewServer()
@@ -132,6 +169,7 @@ func main() {
 	mux.Handle("/api/v1/", api.Handler())
 	mux.Handle("/api/events", b.Journal.Handler())
 	mux.Handle("/api/slo", b.SLO.Handler())
+	mux.Handle("/api/sched", camp.Sched.Handler())
 	mux.Handle("/metrics", metrics.Handler())
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -147,11 +185,11 @@ func main() {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, statusText(b, res))
+		fmt.Fprint(w, statusText(b, res, cres))
 	})
 
 	if *oneshot {
-		fmt.Print(statusText(b, res))
+		fmt.Print(statusText(b, res, cres))
 		return
 	}
 
@@ -205,12 +243,16 @@ func main() {
 	obslog.Info(opsCtx, "flowserver", "shutdown complete")
 }
 
-func statusText(b *core.Beamline, res *core.Table2Result) string {
+func statusText(b *core.Beamline, res *core.Table2Result, cres *core.CampaignResult) string {
 	var sb strings.Builder
 	sb.WriteString("splash-flows service plane\n\n")
 	sb.WriteString(core.FormatTable2(res))
 	sb.WriteString(fmt.Sprintf("\ncataloged datasets: %d\n", b.Catalog.Count()))
 	sb.WriteString(fmt.Sprintf("perlmutter jobs: %d, polaris executions: %d\n",
 		len(b.Perlmutter.Jobs()), b.Polaris.Executions))
+	sb.WriteString(fmt.Sprintf(
+		"campaign: %d beamlines, %d workers (%d reserved), %d scans, %.1f runs/h, streaming under-10s %.0f%%, deferred %d, shed %d\n",
+		cres.Beamlines, cres.Workers, cres.Reserved, cres.Scans, cres.RunsPerHour,
+		cres.StreamingUnder10sPct, cres.Deferred, cres.Shed))
 	return sb.String()
 }

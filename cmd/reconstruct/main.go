@@ -17,18 +17,16 @@ import (
 
 	"repro/internal/dxfile"
 	"repro/internal/obslog"
+	"repro/internal/sim"
 	"repro/internal/tiff"
 	"repro/internal/tomo"
 	"repro/internal/zarr"
 )
 
-// wallClock stamps the CLI's journal; entry points run on real time.
-type wallClock struct{}
-
-func (wallClock) Now() time.Time { return time.Now() }
-
 func main() {
-	journal := obslog.New(wallClock{}, 64)
+	// Entry points run on real time; sim.WallClock is the sanctioned
+	// bridge for stamping their journals.
+	journal := obslog.New(sim.WallClock{}, 64)
 	journal.AddSink(obslog.NewTextSink(os.Stderr))
 	ctx := obslog.NewContext(context.Background(), journal)
 	fatal := func(msg string, fields ...obslog.Field) {

@@ -129,9 +129,18 @@ func DefaultSimConfig() SimConfig {
 	}
 }
 
-// Beamline is the assembled simulated environment.
+// Beamline is the assembled simulated environment. NewBeamline builds a
+// standalone endstation owning every facility service; a Campaign builds
+// N Beamline views that share one engine, network, transfer service,
+// flow server, and facility pool, differing only in identity (Name),
+// scan namespace, and random stream.
 type Beamline struct {
 	Cfg SimConfig
+
+	// Name identifies the endstation — the paper's ALS microtomography
+	// beamline is "8.3.2"; campaign beamlines are "bl0", "bl1", ….
+	// It labels SciCat ingests and scheduler tenants.
+	Name string
 
 	Engine   *sim.Engine
 	Network  *simnet.Network
@@ -157,6 +166,9 @@ type Beamline struct {
 	Polaris    *facility.PilotEndpoint
 
 	rng *rand.Rand
+	// scanPrefix namespaces scan IDs (and therefore storage paths), so
+	// campaign beamlines can share facility stores without collisions.
+	scanPrefix string
 }
 
 // NewBeamline builds the environment at the given epoch.
@@ -167,12 +179,14 @@ func NewBeamline(epoch time.Time, cfg SimConfig) *Beamline {
 	net.AddLink(SiteALS, SiteALCF, cfg.WANBandwidth, 2*cfg.WANLatency)
 
 	b := &Beamline{
-		Cfg:     cfg,
-		Engine:  e,
-		Network: net,
-		Flows:   flow.NewServer(),
-		Catalog: scicat.New(),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		Cfg:        cfg,
+		Name:       "8.3.2",
+		Engine:     e,
+		Network:    net,
+		Flows:      flow.NewServer(),
+		Catalog:    scicat.New(),
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		scanPrefix: "20260704",
 	}
 	// The observability layer: a sim-clocked journal wired through the
 	// flow server (which injects it into every run's context) and an SLO
@@ -249,7 +263,7 @@ func (b *Beamline) ScanSizeMix() int64 {
 // writes its raw file on the detector store.
 func (b *Beamline) NewScan(p *sim.Proc, i int) (*Scan, error) {
 	scan := &Scan{
-		ID:       fmt.Sprintf("20260704_%05d", i),
+		ID:       fmt.Sprintf("%s_%05d", b.scanPrefix, i),
 		Sample:   fmt.Sprintf("sample-%03d", i%17),
 		RawBytes: b.ScanSizeMix(),
 		NAngles:  1969, Rows: 2160, Cols: 2560,

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/obslog"
+	"repro/internal/sched"
+)
+
+// fastCampaignSim strips the stochastic tails and shrinks reconstruction
+// so campaign tests turn scans over in minutes of sim time.
+func fastCampaignSim() SimConfig {
+	cfg := DefaultSimConfig()
+	cfg.StagingSlowProb = 0
+	cfg.RealtimeBusyProb = 0
+	cfg.NERSCReconFixed = time.Minute
+	cfg.NERSCReconRate = 1e9
+	cfg.ALCFReconFixed = time.Minute
+	cfg.ALCFReconRate = 1e9
+	cfg.PolarisColdStart = time.Minute
+	return cfg
+}
+
+// Acceptance (a): campaign throughput is monotonic as the worker pool
+// grows 1→2→4 under a backlogged offered load.
+func TestCampaignThroughputScalesWithWorkers(t *testing.T) {
+	run := func(workers int) *CampaignResult {
+		cfg := DefaultCampaignConfig()
+		cfg.Workers = workers
+		cfg.Reserved = 0
+		cfg.ScanInterval = 20 * time.Minute
+		cfg.Admission = sched.Admission{} // pure scaling: no shedding
+		return NewCampaign(epoch, cfg).Run(5)
+	}
+	r1, r2, r4 := run(1), run(2), run(4)
+	if r1.CompletedRuns != r2.CompletedRuns || r2.CompletedRuns != r4.CompletedRuns {
+		t.Fatalf("completed runs differ across pool sizes: %d/%d/%d",
+			r1.CompletedRuns, r2.CompletedRuns, r4.CompletedRuns)
+	}
+	if !(r1.RunsPerHour < r2.RunsPerHour && r2.RunsPerHour < r4.RunsPerHour) {
+		t.Fatalf("throughput not monotonic in workers: 1→%.2f 2→%.2f 4→%.2f runs/h",
+			r1.RunsPerHour, r2.RunsPerHour, r4.RunsPerHour)
+	}
+	if r4.Scans < 20 {
+		t.Fatalf("campaign too small: %d scans", r4.Scans)
+	}
+}
+
+// Acceptance (b): with admission on and a reprocessing burst injected,
+// the scheduler defers and sheds file work while every streaming tenant
+// keeps 100% attainment against the 10 s end-to-end target.
+func TestCampaignAdmissionProtectsStreaming(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	cfg.BurstAt = 2 * time.Hour
+	cfg.BurstScans = 14
+	c := NewCampaign(epoch, cfg)
+	res := c.Run(6)
+
+	if res.StreamingUnder10sPct != 100 {
+		t.Fatalf("streaming attainment %.1f%%, want 100%%", res.StreamingUnder10sPct)
+	}
+	if res.Deferred == 0 || res.Shed == 0 {
+		t.Fatalf("expected burst to force defers and sheds, got deferred=%d shed=%d",
+			res.Deferred, res.Shed)
+	}
+	for _, tr := range res.Report.Tenants {
+		if tr.Class == sched.ClassStreaming && (tr.Shed != 0 || tr.Deferred != 0) {
+			t.Fatalf("streaming tenant %s touched by admission: shed=%d deferred=%d",
+				tr.Tenant, tr.Shed, tr.Deferred)
+		}
+	}
+	// The decision stream must say why: slo_pressure sheds in the journal.
+	found := false
+	for _, ev := range c.Base.Journal.Events(obslog.Filter{Component: "sched", MinLevel: obslog.LevelWarn}) {
+		if ev.Msg == "run shed" {
+			found = true
+			if ev.Tenant == "" {
+				t.Fatalf("shed event missing tenant: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no shed events in journal despite TotalShed > 0")
+	}
+}
+
+// Acceptance (c): while every file tenant is backlogged, completed-run
+// shares track the 3:2:2:1 weights within 10%.
+func TestCampaignFairShare(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	cfg.Sim = fastCampaignSim()
+	cfg.Workers = 2
+	cfg.Reserved = 1 // one file worker: contention is total
+	cfg.ScanInterval = time.Minute
+	cfg.Admission = sched.Admission{} // fairness, not shedding, under test
+	c := NewCampaign(epoch, cfg)
+	c.Launch(60)
+	c.Base.Engine.RunUntil(epoch.Add(9 * time.Hour))
+
+	rep := c.Sched.Snapshot()
+	for _, tr := range rep.Tenants {
+		if tr.Class == sched.ClassFile && tr.QueueDepth == 0 {
+			t.Fatalf("tenant %s drained before checkpoint; fairness unmeasurable", tr.Tenant)
+		}
+	}
+	if dev := FileShareDeviation(rep); dev > 10 {
+		for _, tr := range rep.Tenants {
+			if tr.Class == sched.ClassFile {
+				t.Logf("%s weight=%.0f completed=%d", tr.Tenant, tr.Weight, tr.Completed)
+			}
+		}
+		t.Fatalf("fair-share deviation %.1f%% exceeds 10%%", dev)
+	}
+	c.Base.Engine.Run() // drain so workers exit before the leak check
+}
+
+// Scheduler decisions land in the journal correlated to flow run IDs:
+// every sched event carries its tenant, and every dispatched item's
+// "run bound" event shares a run ID with that run's flow events.
+func TestCampaignJournalCorrelation(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	cfg.Sim = fastCampaignSim()
+	cfg.Beamlines = 2
+	cfg.Weights = []float64{2, 1}
+	cfg.Workers = 2
+	cfg.Reserved = 0
+	cfg.ScanInterval = 10 * time.Minute
+	cfg.Admission = sched.Admission{}
+	c := NewCampaign(epoch, cfg)
+	c.Run(2)
+
+	j := c.Base.Journal
+	evs := j.Events(obslog.Filter{Component: "sched"})
+	if len(evs) == 0 {
+		t.Fatal("no sched events in journal")
+	}
+	bound := 0
+	for _, ev := range evs {
+		if ev.Tenant == "" {
+			t.Fatalf("sched event without tenant: %+v", ev)
+		}
+		if ev.Msg != "run bound" {
+			continue
+		}
+		bound++
+		if ev.Run == 0 {
+			t.Fatalf("run bound event without run ID: %+v", ev)
+		}
+		flowEvs := j.Events(obslog.Filter{Component: "flow", Run: ev.Run})
+		if len(flowEvs) == 0 {
+			t.Fatalf("no flow events for bound run %d", ev.Run)
+		}
+		for _, fe := range flowEvs {
+			if fe.Tenant != ev.Tenant {
+				t.Fatalf("run %d: flow event tenant %q != sched tenant %q",
+					ev.Run, fe.Tenant, ev.Tenant)
+			}
+		}
+	}
+	// Each scan contributes a streaming run and 2+ flow runs on the file
+	// item; every flow start rebinds, so bound events ≥ dispatched items.
+	if bound < 8 {
+		t.Fatalf("only %d run-bound events", bound)
+	}
+}
+
+// Two identically-seeded campaigns — burst, defers, and sheds included —
+// journal byte-identical scheduler decision streams.
+func TestCampaignDeterministicDecisions(t *testing.T) {
+	decisions := func() []byte {
+		cfg := DefaultCampaignConfig()
+		cfg.Sim = fastCampaignSim()
+		cfg.Beamlines = 3
+		cfg.Workers = 2
+		cfg.Reserved = 1
+		cfg.ScanInterval = 5 * time.Minute
+		cfg.FileTarget = 5 * time.Minute
+		cfg.Admission.DeferDelay = time.Minute
+		cfg.Admission.MaxDefers = 2
+		cfg.Admission.ShedAfter = 20 * time.Minute
+		cfg.BurstAt = 30 * time.Minute
+		cfg.BurstScans = 6
+		c := NewCampaign(epoch, cfg)
+		res := c.Run(4)
+		if res.Deferred == 0 || res.Shed == 0 {
+			t.Fatalf("determinism fixture never exercised admission: deferred=%d shed=%d",
+				res.Deferred, res.Shed)
+		}
+		b, err := json.Marshal(c.Base.Journal.Events(obslog.Filter{Component: "sched"}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := decisions(), decisions()
+	if string(a) != string(b) {
+		t.Fatalf("scheduler decision streams differ between identical campaigns:\nlen %d vs %d",
+			len(a), len(b))
+	}
+}
+
+func TestFileShareDeviationEdges(t *testing.T) {
+	if d := FileShareDeviation(sched.Report{}); d != 0 {
+		t.Fatalf("empty report deviation = %.1f, want 0", d)
+	}
+	rep := sched.Report{Tenants: []sched.TenantReport{
+		{Class: sched.ClassFile, Weight: 3, Completed: 30},
+		{Class: sched.ClassFile, Weight: 1, Completed: 10},
+		{Class: sched.ClassStreaming, Weight: 1, Completed: 999}, // ignored
+	}}
+	if d := FileShareDeviation(rep); d != 0 {
+		t.Fatalf("exact shares deviation = %.1f, want 0", d)
+	}
+}
+
+func TestNewCampaignDefaults(t *testing.T) {
+	c := NewCampaign(epoch, CampaignConfig{Sim: fastCampaignSim()})
+	if len(c.Beamlines) != 1 {
+		t.Fatalf("beamline floor: got %d", len(c.Beamlines))
+	}
+	if c.Beamlines[0].Name != "bl0" {
+		t.Fatalf("beamline name %q", c.Beamlines[0].Name)
+	}
+	if got := c.tenant(c.Beamlines[0], sched.ClassFile).Weight; got != 1 {
+		t.Fatalf("default weight %v", got)
+	}
+	// Identity stays per-view while infrastructure is shared.
+	if c.Base.Name != "8.3.2" || c.Base.Engine != c.Beamlines[0].Engine {
+		t.Fatal("campaign views must share the base engine but keep their own identity")
+	}
+}

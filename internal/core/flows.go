@@ -74,7 +74,7 @@ func (b *Beamline) NewFile832Flow(ctx context.Context, p *sim.Proc, scan *Scan) 
 	err = fc.Task("ingest_scicat", flow.TaskOptions{Retries: 1, RetryDelay: 5 * time.Second}, func(context.Context) error {
 		p.Sleep(3 * time.Second) // catalog API round trips
 		_, ierr := b.Catalog.Ingest(scicat.Dataset{
-			ScanID: scan.ID, Sample: scan.Sample, Beamline: "8.3.2",
+			ScanID: scan.ID, Sample: scan.Sample, Beamline: b.Name,
 			Owner: "als-user", SizeBytes: scan.RawBytes,
 			CreatedAt: scan.Acquired, SourcePath: path,
 		})

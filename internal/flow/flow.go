@@ -131,12 +131,15 @@ func (t *TaskRun) Duration() time.Duration { return t.End.Sub(t.Start) }
 
 // Run records one flow run.
 type Run struct {
-	ID    int
-	Flow  string
-	State State
-	Start time.Time
-	End   time.Time
-	Err   string
+	ID   int
+	Flow string
+	// Tenant is the scheduling tenant ("beamline/class") the run belongs
+	// to, pulled from the start context ("" outside any campaign).
+	Tenant string
+	State  State
+	Start  time.Time
+	End    time.Time
+	Err    string
 	// Class is the fault classification of the final error (empty on
 	// success).
 	Class faults.Class
@@ -155,19 +158,28 @@ func (r *Run) Duration() time.Duration { return r.End.Sub(r.Start) }
 // Server is the orchestration server: it owns run history, idempotency
 // state, and the statistics API.
 type Server struct {
-	mu       sync.Mutex
-	runs     []*Run
-	nextID   int
-	idemp    map[string]bool
-	metrics  *monitor.Registry
-	journal  *obslog.Journal
-	observer CompletionObserver
+	mu             sync.Mutex
+	runs           []*Run
+	nextID         int
+	idemp          map[string]bool
+	metrics        *monitor.Registry
+	journal        *obslog.Journal
+	observers      []CompletionObserver
+	startObservers []StartObserver
 }
 
 // CompletionObserver receives every finished run — how the SLO engine
 // judges flow latency without the flow layer importing it.
 type CompletionObserver interface {
 	RunCompleted(ctx context.Context, flow, outcome string, duration time.Duration)
+}
+
+// StartObserver receives every run as it starts, with the run's own
+// context (carrying the run ID and tenant) — how the campaign scheduler
+// binds the run ID to the queue item that dispatched it without the flow
+// layer importing it.
+type StartObserver interface {
+	RunStarted(ctx context.Context, flowName string)
 }
 
 // NewServer creates an empty orchestration server.
@@ -193,11 +205,38 @@ func (s *Server) SetJournal(j *obslog.Journal) {
 	s.journal = j
 }
 
-// SetObserver attaches a completion observer (e.g. the SLO engine).
+// SetObserver attaches a completion observer (e.g. the SLO engine),
+// replacing any observers attached so far.
 func (s *Server) SetObserver(o CompletionObserver) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.observer = o
+	s.observers = s.observers[:0]
+	if o != nil {
+		s.observers = append(s.observers, o)
+	}
+}
+
+// AddObserver attaches an additional completion observer; observers are
+// notified in attachment order.
+func (s *Server) AddObserver(o CompletionObserver) {
+	if o == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observers = append(s.observers, o)
+}
+
+// AddStartObserver attaches a start observer; observers are notified in
+// attachment order, outside the server lock, after the run is visible in
+// the history.
+func (s *Server) AddStartObserver(o StartObserver) {
+	if o == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.startObservers = append(s.startObservers, o)
 }
 
 // Ctx is the handle a running flow uses to record tasks and logs.
@@ -217,17 +256,25 @@ func (s *Server) Start(ctx context.Context, flowName string, env Env) *Ctx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	tenant := obslog.TenantFromContext(ctx)
 	s.mu.Lock()
 	s.nextID++
-	run := &Run{ID: s.nextID, Flow: flowName, State: Running, Start: env.Now()}
+	run := &Run{ID: s.nextID, Flow: flowName, Tenant: tenant, State: Running, Start: env.Now()}
 	run.Trace = trace.NewRoot(flowName, run.Start)
+	if tenant != "" {
+		run.Trace.SetAttr("tenant", tenant)
+	}
 	s.runs = append(s.runs, run)
 	journal := s.journal
+	startObservers := s.startObservers
 	s.mu.Unlock()
 	// The run's context carries the journal and its own ID from here on,
 	// so transfer/facility/msgq events downstream correlate automatically.
 	ctx = obslog.WithRun(obslog.NewContext(ctx, journal), run.ID)
 	obslog.Info(ctx, "flow", "run started", obslog.F("flow", flowName))
+	for _, o := range startObservers {
+		o.RunStarted(ctx, flowName)
+	}
 	return &Ctx{Env: env, Run: run, ctx: ctx, server: s}
 }
 
@@ -283,6 +330,14 @@ func (c *Ctx) Complete(err error) {
 	if c.server.metrics != nil {
 		m := c.server.metrics
 		m.AddL("flow_runs_total", 1, flowLabel, monitor.L("outcome", outcome))
+		if c.Run.Tenant != "" {
+			// Per-tenant attainment gets its own counter rather than a
+			// tenant label on flow_runs_total, so the per-flow series set
+			// stays small and the tenant series count is bounded by the
+			// campaign's tenant roster, not by flows × tenants.
+			m.AddL("flow_tenant_runs_total", 1,
+				monitor.L("tenant", c.Run.Tenant), monitor.L("outcome", outcome))
+		}
 		m.ObserveL("flow_duration_seconds", c.Run.Duration().Seconds(), flowLabel)
 		root := c.Run.Trace
 		root.Walk(func(depth int, sp *trace.Span) {
@@ -300,7 +355,7 @@ func (c *Ctx) Complete(err error) {
 				flowLabel, monitor.L("stage", trace.GapStage))
 		}
 	}
-	observer := c.server.observer
+	observers := c.server.observers
 	c.server.mu.Unlock()
 
 	level := obslog.LevelInfo
@@ -316,8 +371,8 @@ func (c *Ctx) Complete(err error) {
 	obslog.Log(c.ctx, level, "flow", "run completed", fields...)
 	// Observers run outside the server lock: the SLO engine may fire an
 	// alert event, and neither it nor its journal calls back into flow.
-	if observer != nil {
-		observer.RunCompleted(c.ctx, c.Run.Flow, outcome, c.Run.Duration())
+	for _, o := range observers {
+		o.RunCompleted(c.ctx, c.Run.Flow, outcome, c.Run.Duration())
 	}
 }
 
@@ -378,9 +433,13 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 	c.server.mu.Unlock()
 
 	if cached {
+		// TaskRun mutations happen under the server lock so the snapshot
+		// readers (Runs/InFlight/RunByID) never observe torn state.
+		c.server.mu.Lock()
 		tr.Cached = true
 		tr.State = Completed
 		tr.End = c.Env.Now()
+		c.server.mu.Unlock()
 		span.End(tr.End)
 		obslog.Debug(c.ctx, "flow", "task skipped (idempotent)",
 			obslog.F("task", name), obslog.F("key", opts.IdempotencyKey))
@@ -419,7 +478,9 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 				fmt.Errorf("flow: task %s deadline exceeded: %w", name, context.DeadlineExceeded))
 			break
 		}
+		c.server.mu.Lock()
 		tr.Attempts++
+		c.server.mu.Unlock()
 		err = fn(tctx)
 		if err == nil {
 			break
@@ -431,8 +492,8 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 			break
 		}
 	}
+	c.server.mu.Lock()
 	tr.End = c.Env.Now()
-	span.End(tr.End)
 	if err != nil {
 		tr.Class = faults.Classify(err)
 		if tr.Class == faults.Cancelled {
@@ -441,15 +502,21 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 			tr.State = Failed
 		}
 		tr.Err = err.Error()
+	} else {
+		tr.State = Completed
+	}
+	attempts, class, dur := tr.Attempts, tr.Class, tr.Duration()
+	c.server.mu.Unlock()
+	span.End(tr.End)
+	if err != nil {
 		obslog.Error(tctx, "flow", "task failed",
-			obslog.F("task", name), obslog.F("class", string(tr.Class)),
-			obslog.F("attempts", tr.Attempts), obslog.F("err", err))
+			obslog.F("task", name), obslog.F("class", string(class)),
+			obslog.F("attempts", attempts), obslog.F("err", err))
 		return err
 	}
-	tr.State = Completed
 	obslog.Info(tctx, "flow", "task completed",
-		obslog.F("task", name), obslog.F("duration", tr.Duration()),
-		obslog.F("attempts", tr.Attempts))
+		obslog.F("task", name), obslog.F("duration", dur),
+		obslog.F("attempts", attempts))
 	if opts.IdempotencyKey != "" {
 		c.server.mu.Lock()
 		c.server.idemp[opts.IdempotencyKey] = true
@@ -458,29 +525,51 @@ func (c *Ctx) Task(name string, opts TaskOptions, fn func(ctx context.Context) e
 	return nil
 }
 
-// Runs returns all runs of a flow (all flows if name is empty), in start
-// order.
+// cloneRunLocked deep-copies a run's mutable state so readers hold a
+// snapshot instead of aliasing live server state: the Run itself, its
+// TaskRun values, and its log slice are copied; the Trace pointer is
+// shared because span trees are internally locked and append-only.
+// Callers hold s.mu.
+func cloneRunLocked(r *Run) *Run {
+	c := *r
+	if len(r.Tasks) > 0 {
+		c.Tasks = make([]*TaskRun, len(r.Tasks))
+		for i, t := range r.Tasks {
+			tc := *t
+			c.Tasks[i] = &tc
+		}
+	}
+	if len(r.Logs) > 0 {
+		c.Logs = append([]LogEntry(nil), r.Logs...)
+	}
+	return &c
+}
+
+// Runs returns snapshots of all runs of a flow (all flows if name is
+// empty), in start order. The returned runs are defensive copies: they do
+// not alias the server's live state, so callers may inspect them without
+// racing Start/Complete.
 func (s *Server) Runs(name string) []*Run {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []*Run
 	for _, r := range s.runs {
 		if name == "" || r.Flow == name {
-			out = append(out, r)
+			out = append(out, cloneRunLocked(r))
 		}
 	}
 	return out
 }
 
-// InFlight returns the runs still in the RUNNING state — what a graceful
-// shutdown reports before exiting.
+// InFlight returns snapshots of the runs still in the RUNNING state —
+// what a graceful shutdown reports before exiting.
 func (s *Server) InFlight() []*Run {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []*Run
 	for _, r := range s.runs {
 		if r.State == Running {
-			out = append(out, r)
+			out = append(out, cloneRunLocked(r))
 		}
 	}
 	return out
@@ -562,13 +651,13 @@ func (s *Server) Summary(name string, n int) stats.Summary {
 	return stats.Summarize(s.Durations(name, n))
 }
 
-// RunByID returns the run with the given ID, if any.
+// RunByID returns a snapshot of the run with the given ID, if any.
 func (s *Server) RunByID(id int) (*Run, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, r := range s.runs {
 		if r.ID == id {
-			return r, true
+			return cloneRunLocked(r), true
 		}
 	}
 	return nil, false

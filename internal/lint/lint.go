@@ -172,6 +172,10 @@ func DefaultConfig() *Config {
 			"repro/internal/flow.RealEnv.Now":      true,
 			"repro/internal/flow.RealEnv.Sleep":    true,
 			"repro/internal/flow.RealEnv.SleepCtx": true,
+			// The shared binary-side clock bridge both servers resolve
+			// their clock through. Note internal/sched has NO entries
+			// here: the scheduler is env-clock only by construction.
+			"repro/internal/sim.WallClock.Now": true,
 			// Real-socket operations need real timers for bounded waits:
 			// the timeout select in Pull.Recv and the reconnect backoff
 			// timer in Push.Send (which selects on ctx.Done).
@@ -191,6 +195,9 @@ func DefaultConfig() *Config {
 		CtxFirstAllowFields: map[string]bool{
 			// The flow run handle carries the run's context by design.
 			"repro/internal/flow.Ctx": true,
+			// A queued run carries its submission context (journal +
+			// tenant identity) until a worker dispatches it.
+			"repro/internal/sched.item": true,
 		},
 		StdlogScope: []string{"repro/internal"},
 	}

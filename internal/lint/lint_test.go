@@ -192,3 +192,22 @@ func consumeWant(wants map[string][]*regexp.Regexp, key, msg string) bool {
 	}
 	return false
 }
+
+// The campaign scheduler must stay env-clock only: inside simclock's
+// scope with no allowlisted escape hatches. A time.Now added to
+// internal/sched fails repolint; an allowlist entry added for it fails
+// here.
+func TestSchedHasNoWallClockExceptions(t *testing.T) {
+	c := DefaultConfig()
+	if !c.simclockInScope("repro/internal/sched") {
+		t.Fatal("repro/internal/sched must be in simclock scope")
+	}
+	if c.SimclockAllowPackages["repro/internal/sched"] {
+		t.Fatal("repro/internal/sched must not be package-allowlisted from simclock")
+	}
+	for fn := range c.SimclockAllowFuncs {
+		if strings.HasPrefix(fn, "repro/internal/sched.") {
+			t.Fatalf("simclock allowlist contains sched entry %q; the scheduler is env-clock only", fn)
+		}
+	}
+}

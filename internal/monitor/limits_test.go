@@ -1,0 +1,37 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSetSeriesLimit(t *testing.T) {
+	r := NewRegistry()
+	r.SetSeriesLimit("sched_runs_total", 3)
+	for i := 0; i < 5; i++ {
+		r.AddL("sched_runs_total", 1, L("tenant", fmt.Sprintf("bl%d/file", i)))
+	}
+	// 3 real series plus the overflow bucket.
+	if got := r.SeriesCount("sched_runs_total"); got != 4 {
+		t.Fatalf("series = %d, want 4", got)
+	}
+	if got := r.Counter(`sched_runs_total{overflow="true"}`); got != 2 {
+		t.Fatalf("overflow = %g, want 2", got)
+	}
+
+	// Raising the limit admits new label sets again.
+	r.SetSeriesLimit("sched_runs_total", 10)
+	r.AddL("sched_runs_total", 1, L("tenant", "bl9/file"))
+	if got := r.Counter(`sched_runs_total{tenant="bl9/file"}`); got != 1 {
+		t.Fatalf("post-raise series = %g, want 1", got)
+	}
+
+	// Non-positive restores the default bound.
+	r.SetSeriesLimit("sched_runs_total", 0)
+	for i := 0; i < MaxSeriesPerMetric+8; i++ {
+		r.AddL("sched_runs_total", 1, L("tenant", fmt.Sprintf("extra%d", i)))
+	}
+	if got := r.SeriesCount("sched_runs_total"); got > MaxSeriesPerMetric+1 {
+		t.Fatalf("series = %d, want ≤ %d", got, MaxSeriesPerMetric+1)
+	}
+}

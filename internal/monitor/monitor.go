@@ -48,6 +48,8 @@ type Registry struct {
 	// series tracks, per bare metric name, the label sets materialized
 	// through AddL/ObserveL/SetL — the state behind MaxSeriesPerMetric.
 	series map[string]map[string]bool
+	// limits overrides MaxSeriesPerMetric per bare metric name.
+	limits map[string]int
 }
 
 // NewRegistry creates an empty registry.
@@ -57,6 +59,7 @@ func NewRegistry() *Registry {
 		gauges:     map[string]float64{},
 		histograms: map[string]*histogram{},
 		series:     map[string]map[string]bool{},
+		limits:     map[string]int{},
 	}
 }
 

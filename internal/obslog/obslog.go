@@ -133,6 +133,9 @@ type Event struct {
 	// Run is the correlated flow run ID (0 when the event happened outside
 	// any run).
 	Run int `json:"run,omitempty"`
+	// Tenant is the scheduling tenant ("beamline/class") the event belongs
+	// to ("" outside any tenant — single-beamline journals are unchanged).
+	Tenant string `json:"tenant,omitempty"`
 	// Span is the name of the trace span active when the event fired.
 	Span   string  `json:"span,omitempty"`
 	Fields []Field `json:"fields,omitempty"`
@@ -202,6 +205,7 @@ func (j *Journal) Emit(ctx context.Context, level Level, component, msg string, 
 		return
 	}
 	run := RunFromContext(ctx)
+	tenant := TenantFromContext(ctx)
 	span := trace.FromContext(ctx).Name()
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -211,7 +215,7 @@ func (j *Journal) Emit(ctx context.Context, level Level, component, msg string, 
 	j.next++
 	e := Event{
 		Seq: j.next, Time: j.clock.Now(), Level: level,
-		Component: component, Msg: msg, Run: run, Span: span, Fields: fields,
+		Component: component, Msg: msg, Run: run, Tenant: tenant, Span: span, Fields: fields,
 	}
 	if j.count < cap(j.ring) {
 		j.ring = append(j.ring, e)
@@ -230,6 +234,8 @@ func (j *Journal) Emit(ctx context.Context, level Level, component, msg string, 
 type Filter struct {
 	// Run keeps only events of that flow run (0 keeps all).
 	Run int
+	// Tenant keeps only events of that scheduling tenant ("" keeps all).
+	Tenant string
 	// MinLevel keeps events at or above the level.
 	MinLevel Level
 	// Component keeps only events of that component ("" keeps all).
@@ -245,6 +251,9 @@ func (f Filter) match(e Event) bool {
 		return false
 	}
 	if f.Run != 0 && e.Run != f.Run {
+		return false
+	}
+	if f.Tenant != "" && e.Tenant != f.Tenant {
 		return false
 	}
 	if f.Component != "" && e.Component != f.Component {
@@ -309,6 +318,7 @@ type ctxKey int
 const (
 	journalKey ctxKey = iota
 	runKey
+	tenantKey
 )
 
 // NewContext returns a context carrying j so downstream layers can
@@ -351,6 +361,28 @@ func RunFromContext(ctx context.Context) int {
 	}
 	id, _ := ctx.Value(runKey).(int)
 	return id
+}
+
+// WithTenant returns a context carrying the scheduling tenant
+// ("beamline/class") every journaled event should be attributed to. An
+// empty tenant returns ctx unchanged.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, tenantKey, tenant)
+}
+
+// TenantFromContext returns the correlated tenant, or "" when none.
+func TenantFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	t, _ := ctx.Value(tenantKey).(string)
+	return t
 }
 
 // Package-level emit helpers: fetch the journal from ctx and log through

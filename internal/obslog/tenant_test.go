@@ -1,0 +1,59 @@
+package obslog
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTenantContext(t *testing.T) {
+	if got := TenantFromContext(nil); got != "" {
+		t.Fatalf("TenantFromContext(nil) = %q, want empty", got)
+	}
+	if got := TenantFromContext(context.Background()); got != "" {
+		t.Fatalf("TenantFromContext(Background) = %q, want empty", got)
+	}
+	ctx := WithTenant(context.Background(), "bl1/file")
+	if got := TenantFromContext(ctx); got != "bl1/file" {
+		t.Fatalf("TenantFromContext = %q, want bl1/file", got)
+	}
+	// Empty tenant is a no-op, preserving the existing value.
+	if got := TenantFromContext(WithTenant(ctx, "")); got != "bl1/file" {
+		t.Fatalf("empty WithTenant clobbered tenant: %q", got)
+	}
+	if got := TenantFromContext(WithTenant(nil, "bl9/streaming")); got != "bl9/streaming" {
+		t.Fatalf("WithTenant(nil) = %q, want bl9/streaming", got)
+	}
+}
+
+func TestEmitStampsTenant(t *testing.T) {
+	clock := fixedClock(time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC))
+	j := New(clock, 0)
+	ctx := WithTenant(WithRun(NewContext(context.Background(), j), 7), "bl3/streaming")
+	j.Emit(ctx, LevelInfo, "sched", "run dispatched")
+	j.Emit(context.Background(), LevelInfo, "sched", "no tenant")
+
+	evs := j.Events(Filter{})
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Tenant != "bl3/streaming" || evs[0].Run != 7 {
+		t.Fatalf("event[0] tenant=%q run=%d, want bl3/streaming/7", evs[0].Tenant, evs[0].Run)
+	}
+	if evs[1].Tenant != "" {
+		t.Fatalf("event[1] tenant = %q, want empty", evs[1].Tenant)
+	}
+
+	got := j.Events(Filter{Tenant: "bl3/streaming"})
+	if len(got) != 1 || got[0].Msg != "run dispatched" {
+		t.Fatalf("tenant filter matched %d events", len(got))
+	}
+	if rest := j.Events(Filter{Tenant: "bl9/file"}); len(rest) != 0 {
+		t.Fatalf("unknown tenant matched %d events", len(rest))
+	}
+}
+
+// fixedClock is a Clock pinned at one instant.
+type fixedClock time.Time
+
+func (c fixedClock) Now() time.Time { return time.Time(c) }

@@ -1,0 +1,26 @@
+package sched
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the live scheduler report as JSON for GET /api/sched:
+// per-tenant queue depth, fair-share weight, shed/defer counters, and
+// end-to-end attainment.
+func (s *Scheduler) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		rep := s.Snapshot()
+		if rep.Tenants == nil {
+			rep.Tenants = []TenantReport{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+}

@@ -1,0 +1,11 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package's tests on the goroutine-leak check: a
+// passing run with worker procs still alive fails.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

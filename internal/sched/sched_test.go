@@ -1,0 +1,469 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obslog"
+	"repro/internal/sim"
+)
+
+var epoch = time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+
+// dispatchLog records dispatch order from inside work functions.
+type dispatchLog struct {
+	mu    sync.Mutex
+	order []string
+}
+
+func (d *dispatchLog) add(id string) {
+	d.mu.Lock()
+	d.order = append(d.order, id)
+	d.mu.Unlock()
+}
+
+// runCampaign starts workers, runs body in a producer proc, then drains.
+func runCampaign(e *sim.Engine, s *Scheduler, body func(p *sim.Proc)) {
+	s.StartWorkers()
+	done := e.Go("producer", body)
+	e.Go("drainer", func(p *sim.Proc) {
+		done.Wait(p)
+		s.Drain(p)
+	})
+	e.Run()
+}
+
+func TestStrideFairShare(t *testing.T) {
+	e := sim.New(epoch)
+	s := New(e, Config{Workers: 1})
+	heavy := Tenant{Beamline: "bl0", Class: ClassFile, Weight: 3}
+	light := Tenant{Beamline: "bl1", Class: ClassFile, Weight: 1}
+	s.Register(heavy)
+	s.Register(light)
+
+	var log dispatchLog
+	work := func(id string) func(ctx context.Context, p *sim.Proc) {
+		return func(ctx context.Context, p *sim.Proc) {
+			log.add(id)
+			p.Sleep(time.Minute)
+		}
+	}
+	runCampaign(e, s, func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			s.Submit(context.Background(), heavy, "f", work("heavy"))
+			s.Submit(context.Background(), light, "f", work("light"))
+		}
+	})
+
+	// In the first 40 dispatches of a fully backlogged pool, shares must
+	// track the 3:1 weights.
+	counts := map[string]int{}
+	for _, id := range log.order[:40] {
+		counts[id]++
+	}
+	if counts["heavy"] < 28 || counts["heavy"] > 32 {
+		t.Fatalf("heavy got %d of first 40 dispatches, want ~30 (3:1 weights)", counts["heavy"])
+	}
+	rep := s.Snapshot()
+	if rep.Tenants[0].Completed != 40 || rep.Tenants[1].Completed != 40 {
+		t.Fatalf("completions = %d/%d, want 40/40", rep.Tenants[0].Completed, rep.Tenants[1].Completed)
+	}
+}
+
+func TestStrictPriorityStreamingFirst(t *testing.T) {
+	e := sim.New(epoch)
+	s := New(e, Config{Workers: 1})
+	file := Tenant{Beamline: "bl0", Class: ClassFile, Weight: 1}
+	stream := Tenant{Beamline: "bl0", Class: ClassStreaming, Weight: 1}
+	s.Register(stream)
+	s.Register(file)
+
+	var log dispatchLog
+	runCampaign(e, s, func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			s.Submit(context.Background(), file, "f", func(ctx context.Context, p *sim.Proc) {
+				log.add("file")
+				p.Sleep(time.Minute)
+			})
+		}
+		// Arrives while the worker is busy and the file queue is deep.
+		p.Sleep(30 * time.Second)
+		s.Submit(context.Background(), stream, "s", func(ctx context.Context, p *sim.Proc) {
+			log.add("stream")
+			p.Sleep(time.Second)
+		})
+	})
+
+	if log.order[0] != "file" || log.order[1] != "stream" {
+		t.Fatalf("dispatch order = %v, want streaming jumping the file backlog", log.order)
+	}
+}
+
+func TestReservedWorkersProtectStreaming(t *testing.T) {
+	e := sim.New(epoch)
+	s := New(e, Config{
+		Workers: 2, Reserved: 1,
+		Targets: map[Class]time.Duration{ClassStreaming: 10 * time.Second},
+	})
+	file := Tenant{Beamline: "bl0", Class: ClassFile, Weight: 1}
+	stream := Tenant{Beamline: "bl0", Class: ClassStreaming, Weight: 1}
+	s.Register(stream)
+	s.Register(file)
+
+	runCampaign(e, s, func(p *sim.Proc) {
+		// Enough long file runs to saturate the shared worker for hours.
+		for i := 0; i < 10; i++ {
+			s.Submit(context.Background(), file, "f", func(ctx context.Context, p *sim.Proc) {
+				p.Sleep(30 * time.Minute)
+			})
+		}
+		// Streaming arrives throughout; the reserved worker must take it
+		// immediately every time.
+		for i := 0; i < 20; i++ {
+			p.Sleep(5 * time.Minute)
+			s.Submit(context.Background(), stream, "s", func(ctx context.Context, p *sim.Proc) {
+				p.Sleep(5 * time.Second)
+			})
+		}
+	})
+
+	rep := s.Snapshot()
+	st := rep.Tenants[0]
+	if st.Class != ClassStreaming {
+		t.Fatalf("tenant order: %+v", rep.Tenants)
+	}
+	if st.Completed != 20 || st.AttainmentPct != 100 {
+		t.Fatalf("streaming completed=%d attainment=%.1f, want 20 at 100%%", st.Completed, st.AttainmentPct)
+	}
+	if st.P99WaitS != 0 {
+		t.Fatalf("streaming p99 wait = %gs, want 0 (reserved worker always free)", st.P99WaitS)
+	}
+}
+
+// stubBurn is a BurnSource the test drives by hand.
+type stubBurn struct {
+	mu    sync.Mutex
+	rates map[string]float64
+}
+
+func (b *stubBurn) set(name string, rate float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.rates == nil {
+		b.rates = map[string]float64{}
+	}
+	b.rates[name] = rate
+}
+
+func (b *stubBurn) BurnState(name string) (float64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.rates[name]
+	return r, r >= 2
+}
+
+func TestAdmissionDefersThenSheds(t *testing.T) {
+	e := sim.New(epoch)
+	burn := &stubBurn{}
+	jr := obslog.New(e, 0)
+	s := New(e, Config{
+		Workers: 1,
+		Journal: jr,
+		Burn:    burn,
+		Admission: Admission{
+			Enabled:         true,
+			GuardObjectives: []string{"streaming_preview"},
+			DeferDelay:      time.Minute,
+			MaxDefers:       2,
+		},
+	})
+	file := Tenant{Beamline: "bl0", Class: ClassFile, Weight: 1}
+	stream := Tenant{Beamline: "bl0", Class: ClassStreaming, Weight: 1}
+
+	var streamRan, fileRan int
+	runCampaign(e, s, func(p *sim.Proc) {
+		burn.set("streaming_preview", 3) // guard trips from the start
+		s.Submit(context.Background(), file, "f", func(ctx context.Context, p *sim.Proc) {
+			fileRan++
+		})
+		s.Submit(context.Background(), stream, "s", func(ctx context.Context, p *sim.Proc) {
+			streamRan++
+			p.Sleep(time.Second)
+		})
+		// A second file run submitted later, after the guard clears: it
+		// must dispatch normally.
+		p.Sleep(10 * time.Minute)
+		burn.set("streaming_preview", 0)
+		s.Submit(context.Background(), file, "f2", func(ctx context.Context, p *sim.Proc) {
+			fileRan++
+		})
+	})
+
+	if streamRan != 1 {
+		t.Fatalf("streaming ran %d times, want 1 (never deferred)", streamRan)
+	}
+	if fileRan != 1 {
+		t.Fatalf("file ran %d times, want 1 (first shed after max defers, second clean)", fileRan)
+	}
+	rep := s.Snapshot()
+	ft := rep.Tenants[0]
+	if ft.Deferred != 2 || ft.Shed != 1 {
+		t.Fatalf("file deferred=%d shed=%d, want 2 defers then 1 shed", ft.Deferred, ft.Shed)
+	}
+	if n := len(jr.Events(obslog.Filter{Component: "sched", Tenant: "bl0/file"})); n == 0 {
+		t.Fatal("no sched events journaled for the file tenant")
+	}
+	sheds := 0
+	for _, ev := range jr.Events(obslog.Filter{Component: "sched"}) {
+		if ev.Msg == "run shed" {
+			sheds++
+			for _, f := range ev.Fields {
+				if f.Key == "reason" && f.Value != "slo_pressure" {
+					t.Fatalf("shed reason = %q, want slo_pressure", f.Value)
+				}
+			}
+		}
+	}
+	if sheds != 1 {
+		t.Fatalf("journaled sheds = %d, want 1", sheds)
+	}
+}
+
+func TestSubmitBackpressure(t *testing.T) {
+	e := sim.New(epoch)
+	s := New(e, Config{
+		Workers:   1,
+		Admission: Admission{MaxQueuePerTenant: 2},
+	})
+	file := Tenant{Beamline: "bl0", Class: ClassFile, Weight: 1}
+	stream := Tenant{Beamline: "bl0", Class: ClassStreaming, Weight: 1}
+
+	var accepted, rejected int
+	runCampaign(e, s, func(p *sim.Proc) {
+		// First submission dispatches immediately and occupies the worker.
+		s.Submit(context.Background(), file, "f", func(ctx context.Context, p *sim.Proc) {
+			p.Sleep(time.Hour)
+		})
+		p.Sleep(time.Second) // let the worker pick it up
+		for i := 0; i < 5; i++ {
+			if s.Submit(context.Background(), file, "f", func(ctx context.Context, p *sim.Proc) {}) {
+				accepted++
+			} else {
+				rejected++
+			}
+		}
+		// Streaming ignores the file queue bound.
+		if !s.Submit(context.Background(), stream, "s", func(ctx context.Context, p *sim.Proc) {}) {
+			t.Error("streaming submission rejected")
+		}
+	})
+
+	if accepted != 2 || rejected != 3 {
+		t.Fatalf("accepted=%d rejected=%d, want 2/3 with MaxQueuePerTenant=2", accepted, rejected)
+	}
+	rep := s.Snapshot()
+	if rep.TotalShed != 3 {
+		t.Fatalf("TotalShed = %d, want 3", rep.TotalShed)
+	}
+}
+
+// captureRecorder records latency samples fed to the SLO layer.
+type captureRecorder struct {
+	mu      sync.Mutex
+	sources []string
+	durs    []time.Duration
+}
+
+func (r *captureRecorder) Record(ctx context.Context, source string, dur time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, source)
+	r.durs = append(r.durs, dur)
+}
+
+func TestEndToEndLatencyRecorded(t *testing.T) {
+	e := sim.New(epoch)
+	rec := &captureRecorder{}
+	s := New(e, Config{Workers: 1, Recorder: rec})
+	file := Tenant{Beamline: "bl0", Class: ClassFile, Weight: 1}
+
+	runCampaign(e, s, func(p *sim.Proc) {
+		// Two runs: the second queues behind the first, so its e2e must
+		// include the queue wait the flow layer never sees.
+		for i := 0; i < 2; i++ {
+			s.Submit(context.Background(), file, "f", func(ctx context.Context, p *sim.Proc) {
+				p.Sleep(10 * time.Minute)
+			})
+		}
+	})
+
+	if len(rec.sources) != 2 || rec.sources[0] != "sched:file" {
+		t.Fatalf("recorded sources = %v", rec.sources)
+	}
+	if rec.durs[0] != 10*time.Minute {
+		t.Fatalf("first e2e = %v, want 10m", rec.durs[0])
+	}
+	if rec.durs[1] != 20*time.Minute {
+		t.Fatalf("second e2e = %v, want 20m (10m queue wait + 10m work)", rec.durs[1])
+	}
+}
+
+func TestRunBoundCorrelation(t *testing.T) {
+	e := sim.New(epoch)
+	jr := obslog.New(e, 0)
+	s := New(e, Config{Workers: 1, Journal: jr})
+	file := Tenant{Beamline: "bl7", Class: ClassFile, Weight: 1}
+
+	runCampaign(e, s, func(p *sim.Proc) {
+		s.Submit(context.Background(), file, "f", func(ctx context.Context, p *sim.Proc) {
+			// Simulate what flow.Start does: assign a run ID into the ctx
+			// and notify start observers.
+			s.RunStarted(obslog.WithRun(ctx, 42), "f")
+		})
+	})
+
+	evs := jr.Events(obslog.Filter{Component: "sched", Run: 42})
+	if len(evs) != 1 || evs[0].Msg != "run bound" {
+		t.Fatalf("run-bound events = %+v", evs)
+	}
+	if evs[0].Tenant != "bl7/file" {
+		t.Fatalf("bound event tenant = %q", evs[0].Tenant)
+	}
+	// A context without an item is a no-op, not a panic.
+	s.RunStarted(context.Background(), "f")
+}
+
+func TestDeterministicDecisionStream(t *testing.T) {
+	journalBytes := func() []byte {
+		e := sim.New(epoch)
+		burn := &stubBurn{}
+		jr := obslog.New(e, 0)
+		s := New(e, Config{
+			Workers: 2, Reserved: 1,
+			Journal: jr,
+			Burn:    burn,
+			Admission: Admission{
+				Enabled:           true,
+				GuardObjectives:   []string{"g"},
+				MaxQueuePerTenant: 4,
+				DeferDelay:        2 * time.Minute,
+				MaxDefers:         2,
+			},
+		})
+		tenants := []Tenant{
+			{Beamline: "bl0", Class: ClassStreaming, Weight: 1},
+			{Beamline: "bl0", Class: ClassFile, Weight: 3},
+			{Beamline: "bl1", Class: ClassFile, Weight: 1},
+		}
+		for _, t := range tenants {
+			s.Register(t)
+		}
+		runCampaign(e, s, func(p *sim.Proc) {
+			for i := 0; i < 12; i++ {
+				if i == 6 {
+					burn.set("g", 2.5)
+				}
+				if i == 9 {
+					burn.set("g", 0)
+				}
+				for _, t := range tenants {
+					dur := time.Minute
+					if t.Class == ClassStreaming {
+						dur = 2 * time.Second
+					}
+					s.Submit(context.Background(), t, string(t.Class), func(ctx context.Context, p *sim.Proc) {
+						p.Sleep(dur)
+					})
+				}
+				p.Sleep(90 * time.Second)
+			}
+		})
+		var buf bytes.Buffer
+		for _, ev := range jr.Events(obslog.Filter{Component: "sched"}) {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		return buf.Bytes()
+	}
+
+	a, b := journalBytes(), journalBytes()
+	if len(a) == 0 {
+		t.Fatal("empty decision stream")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("scheduler decision stream is not deterministic")
+	}
+}
+
+func TestSnapshotHandler(t *testing.T) {
+	e := sim.New(epoch)
+	s := New(e, Config{Workers: 3, Reserved: 1})
+	s.Register(Tenant{Beamline: "bl0", Class: ClassStreaming, Weight: 2})
+
+	runCampaign(e, s, func(p *sim.Proc) {
+		s.Submit(context.Background(), Tenant{Beamline: "bl0", Class: ClassStreaming, Weight: 2}, "s",
+			func(ctx context.Context, p *sim.Proc) { p.Sleep(time.Second) })
+	})
+
+	req := httptest.NewRequest("GET", "/api/sched", nil)
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	if rr.Code != 200 {
+		t.Fatalf("GET status = %d", rr.Code)
+	}
+	var rep Report
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 3 || rep.Reserved != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Tenants) != 1 || rep.Tenants[0].Tenant != "bl0/streaming" || rep.Tenants[0].Completed != 1 {
+		t.Fatalf("tenants = %+v", rep.Tenants)
+	}
+
+	rr = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/api/sched", nil))
+	if rr.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rr.Code)
+	}
+}
+
+func TestConfigClamps(t *testing.T) {
+	e := sim.New(epoch)
+	s := New(e, Config{Workers: 0, Reserved: 5})
+	if s.cfg.Workers != 1 || s.cfg.Reserved != 0 {
+		t.Fatalf("clamped workers=%d reserved=%d, want 1/0", s.cfg.Workers, s.cfg.Reserved)
+	}
+	// Weight below 1 clamps; re-registering updates the weight.
+	s.Register(Tenant{Beamline: "b", Class: ClassFile, Weight: 0})
+	if s.tenants[0].t.Weight != 1 {
+		t.Fatalf("weight = %g, want clamped to 1", s.tenants[0].t.Weight)
+	}
+	s.Register(Tenant{Beamline: "b", Class: ClassFile, Weight: 4})
+	if len(s.tenants) != 1 || s.tenants[0].t.Weight != 4 {
+		t.Fatalf("re-register: %+v", s.tenants)
+	}
+	// Submitting to a closed scheduler sheds instead of hanging Drain.
+	s.StartWorkers()
+	e.Go("producer", func(p *sim.Proc) {
+		s.Drain(p)
+		if s.Submit(context.Background(), Tenant{Beamline: "b", Class: ClassFile, Weight: 4}, "f",
+			func(ctx context.Context, p *sim.Proc) {}) {
+			t.Error("submit after close accepted")
+		}
+	})
+	e.Run()
+	if s.Snapshot().TotalShed != 1 {
+		t.Fatalf("TotalShed = %d, want 1", s.Snapshot().TotalShed)
+	}
+}

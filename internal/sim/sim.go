@@ -264,3 +264,14 @@ func (r *Resource) Use(p *Proc, fn func()) {
 	defer r.Release()
 	fn()
 }
+
+// WallClock adapts the operating-system clock to the Clock interfaces the
+// instrumented layers take (obslog.Clock, slo.Clock, flow's env clock).
+// It is the one sanctioned bridge from simulation-style clock injection to
+// real time: both server binaries resolve their clock through it, so a
+// binary is either fully on the wall clock or fully on the sim kernel,
+// never a mix.
+type WallClock struct{}
+
+// Now returns the current wall-clock time.
+func (WallClock) Now() time.Time { return time.Now() }

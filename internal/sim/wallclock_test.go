@@ -1,0 +1,15 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWallClockNow(t *testing.T) {
+	before := time.Now()
+	got := WallClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("WallClock.Now %v outside [%v, %v]", got, before, after)
+	}
+}

@@ -1,0 +1,68 @@
+package slo
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// tickClock is a Clock the test advances by hand.
+type tickClock struct{ now time.Time }
+
+func (c *tickClock) Now() time.Time { return c.now }
+
+func TestBurnState(t *testing.T) {
+	var nilEngine *Engine
+	if rate, firing := nilEngine.BurnState("anything"); rate != 0 || firing {
+		t.Fatal("nil engine must report 0, false")
+	}
+
+	clock := &tickClock{now: time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)}
+	obj := Objective{
+		Name:          "sched_file",
+		Source:        "sched:file",
+		Target:        10 * time.Minute,
+		Goal:          0.5,
+		Window:        time.Hour,
+		BurnWindow:    30 * time.Minute,
+		BurnThreshold: 1.5,
+	}
+	e := NewEngine(clock, nil, obj)
+
+	if rate, firing := e.BurnState("unknown"); rate != 0 || firing {
+		t.Fatal("unknown objective must fail open (0, false)")
+	}
+	if rate, firing := e.BurnState("sched_file"); rate != 0 || firing {
+		t.Fatalf("empty window: rate=%g firing=%v, want 0,false", rate, firing)
+	}
+
+	ctx := context.Background()
+	e.Record(ctx, "sched:file", time.Minute, true)
+	clock.now = clock.now.Add(time.Minute)
+	e.Record(ctx, "sched:file", time.Hour, true) // miss: over target
+	clock.now = clock.now.Add(time.Minute)
+	e.Record(ctx, "sched:file", time.Hour, true) // miss
+
+	// 2 misses / 3 samples over a 0.5 budget → burn rate 4/3 ≥ 1.5? No:
+	// 0.666/0.5 = 1.333 < 1.5, so not firing yet.
+	rate, firing := e.BurnState("sched_file")
+	if rate < 1.3 || rate > 1.4 || firing {
+		t.Fatalf("rate=%g firing=%v, want ~1.33,false", rate, firing)
+	}
+
+	clock.now = clock.now.Add(time.Minute)
+	e.Record(ctx, "sched:file", time.Hour, false) // miss
+	rate, firing = e.BurnState("sched_file")
+	// 3/4 misses / 0.5 budget = 1.5 → firing.
+	if rate < 1.49 || !firing {
+		t.Fatalf("rate=%g firing=%v, want ≥1.5,true", rate, firing)
+	}
+
+	// Once the misses age out of the burn window the rate decays; the
+	// firing flag only flips on Record, so it stays latched until then.
+	clock.now = clock.now.Add(31 * time.Minute)
+	rate, _ = e.BurnState("sched_file")
+	if rate != 0 {
+		t.Fatalf("aged-out rate = %g, want 0", rate)
+	}
+}

@@ -135,6 +135,18 @@ func NewEngine(clock Clock, journal *obslog.Journal, objs ...Objective) *Engine 
 	}
 }
 
+// AddObjectives appends objectives to a live engine. The campaign layer
+// uses this to graft scheduler end-to-end objectives onto a beamline's
+// paper set without rebuilding the engine (and losing its samples).
+func (e *Engine) AddObjectives(objs ...Objective) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.objs = append(e.objs, objs...)
+}
+
 // Record judges one observation from source against every matching
 // objective: met means ok and, when the objective has a latency target,
 // within it. ctx carries the run correlation for any alert event fired.
@@ -280,6 +292,29 @@ func (e *Engine) Report() []ObjectiveReport {
 		out = append(out, r)
 	}
 	return out
+}
+
+// BurnState returns the named objective's current burn rate and whether
+// its alert rule is firing, evaluated over the samples the window holds
+// at the clock's current time. Unknown objectives (and a nil engine)
+// report 0, false — callers keying admission control off an objective
+// they did not configure fail open.
+func (e *Engine) BurnState(name string) (rate float64, firing bool) {
+	if e == nil {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.objs {
+		o := &e.objs[i]
+		if o.Name != name {
+			continue
+		}
+		now := e.clock.Now()
+		miss, _ := missRate(e.samples[o.Name], now.Add(-o.BurnWindow))
+		return miss / o.budget(), e.firing[o.Name]
+	}
+	return 0, false
 }
 
 // Alerts returns the alert transition history, oldest first.

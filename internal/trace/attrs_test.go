@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanAttrs(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.SetAttr("tenant", "bl0/file") // must not panic
+	if got := nilSpan.Attrs(); got != nil {
+		t.Fatalf("nil span Attrs = %v, want nil", got)
+	}
+
+	at := time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+	root := NewRoot("campaign_run", at)
+	if got := root.Attrs(); len(got) != 0 {
+		t.Fatalf("fresh span Attrs = %v, want empty", got)
+	}
+	root.SetAttr("tenant", "bl0/file")
+	root.SetAttr("facility", "nersc")
+	root.SetAttr("tenant", "bl0/streaming") // replace keeps set order
+	got := root.Attrs()
+	want := []Attr{{"tenant", "bl0/streaming"}, {"facility", "nersc"}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("Attrs = %v, want %v", got, want)
+	}
+
+	// Mutating the returned slice must not affect the span.
+	got[0].Value = "tampered"
+	if root.Attrs()[0].Value != "bl0/streaming" {
+		t.Fatal("Attrs aliased internal state")
+	}
+
+	root.End(at.Add(time.Second))
+	n := root.Snapshot()
+	if len(n.Attrs) != 2 || n.Attrs[0].Value != "bl0/streaming" {
+		t.Fatalf("Snapshot attrs = %v", n.Attrs)
+	}
+
+	// Children without attrs omit the field.
+	child := root.StartChild("stage", at)
+	child.End(at)
+	if cn := root.Snapshot().Children[0]; cn.Attrs != nil {
+		t.Fatalf("child attrs = %v, want nil", cn.Attrs)
+	}
+}

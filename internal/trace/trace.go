@@ -33,6 +33,41 @@ type Span struct {
 	start    time.Time
 	end      time.Time
 	children []*Span
+	attrs    []Attr
+}
+
+// Attr is one ordered key/value annotation on a span — how the scheduler
+// stamps the tenant onto a run's root span so per-tenant latency is
+// visible in the trace view.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// SetAttr sets (or replaces) an annotation on the span. Nil-safe.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Attrs returns a copy of the span's annotations in set order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
 }
 
 // NewRoot opens a root span at the given time.
@@ -168,6 +203,7 @@ type Node struct {
 	OffsetS   float64 `json:"offset_s"`
 	DurationS float64 `json:"duration_s"`
 	Open      bool    `json:"open,omitempty"` // span not yet ended
+	Attrs     []Attr  `json:"attrs,omitempty"`
 	Children  []*Node `json:"children,omitempty"`
 }
 
@@ -188,6 +224,9 @@ func (s *Span) snapshotLocked(epoch time.Time) *Node {
 	}
 	if s.stage != s.name {
 		n.Stage = s.stage
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = append([]Attr(nil), s.attrs...)
 	}
 	if s.end.IsZero() {
 		n.Open = true

@@ -6,7 +6,7 @@
 # EXPERIMENTS.md against the committed snapshot.
 #
 # Usage:
-#   scripts/bench.sh [out.json]        # default out: BENCH_PR5.json
+#   scripts/bench.sh [out.json]        # default out: BENCH_PR6.json
 # Environment:
 #   BENCH_TIME    go test -benchtime value (default 1s)
 #   BENCH_FILTER  -bench regexp (default ., i.e. the full suite)
@@ -15,7 +15,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR5.json}
+out=${1:-BENCH_PR6.json}
 benchtime=${BENCH_TIME:-1s}
 filter=${BENCH_FILTER:-.}
 label=${BENCH_LABEL:-current}

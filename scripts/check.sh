@@ -50,6 +50,22 @@ if ! [ -s "$jdir/a.jsonl" ]; then
 fi
 echo "journals identical ($(wc -l <"$jdir/a.jsonl") events)"
 
+echo "== sched determinism (two seeded campaigns, byte-identical decision streams) =="
+# The multi-tenant campaign scheduler runs entirely on the sim clock, so
+# two seeded campaigns must journal byte-identical timelines — including
+# the admission decisions (defer and shed events) the burst provokes.
+go run ./cmd/flowserver -oneshot -scans 5 -sched-journal "$jdir/s1.jsonl" >/dev/null 2>&1
+go run ./cmd/flowserver -oneshot -scans 5 -sched-journal "$jdir/s2.jsonl" >/dev/null 2>&1
+if ! cmp -s "$jdir/s1.jsonl" "$jdir/s2.jsonl"; then
+	echo "sched journal dumps differ between identical campaign runs"
+	exit 1
+fi
+if ! grep -q '"run shed"' "$jdir/s1.jsonl" || ! grep -q '"run deferred"' "$jdir/s1.jsonl"; then
+	echo "sched journal lacks shed/defer decisions"
+	exit 1
+fi
+echo "sched journals identical ($(wc -l <"$jdir/s1.jsonl") events, incl. shed/defer)"
+
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzDXFileRoundTrip$' -fuzztime 5s ./internal/dxfile
 go test -run '^$' -fuzz '^FuzzTIFFRoundTrip$' -fuzztime 5s ./internal/tiff
@@ -80,5 +96,6 @@ floor ./internal/leakcheck 85
 floor ./internal/obslog 85
 floor ./internal/slo 90
 floor ./internal/monitor 90
+floor ./internal/sched 85
 
 echo "OK"
