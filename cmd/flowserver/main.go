@@ -42,6 +42,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/obslog"
 	"repro/internal/phantom"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/tiled"
 )
@@ -58,6 +59,7 @@ func main() {
 	reserved := flag.Int("reserved", 1, "workers reserved for the streaming class")
 	campaignScans := flag.Int("campaign-scans", 6, "scans per beamline in the multi-tenant campaign")
 	schedJournalPath := flag.String("sched-journal", "", "dump the multi-tenant campaign's event journal as JSONL to this file")
+	scenarioPath := flag.String("scenario", "", "run this scenario spec as the multi-tenant campaign (outcome served at /api/scenario)")
 	flag.Parse()
 
 	// Operational journal: wall-clocked, text-rendered to stderr — the
@@ -110,22 +112,52 @@ func main() {
 	// under the fair-share, SLO-aware scheduler, with a reprocessing
 	// burst so the decision stream exercises defer and shed. Its live
 	// report is served at /api/sched.
-	campCfg := core.DefaultCampaignConfig()
-	campCfg.Beamlines = *beamlines
-	campCfg.Workers = *workers
-	campCfg.Reserved = *reserved
-	campCfg.Metrics = metrics
-	campCfg.BurstAt = 2 * time.Hour
-	campCfg.BurstScans = 14
-	camp := core.NewCampaign(epoch, campCfg)
-	cres := camp.Run(*campaignScans)
-	obslog.Info(opsCtx, "flowserver", "multi-tenant campaign complete",
-		obslog.F("beamlines", cres.Beamlines),
-		obslog.F("scans", cres.Scans),
-		obslog.F("runs_per_hour", fmt.Sprintf("%.1f", cres.RunsPerHour)),
-		obslog.F("streaming_under10s_pct", cres.StreamingUnder10sPct),
-		obslog.F("deferred", cres.Deferred),
-		obslog.F("shed", cres.Shed))
+	var camp *core.Campaign
+	var cres *core.CampaignResult
+	var scOutcome *scenario.Outcome
+	if *scenarioPath != "" {
+		// A declared scenario replaces the default campaign: same scheduler
+		// and journal surfaces, but the workload, WAN weather, and
+		// incidents come from the spec, and the evaluated outcome report is
+		// served at /api/scenario.
+		spec, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			fatal("load scenario", obslog.F("err", err))
+		}
+		runner, err := scenario.NewRunner(spec)
+		if err != nil {
+			fatal("build scenario", obslog.F("err", err))
+		}
+		scOutcome, err = runner.Run()
+		if err != nil {
+			fatal("run scenario", obslog.F("err", err))
+		}
+		camp = runner.Campaign
+		cres = camp.Result()
+		obslog.Info(opsCtx, "flowserver", "scenario complete",
+			obslog.F("scenario", scOutcome.Scenario),
+			obslog.F("pass", scOutcome.Pass),
+			obslog.F("checks", len(scOutcome.Checks)),
+			obslog.F("deferred", cres.Deferred),
+			obslog.F("shed", cres.Shed))
+	} else {
+		campCfg := core.DefaultCampaignConfig()
+		campCfg.Beamlines = *beamlines
+		campCfg.Workers = *workers
+		campCfg.Reserved = *reserved
+		campCfg.Metrics = metrics
+		campCfg.BurstAt = 2 * time.Hour
+		campCfg.BurstScans = 14
+		camp = core.NewCampaign(epoch, campCfg)
+		cres = camp.Run(*campaignScans)
+		obslog.Info(opsCtx, "flowserver", "multi-tenant campaign complete",
+			obslog.F("beamlines", cres.Beamlines),
+			obslog.F("scans", cres.Scans),
+			obslog.F("runs_per_hour", fmt.Sprintf("%.1f", cres.RunsPerHour)),
+			obslog.F("streaming_under10s_pct", cres.StreamingUnder10sPct),
+			obslog.F("deferred", cres.Deferred),
+			obslog.F("shed", cres.Shed))
+	}
 	if *schedJournalPath != "" {
 		f, err := os.Create(*schedJournalPath)
 		if err != nil {
@@ -170,6 +202,13 @@ func main() {
 	mux.Handle("/api/events", b.Journal.Handler())
 	mux.Handle("/api/slo", b.SLO.Handler())
 	mux.Handle("/api/sched", camp.Sched.Handler())
+	if scOutcome != nil {
+		outcomeJSON := scOutcome.Canonical()
+		mux.HandleFunc("/api/scenario", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(outcomeJSON)
+		})
+	}
 	mux.Handle("/metrics", metrics.Handler())
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -180,16 +219,21 @@ func main() {
 		obslog.Info(opsCtx, "flowserver", "pprof enabled",
 			obslog.F("path", "/debug/pprof/"))
 	}
+	status := statusText(b, res, cres)
+	if scOutcome != nil {
+		status += fmt.Sprintf("scenario %s: pass=%v, %d checks, journal sha256 %.12s\n",
+			scOutcome.Scenario, scOutcome.Pass, len(scOutcome.Checks), scOutcome.Journal.SHA256)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, statusText(b, res, cres))
+		fmt.Fprint(w, status)
 	})
 
 	if *oneshot {
-		fmt.Print(statusText(b, res, cres))
+		fmt.Print(status)
 		return
 	}
 

@@ -1,0 +1,205 @@
+// Command scenario runs declarative chaos-campaign specs and verifies
+// their golden outcome reports.
+//
+//	scenario run    [specs...]       execute specs, print outcome reports
+//	scenario verify [-dir D] [specs] replay twice, diff against goldens
+//	scenario record [-dir D] [specs] re-record goldens (determinism-gated)
+//
+// With no spec arguments, verify and record walk -dir (default
+// internal/scenario/testdata) for *.yaml, *.yml, and *.json specs,
+// skipping *.golden.json. Exit status is nonzero when any spec fails
+// verification: a nondeterministic replay, a missing or stale golden, or
+// a failed in-spec expectation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+const defaultDir = "internal/scenario/testdata"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "run":
+		return cmdRun(rest, stdout, stderr)
+	case "verify":
+		return cmdVerifyRecord(rest, stdout, stderr, false)
+	case "record":
+		return cmdVerifyRecord(rest, stdout, stderr, true)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "scenario: unknown subcommand %q\n", cmd)
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  scenario run    <spec>...          execute specs, print outcome reports
+  scenario verify [-dir D] [specs]   replay twice, diff against goldens
+  scenario record [-dir D] [specs]   re-record goldens (determinism-gated)
+`)
+}
+
+// discover lists the spec files under dir, sorted for stable output.
+func discover(dir string) ([]string, error) {
+	var specs []string
+	for _, pat := range []string{"*.yaml", "*.yml", "*.json"} {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: glob %s: %w", pat, err)
+		}
+		for _, m := range matches {
+			if strings.HasSuffix(m, ".golden.json") {
+				continue
+			}
+			specs = append(specs, m)
+		}
+	}
+	sort.Strings(specs)
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("scenario: no specs under %s", dir)
+	}
+	return specs, nil
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", defaultDir, "spec directory when no specs are named")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	specs := fs.Args()
+	if len(specs) == 0 {
+		var err error
+		if specs, err = discover(*dir); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	exit := 0
+	for _, path := range specs {
+		spec, err := scenario.Load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		out, err := scenario.Run(spec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		// The canonical bytes go to stdout verbatim: the determinism gate
+		// compares two invocations of this output with cmp.
+		if _, err := stdout.Write(out.Canonical()); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if !out.Pass {
+			for _, c := range out.FailedChecks() {
+				fmt.Fprintf(stderr, "%s: FAIL %s\n", spec.Name, c)
+			}
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func cmdVerifyRecord(args []string, stdout, stderr io.Writer, record bool) int {
+	verb := "verify"
+	if record {
+		verb = "record"
+	}
+	fs := flag.NewFlagSet(verb, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", defaultDir, "spec directory when no specs are named")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	specs := fs.Args()
+	if len(specs) == 0 {
+		var err error
+		if specs, err = discover(*dir); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	failed := 0
+	for _, path := range specs {
+		var v *scenario.Verification
+		var err error
+		if record {
+			v, err = scenario.Record(path)
+		} else {
+			v, err = scenario.Verify(path)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			failed++
+			continue
+		}
+		failed += report(stdout, verb, path, v)
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "scenario %s: %d of %d specs failed\n", verb, failed, len(specs))
+		return 1
+	}
+	return 0
+}
+
+// report prints one spec's verification and returns 1 when it failed.
+func report(w io.Writer, verb, path string, v *scenario.Verification) int {
+	name := v.Outcome.Scenario
+	switch {
+	case !v.Deterministic:
+		fmt.Fprintf(w, "FAIL %s: nondeterministic replay\n%s", name, indent(v.DetDiff))
+	case verb == "record":
+		fmt.Fprintf(w, "ok   %s: golden written to %s\n", name, v.GoldenPath)
+		return 0
+	case v.GoldenMissing:
+		fmt.Fprintf(w, "FAIL %s: no golden at %s (run `scenario record %s`)\n",
+			name, v.GoldenPath, path)
+	case !v.GoldenMatch:
+		fmt.Fprintf(w, "FAIL %s: outcome diverges from golden (- golden, + replay)\n%s",
+			name, indent(v.GoldenDiff))
+	case !v.Outcome.Pass:
+		fmt.Fprintf(w, "FAIL %s: expectations not met\n", name)
+		for _, c := range v.Outcome.FailedChecks() {
+			fmt.Fprintf(w, "    %s\n", c)
+		}
+	default:
+		fmt.Fprintf(w, "ok   %s: deterministic, golden matches, %d checks pass\n",
+			name, len(v.Outcome.Checks))
+		return 0
+	}
+	return 1
+}
+
+func indent(s string) string {
+	if s == "" {
+		return ""
+	}
+	lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }
+
+// writeSpec materializes a tiny fast-sim spec and returns its path.
+func writeSpec(t *testing.T, name, extra string) string {
+	t.Helper()
+	dir := t.TempDir()
+	spec := "name: " + name + `
+campaign:
+  beamlines: 1
+  workers: 1
+  scans_per_beamline: 2
+  scan_interval: 1m
+  fast_sim: true
+` + extra
+	path := filepath.Join(dir, name+".yaml")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSubcommand(t *testing.T) {
+	path := writeSpec(t, "cli-run", "")
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var o map[string]interface{}
+	if err := json.Unmarshal(out.Bytes(), &o); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n%s", err, out.String())
+	}
+	if o["scenario"] != "cli-run" || o["pass"] != true {
+		t.Fatalf("outcome: %v", o)
+	}
+}
+
+func TestRunSubcommandDeterministic(t *testing.T) {
+	path := writeSpec(t, "cli-det", "")
+	var a, b bytes.Buffer
+	if code := run([]string{"run", path}, &a, new(bytes.Buffer)); code != 0 {
+		t.Fatal("first run failed")
+	}
+	if code := run([]string{"run", path}, &b, new(bytes.Buffer)); code != 0 {
+		t.Fatal("second run failed")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two runs of the same spec differ")
+	}
+}
+
+func TestRunFailedExpectationExitsNonzero(t *testing.T) {
+	path := writeSpec(t, "cli-fail", "expect:\n  completed_runs:\n    min: 10000\n")
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", path}, &out, &errb); code == 0 {
+		t.Fatal("failed expectation exited 0")
+	}
+	if !strings.Contains(errb.String(), "completed_runs") {
+		t.Fatalf("stderr does not name the failed check: %s", errb.String())
+	}
+}
+
+func TestRecordVerifyRoundTrip(t *testing.T) {
+	path := writeSpec(t, "cli-golden", "")
+	dir := filepath.Dir(path)
+	var out, errb bytes.Buffer
+
+	// Verify before record: missing golden, nonzero exit, actionable hint.
+	if code := run([]string{"verify", "-dir", dir}, &out, &errb); code == 0 {
+		t.Fatal("verify passed with no golden")
+	}
+	if !strings.Contains(out.String(), "no golden") {
+		t.Fatalf("missing-golden message absent: %s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"record", "-dir", dir}, &out, &errb); code != 0 {
+		t.Fatalf("record failed: %s%s", out.String(), errb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cli-golden.golden.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	if code := run([]string{"verify", "-dir", dir}, &out, &errb); code != 0 {
+		t.Fatalf("verify after record failed: %s%s", out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "golden matches") {
+		t.Fatalf("verify output: %s", out.String())
+	}
+}
+
+func TestVerifyStaleGoldenShowsDiff(t *testing.T) {
+	path := writeSpec(t, "cli-stale", "")
+	dir := filepath.Dir(path)
+	var out, errb bytes.Buffer
+	if code := run([]string{"record", path}, &out, &errb); code != 0 {
+		t.Fatalf("record: %s", errb.String())
+	}
+	golden := filepath.Join(dir, "cli-stale.golden.json")
+	if err := os.WriteFile(golden, []byte("{\n  \"scenario\": \"other\"\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"verify", path}, &out, &errb); code == 0 {
+		t.Fatal("stale golden verified clean")
+	}
+	if !strings.Contains(out.String(), "diverges") || !strings.Contains(out.String(), "+ ") {
+		t.Fatalf("no readable diff in output: %s", out.String())
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no args: exit %d", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown subcommand: exit %d", code)
+	}
+	if code := run([]string{"help"}, &out, &errb); code != 0 {
+		t.Fatalf("help: exit %d", code)
+	}
+	if code := run([]string{"verify", "-dir", t.TempDir()}, &out, &errb); code == 0 {
+		t.Fatal("empty dir verified clean")
+	}
+	if code := run([]string{"run", filepath.Join(t.TempDir(), "missing.yaml")}, &out, &errb); code == 0 {
+		t.Fatal("missing spec ran clean")
+	}
+}

@@ -129,6 +129,22 @@ func DefaultSimConfig() SimConfig {
 	}
 }
 
+// FastSimConfig is DefaultSimConfig with the stochastic tails stripped
+// and reconstruction shrunk so a campaign turns scans over in minutes of
+// sim time instead of hours — the calibration campaign tests and
+// fast_sim scenario specs run under. Seeded determinism is unchanged.
+func FastSimConfig() SimConfig {
+	cfg := DefaultSimConfig()
+	cfg.StagingSlowProb = 0
+	cfg.RealtimeBusyProb = 0
+	cfg.NERSCReconFixed = time.Minute
+	cfg.NERSCReconRate = 1e9
+	cfg.ALCFReconFixed = time.Minute
+	cfg.ALCFReconRate = 1e9
+	cfg.PolarisColdStart = time.Minute
+	return cfg
+}
+
 // Beamline is the assembled simulated environment. NewBeamline builds a
 // standalone endstation owning every facility service; a Campaign builds
 // N Beamline views that share one engine, network, transfer service,

@@ -11,17 +11,7 @@ import (
 
 // fastCampaignSim strips the stochastic tails and shrinks reconstruction
 // so campaign tests turn scans over in minutes of sim time.
-func fastCampaignSim() SimConfig {
-	cfg := DefaultSimConfig()
-	cfg.StagingSlowProb = 0
-	cfg.RealtimeBusyProb = 0
-	cfg.NERSCReconFixed = time.Minute
-	cfg.NERSCReconRate = 1e9
-	cfg.ALCFReconFixed = time.Minute
-	cfg.ALCFReconRate = 1e9
-	cfg.PolarisColdStart = time.Minute
-	return cfg
-}
+func fastCampaignSim() SimConfig { return FastSimConfig() }
 
 // Acceptance (a): campaign throughput is monotonic as the worker pool
 // grows 1→2→4 under a backlogged offered load.

@@ -251,6 +251,19 @@ type PruneIncidentResult struct {
 	FixedPeakQ     int
 }
 
+// PruneFlow runs one prune request as a flow: a Delete of the given
+// paths from the beamline data-server endpoint. failFast selects the
+// post-incident behaviour (fail at the first permission error) over the
+// legacy continue-on-error timeout. The flow completes with the Delete's
+// outcome, so the journal, success rates, and the transfer-success SLO
+// all see prune failures.
+func (b *Beamline) PruneFlow(ctx context.Context, p *sim.Proc, paths []string, failFast bool) error {
+	fc := b.Flows.Start(ctx, FlowPrune, flow.SimEnv{P: p})
+	_, err := b.Transfer.Delete(ctx, p, "prune", EPBeamline, paths, failFast)
+	fc.Complete(err)
+	return err
+}
+
 // RunPruneIncident fires `requests` concurrent prune flows through a
 // worker pool of the given size against a store where a fraction of the
 // paths are permission-locked.
@@ -280,14 +293,11 @@ func RunPruneIncident(epoch time.Time, requests, workers int, lockedFrac float64
 				b.Engine.Go(fmt.Sprintf("prune-%d", i), func(p *sim.Proc) {
 					pool.Acquire(p)
 					defer pool.Release()
-					fc := b.Flows.Start(nil, FlowPrune, flow.SimEnv{P: p})
 					prefix := "old/"
 					if i < nLocked {
 						prefix = "locked/"
 					}
-					_, err := b.Transfer.Delete(nil, p, "prune", EPBeamline,
-						[]string{fmt.Sprintf("%s%04d", prefix, i)}, failFast)
-					fc.Complete(err)
+					b.PruneFlow(nil, p, []string{fmt.Sprintf("%s%04d", prefix, i)}, failFast)
 					done = p.Now()
 				})
 			}

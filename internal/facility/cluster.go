@@ -78,6 +78,11 @@ type Cluster struct {
 	partitions map[string]*Partition
 	jobs       []*Job
 	nextID     int
+	// down marks the submission API unavailable (the paper's SFAPI outage
+	// windows): new submissions are rejected with a transient fault while
+	// jobs already queued or running are unaffected, matching an API-layer
+	// outage rather than a scheduler crash.
+	down bool
 }
 
 // NewCluster creates an empty cluster on the engine.
@@ -95,6 +100,13 @@ func (c *Cluster) AddPartition(name string, nodes int, qosPriority map[string]in
 
 // Jobs returns every job record in submission order.
 func (c *Cluster) Jobs() []*Job { return c.jobs }
+
+// SetDown toggles the submission-API outage state. Call from a sim proc;
+// the scenario runner uses it to open and close SFAPI outage windows.
+func (c *Cluster) SetDown(down bool) { c.down = down }
+
+// Down reports whether the submission API is currently rejecting jobs.
+func (c *Cluster) Down() bool { return c.down }
 
 // QueueDepth returns the number of pending jobs in a partition.
 func (c *Cluster) QueueDepth(partition string) int {
@@ -126,6 +138,13 @@ type JobSpec struct {
 func (c *Cluster) Submit(ctx context.Context, proc *sim.Proc, spec JobSpec) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if c.down {
+		obslog.Warn(ctx, "facility", "submission rejected",
+			obslog.F("cluster", c.Name), obslog.F("name", spec.Name),
+			obslog.F("reason", "api_outage"))
+		return nil, faults.Errorf(faults.Transient,
+			"facility: %s: submission API unavailable", c.Name)
 	}
 	part, ok := c.partitions[spec.Partition]
 	if !ok {

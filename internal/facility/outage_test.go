@@ -1,0 +1,62 @@
+package facility
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// An SFAPI outage window rejects new submissions with a transient fault
+// while leaving queued and running jobs untouched, and clears cleanly.
+func TestClusterOutageWindow(t *testing.T) {
+	e := sim.New(epoch)
+	c := NewCluster(e, "perlmutter")
+	c.AddPartition("cpu", 2, map[string]int{"realtime": 100, "regular": 0})
+
+	var duringErr, afterErr error
+	var longJob *Job
+	e.Go("long", func(p *sim.Proc) {
+		// Running before the outage opens; must survive it.
+		longJob, _ = c.Submit(nil, p, JobSpec{
+			Name: "long", Partition: "cpu", QOS: "regular",
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(time.Hour); return nil },
+		})
+	})
+	e.Go("outage", func(p *sim.Proc) {
+		p.Sleep(10 * time.Minute)
+		c.SetDown(true)
+		if !c.Down() {
+			t.Error("Down() false inside the outage window")
+		}
+		_, duringErr = c.Submit(nil, p, JobSpec{Name: "rejected", Partition: "cpu", QOS: "realtime"})
+		p.Sleep(20 * time.Minute)
+		c.SetDown(false)
+		_, afterErr = c.Submit(nil, p, JobSpec{
+			Name: "accepted", Partition: "cpu", QOS: "realtime",
+			Run: func(_ context.Context, p *sim.Proc) error { p.Sleep(time.Minute); return nil },
+		})
+	})
+	e.Run()
+
+	if duringErr == nil {
+		t.Fatal("submission during the outage succeeded")
+	}
+	if faults.Classify(duringErr) != faults.Transient {
+		t.Fatalf("outage error class %v, want Transient", faults.Classify(duringErr))
+	}
+	if afterErr != nil {
+		t.Fatalf("submission after the outage failed: %v", afterErr)
+	}
+	if longJob == nil || longJob.State != Completed {
+		t.Fatalf("pre-outage job did not complete: %+v", longJob)
+	}
+	// The rejected submission never became a job record.
+	for _, j := range c.Jobs() {
+		if j.Name == "rejected" {
+			t.Fatal("rejected submission left a job record")
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeedCorpus replays every spec under testdata/ twice and verifies
+// the outcome against its checked-in golden: the issue's acceptance gate,
+// run on every `go test`.
+func TestSeedCorpus(t *testing.T) {
+	var specs []string
+	for _, pat := range []string{"*.yaml", "*.yml", "*.json"} {
+		m, err := filepath.Glob(filepath.Join("testdata", pat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range m {
+			if !strings.HasSuffix(path, ".golden.json") {
+				specs = append(specs, path)
+			}
+		}
+	}
+	if len(specs) < 4 {
+		t.Fatalf("seed corpus has %d specs, want at least 4", len(specs))
+	}
+	for _, path := range specs {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			v, err := Verify(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !v.Deterministic {
+				t.Fatalf("nondeterministic replay:\n%s", v.DetDiff)
+			}
+			if v.GoldenMissing {
+				t.Fatalf("no golden at %s — run `go run ./cmd/scenario record %s`", v.GoldenPath, path)
+			}
+			if !v.GoldenMatch {
+				t.Fatalf("outcome diverges from golden (- golden, + replay):\n%s", v.GoldenDiff)
+			}
+			if !v.Outcome.Pass {
+				t.Fatalf("expectations failed: %v", v.Outcome.FailedChecks())
+			}
+		})
+	}
+}

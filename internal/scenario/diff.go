@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxDiffLines caps how much of a pathological divergence we render; a
+// golden that disagrees this badly needs re-recording, not a 10k-line
+// patch in a test log.
+const maxDiffLines = 400
+
+// Diff renders a unified-style line diff between want and got, or "" when
+// they are byte-identical. It is an LCS diff over lines — small, exact,
+// and good enough for golden reports, which are short and mostly stable.
+func Diff(want, got []byte) string {
+	if string(want) == string(got) {
+		return ""
+	}
+	a := splitLines(string(want))
+	b := splitLines(string(got))
+	ops := diffOps(a, b)
+
+	// Keep every change plus contextLines of surrounding common lines, so
+	// the reader sees which JSON object a changed line belongs to.
+	const contextLines = 2
+	keep := make([]bool, len(ops))
+	for i, op := range ops {
+		if op.kind == ' ' {
+			continue
+		}
+		for j := i - contextLines; j <= i+contextLines; j++ {
+			if j >= 0 && j < len(ops) {
+				keep[j] = true
+			}
+		}
+	}
+
+	var sb strings.Builder
+	lines, skipping := 0, false
+	for i, op := range ops {
+		if !keep[i] {
+			if !skipping {
+				sb.WriteString("...\n")
+				skipping = true
+			}
+			continue
+		}
+		skipping = false
+		if lines >= maxDiffLines {
+			fmt.Fprintf(&sb, "... diff truncated at %d lines ...\n", maxDiffLines)
+			break
+		}
+		fmt.Fprintf(&sb, "%c %s\n", op.kind, op.text)
+		lines++
+	}
+	if sb.Len() == 0 {
+		// Differ only in trailing bytes invisible to the line split.
+		return fmt.Sprintf("- %d bytes\n+ %d bytes\n", len(want), len(got))
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+type diffOp struct {
+	kind byte // ' ' common, '-' only in want, '+' only in got
+	text string
+}
+
+// diffOps computes an LCS edit script. Golden reports are a few hundred
+// lines, so the quadratic table is fine.
+func diffOps(a, b []string) []diffOp {
+	if len(a)*len(b) > 4<<20 {
+		// Give up on structure for absurd inputs; dump both sides capped.
+		var ops []diffOp
+		for _, l := range a {
+			ops = append(ops, diffOp{'-', l})
+		}
+		for _, l := range b {
+			ops = append(ops, diffOp{'+', l})
+		}
+		return ops
+	}
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{' ', a[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{'-', a[i]})
+			i++
+		default:
+			ops = append(ops, diffOp{'+', b[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{'-', a[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{'+', b[j]})
+	}
+	return ops
+}

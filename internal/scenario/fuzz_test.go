@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioSpec drives the whole decode path — format sniff, YAML
+// parse, tree → JSON, strict unmarshal, validation — with arbitrary
+// bytes. The contract under fuzz: malformed input errors, it never
+// panics, and anything that decodes also validates (Decode's postcondition
+// is a runnable spec).
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add([]byte(minimalJSON))
+	f.Add([]byte(minimalYAML))
+	f.Add([]byte("name: x\ncampaign:\n  beamlines: 2\n  workers: 2\n  scans_per_beamline: 3\n  scan_interval: 30s\n"))
+	f.Add([]byte(`{"name":"x","seed":9007199254740993,"campaign":{"beamlines":1,"workers":1,"scans_per_beamline":1,"scan_interval":1}}`))
+	f.Add([]byte("wan:\n  - at: 1m\n    down: true\n"))
+	f.Add([]byte("a: [1, 2, '3,4']\nb:\n  - kind: sfapi_outage\n"))
+	f.Add([]byte("- - - -"))
+	f.Add([]byte("{"))
+	f.Add([]byte("\xff\xfe"))
+	f.Add([]byte(strings.Repeat("a:\n ", 40)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("Decode returned both a spec and %v", err)
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("Decode returned nil, nil")
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("decoded spec fails its own validation: %v", verr)
+		}
+	})
+}

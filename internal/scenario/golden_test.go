@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestGoldenPath(t *testing.T) {
+	cases := map[string]string{
+		"a/b.yaml": "a/b.golden.json",
+		"a/b.yml":  "a/b.golden.json",
+		"a/b.json": "a/b.golden.json",
+		"a/b.conf": "a/b.conf.golden.json",
+		"noext":    "noext.golden.json",
+	}
+	for in, want := range cases {
+		if got := GoldenPath(in); got != want {
+			t.Errorf("GoldenPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// writeSmokeSpec materializes a spec file for the verify round trip.
+func writeSmokeSpec(t *testing.T, mutate func(*Spec)) string {
+	t.Helper()
+	spec := smokeSpec()
+	if mutate != nil {
+		mutate(spec)
+	}
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/" + spec.Name + ".json"
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRecordThenVerify(t *testing.T) {
+	path := writeSmokeSpec(t, nil)
+
+	v, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.GoldenMissing || v.Pass() {
+		t.Fatalf("verify before record: missing=%v pass=%v", v.GoldenMissing, v.Pass())
+	}
+	if !v.Deterministic {
+		t.Fatalf("replay not deterministic:\n%s", v.DetDiff)
+	}
+
+	r, err := Record(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Deterministic || !r.GoldenMatch {
+		t.Fatalf("record: %+v", r)
+	}
+
+	v, err = Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Pass() {
+		t.Fatalf("verify after record failed: match=%v det=%v checks=%v",
+			v.GoldenMatch, v.Deterministic, v.Outcome.FailedChecks())
+	}
+}
+
+// The acceptance scenario from the issue: tighten an SLO bound after
+// recording and verification must fail with a readable diff naming the
+// failed check.
+func TestPerturbedSpecFailsWithReadableDiff(t *testing.T) {
+	min := 1
+	path := writeSmokeSpec(t, func(s *Spec) {
+		s.Expect.CompletedRuns = &IntBound{Min: &min}
+	})
+	if _, err := Record(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tighten the bound beyond reach, in place, like an editor would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := strings.Replace(string(data), `"min": 1`, `"min": 10000`, 1)
+	if perturbed == string(data) {
+		t.Fatal("perturbation did not apply")
+	}
+	if err := os.WriteFile(path, []byte(perturbed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Pass() {
+		t.Fatal("perturbed spec passed verification")
+	}
+	if v.Outcome.Pass {
+		t.Fatal("tightened bound did not fail the outcome")
+	}
+	if v.GoldenMatch {
+		t.Fatal("outcome with a failed check matched the passing golden")
+	}
+	diff := v.GoldenDiff
+	if diff == "" {
+		t.Fatal("no diff rendered")
+	}
+	// The diff must point a human at the failed check, not just differ.
+	if !strings.Contains(diff, "completed_runs") || !strings.Contains(diff, "below min 10000") {
+		t.Fatalf("diff does not name the failed check:\n%s", diff)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(diff, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "- "), strings.HasPrefix(line, "+ "),
+			strings.HasPrefix(line, "  "), strings.HasPrefix(line, "..."):
+		default:
+			t.Fatalf("diff line %q lacks a marker", line)
+		}
+	}
+}
+
+func TestVerifyStaleGolden(t *testing.T) {
+	path := writeSmokeSpec(t, nil)
+	if _, err := Record(path); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the golden; verify must report a mismatch, not an error.
+	if err := os.WriteFile(GoldenPath(path), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Verify(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.GoldenMatch || v.Pass() {
+		t.Fatal("stale golden passed")
+	}
+	if v.GoldenDiff == "" {
+		t.Fatal("no diff for stale golden")
+	}
+}
+
+func TestVerifyBadSpecErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.yaml"
+	if err := os.WriteFile(path, []byte("not: [valid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(path); err == nil {
+		t.Fatal("Verify accepted an undecodable spec")
+	}
+	if _, err := Record(dir + "/missing.yaml"); err == nil {
+		t.Fatal("Record accepted a missing spec")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	if d := Diff([]byte("a\nb\n"), []byte("a\nb\n")); d != "" {
+		t.Fatalf("identical inputs diffed: %q", d)
+	}
+	d := Diff([]byte("a\nb\nc\n"), []byte("a\nx\nc\n"))
+	if !strings.Contains(d, "- b") || !strings.Contains(d, "+ x") {
+		t.Fatalf("diff = %q", d)
+	}
+	// Trailing-byte-only difference still reports something.
+	if d := Diff([]byte("a"), []byte("a\n")); d == "" {
+		t.Fatal("trailing newline difference invisible")
+	}
+	// Truncation engages on pathological divergence.
+	var a, b strings.Builder
+	for i := 0; i < 2*maxDiffLines; i++ {
+		a.WriteString("left\n")
+		b.WriteString("right\n")
+	}
+	if d := Diff([]byte(a.String()), []byte(b.String())); !strings.Contains(d, "truncated") {
+		t.Fatal("huge diff not truncated")
+	}
+}

@@ -1,0 +1,11 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain gates the package's tests on the goroutine-leak check: a
+// scenario whose chaos procs outlive the engine fails the run.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

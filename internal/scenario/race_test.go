@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obslog"
+)
+
+// TestOverlappingIncidentsUnderReaders runs a scenario whose chaos
+// windows overlap — a WAN link flap in the middle of an SFAPI outage,
+// with a prune burst on top — while real OS goroutines hammer the
+// scheduler snapshot, SLO report, and journal read paths. Under -race
+// this is the proof that the chaos hooks (Link.Down, Cluster.SetDown,
+// the transfer fault hook) and the observability surfaces share state
+// safely while the campaign drains.
+func TestOverlappingIncidentsUnderReaders(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "overlap-race"
+	spec.Campaign.Beamlines = 3
+	spec.Campaign.Workers = 3
+	spec.Campaign.Reserved = 1
+	spec.Campaign.ScansPerBeamline = 6
+	spec.Admission = &AdmissionSpec{
+		Enabled:         true,
+		GuardObjectives: []string{"file_branch"},
+		GuardRate:       1,
+		DeferDelay:      Duration(2 * 60 * 1e9),
+		MaxDefers:       3,
+	}
+	spec.Incidents = []Incident{
+		{Kind: IncidentSFAPIOutage, At: Duration(4 * 60 * 1e9), Duration: Duration(20 * 60 * 1e9)},
+		{Kind: IncidentEndpointPrune, At: Duration(6 * 60 * 1e9), Requests: 30,
+			LockedFraction: 0.3, FailFast: true},
+	}
+	spec.WAN = []WANEvent{
+		// The flap opens and closes strictly inside the outage window.
+		{At: Duration(8 * 60 * 1e9), Duration: Duration(5 * 60 * 1e9), Site: "nersc", Down: true},
+	}
+
+	r, err := NewRunner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	bl := r.Campaign.Base
+	readers := []func(){
+		func() { _ = r.Campaign.Sched.Snapshot() },
+		func() { _ = bl.SLO.Report() },
+		func() { _ = bl.SLO.Alerts() },
+		func() { _ = bl.Journal.Events(obslog.Filter{Component: "scenario"}) },
+		func() { _ = bl.Journal.Len() },
+	}
+	for _, read := range readers {
+		read := read
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				read()
+				// Yield instead of sleeping: the readers race the sim loop
+				// as fast as the scheduler lets them.
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	out, err := r.Run()
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scans != 18 || out.CompletedRuns == 0 {
+		t.Fatalf("campaign did not drain: %d scans, %d completed", out.Scans, out.CompletedRuns)
+	}
+	// All three chaos tracks must have actually fired.
+	counts := map[string]int{}
+	for _, c := range out.Journal.Components {
+		counts[c.Component] = c.Events
+	}
+	if counts["scenario"] < 5 {
+		t.Fatalf("scenario chaos events = %d, want the outage, flap, and prune markers", counts["scenario"])
+	}
+	if counts["facility"] == 0 {
+		t.Fatal("no facility events — the outage window never rejected a submission")
+	}
+}

@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// smokeSpec is a small fast-sim campaign every runner test starts from.
+func smokeSpec() *Spec {
+	return &Spec{
+		Name: "smoke",
+		Campaign: CampaignSpec{
+			Beamlines:        2,
+			Workers:          2,
+			ScansPerBeamline: 4,
+			ScanInterval:     Duration(2 * 60 * 1e9), // 2m
+			FastSim:          true,
+		},
+	}
+}
+
+func mustRun(t *testing.T, spec *Spec) *Outcome {
+	t.Helper()
+	o, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestRunnerSmoke(t *testing.T) {
+	o := mustRun(t, smokeSpec())
+	if o.Scans != 8 {
+		t.Fatalf("scans = %d, want 8", o.Scans)
+	}
+	if o.CompletedRuns == 0 {
+		t.Fatal("no completed runs")
+	}
+	if o.Seed != 832 {
+		t.Fatalf("seed = %d, want the repo default 832", o.Seed)
+	}
+	if o.Journal.Events == 0 || o.Journal.SHA256 == "" {
+		t.Fatalf("journal digest not populated: %+v", o.Journal)
+	}
+	// Tenants are per beamline × class: 2 beamlines → 2 file + 2 streaming.
+	if len(o.SLO) == 0 || len(o.Tenants) != 4 {
+		t.Fatalf("report shape: %d slo objectives, %d tenants", len(o.SLO), len(o.Tenants))
+	}
+	if !o.Pass {
+		t.Fatalf("no expectations declared, Pass must default true; checks: %v", o.FailedChecks())
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	a := mustRun(t, smokeSpec()).Canonical()
+	b := mustRun(t, smokeSpec()).Canonical()
+	if string(a) != string(b) {
+		t.Fatalf("same spec, different outcomes:\n%s", Diff(a, b))
+	}
+}
+
+func TestRunnerSeedChangesOutcome(t *testing.T) {
+	spec := smokeSpec()
+	spec.Seed = 7
+	a := mustRun(t, spec)
+	if a.Seed != 7 {
+		t.Fatalf("seed = %d, want the spec override 7", a.Seed)
+	}
+}
+
+func TestRunnerRunsOnce(t *testing.T) {
+	r, err := NewRunner(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err == nil {
+		t.Fatal("second Run must error")
+	}
+}
+
+func TestRunnerRejectsInvalidSpec(t *testing.T) {
+	spec := smokeSpec()
+	spec.Campaign.Beamlines = 0
+	if _, err := NewRunner(spec); err == nil {
+		t.Fatal("NewRunner accepted an invalid spec")
+	}
+}
+
+// journalCount counts journal events in the outcome's campaign via the
+// declared-expectation machinery, by re-running with the expectation.
+func expectJournal(spec *Spec, component, msg string, min int) {
+	spec.Expect.Journal = append(spec.Expect.Journal, JournalExpect{
+		Component: component, Msg: msg, Count: IntBound{Min: &min},
+	})
+}
+
+func TestWANFlapScenario(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "wan-flap"
+	spec.WAN = []WANEvent{
+		{At: Duration(60 * 1e9), Duration: Duration(120 * 1e9), Site: "nersc", Down: true},
+		{At: Duration(300 * 1e9), Duration: Duration(120 * 1e9), BandwidthGbps: 0.5},
+	}
+	expectJournal(spec, "scenario", "wan link down", 1)
+	expectJournal(spec, "scenario", "wan degraded", 2) // site "all" → both links
+	expectJournal(spec, "scenario", "wan restored", 3)
+	o := mustRun(t, spec)
+	if !o.Pass {
+		t.Fatalf("wan journal expectations failed: %v", o.FailedChecks())
+	}
+}
+
+func TestSFAPIOutageScenario(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "outage"
+	spec.Campaign.ScansPerBeamline = 6
+	spec.Incidents = []Incident{
+		{Kind: IncidentSFAPIOutage, At: Duration(60 * 1e9), Duration: Duration(20 * 60 * 1e9)},
+	}
+	expectJournal(spec, "scenario", "sfapi outage begins", 1)
+	expectJournal(spec, "scenario", "sfapi outage ends", 1)
+	expectJournal(spec, "facility", "submission rejected", 1)
+	o := mustRun(t, spec)
+	if !o.Pass {
+		t.Fatalf("outage expectations failed: %v", o.FailedChecks())
+	}
+}
+
+func TestSlurmStormScenario(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "storm"
+	spec.Incidents = []Incident{
+		{Kind: IncidentSlurmStorm, At: 0, Duration: Duration(30 * 60 * 1e9), Nodes: 8},
+	}
+	expectJournal(spec, "scenario", "slurm storm begins", 1)
+	o := mustRun(t, spec)
+	if !o.Pass {
+		t.Fatalf("storm expectations failed: %v", o.FailedChecks())
+	}
+}
+
+func TestEndpointPruneScenario(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "prune"
+	spec.Incidents = []Incident{
+		{Kind: IncidentEndpointPrune, At: Duration(60 * 1e9), Requests: 40,
+			LockedFraction: 0.25, FailFast: true},
+	}
+	expectJournal(spec, "scenario", "prune burst begins", 1)
+	o := mustRun(t, spec)
+	if !o.Pass {
+		t.Fatalf("prune expectations failed: %v", o.FailedChecks())
+	}
+	var transfer *ObjectiveOutcome
+	for i := range o.SLO {
+		if o.SLO[i].Name == "transfer_success" {
+			transfer = &o.SLO[i]
+		}
+	}
+	if transfer == nil {
+		t.Fatal("transfer_success objective missing from report")
+	}
+	// 10 locked paths permission-fail; attainment must drop below 100.
+	if transfer.AttainmentPct >= 100 {
+		t.Fatalf("locked prunes did not dent transfer_success: %+v", transfer)
+	}
+}
+
+func TestFailedExpectationFailsOutcome(t *testing.T) {
+	spec := smokeSpec()
+	min := 10000
+	spec.Expect.CompletedRuns = &IntBound{Min: &min}
+	o := mustRun(t, spec)
+	if o.Pass {
+		t.Fatal("impossible completed_runs bound passed")
+	}
+	failed := o.FailedChecks()
+	if len(failed) != 1 || !strings.Contains(failed[0], "completed_runs") {
+		t.Fatalf("failed checks = %v", failed)
+	}
+}
+
+func TestUnknownObjectiveExpectationFails(t *testing.T) {
+	spec := smokeSpec()
+	spec.Expect.SLO = []SLOExpect{{Objective: "no_such_objective"}}
+	o := mustRun(t, spec)
+	if o.Pass {
+		t.Fatal("unknown objective expectation must fail the outcome")
+	}
+}
+
+// The journal digest must cover the full event stream: a scenario event
+// emitted by chaos procs shows up in the per-component counts.
+func TestJournalDigestComponents(t *testing.T) {
+	spec := smokeSpec()
+	spec.WAN = []WANEvent{{At: 0, Duration: Duration(60 * 1e9), Down: true}}
+	o := mustRun(t, spec)
+	found := false
+	for _, c := range o.Journal.Components {
+		if c.Component == "scenario" && c.Events > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scenario component missing from digest: %+v", o.Journal.Components)
+	}
+}

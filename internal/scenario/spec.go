@@ -1,0 +1,520 @@
+// Package scenario is the declarative chaos-campaign engine: a spec file
+// (JSON, or the minimal YAML subset yaml.go decodes) declares a full
+// multi-tenant campaign — beamlines and weights, scan cadence, WAN
+// weather as a time-varying bandwidth schedule with link flaps, facility
+// incidents (SFAPI outage windows, Slurm queue-depth storms, endpoint
+// prune bursts), and the outcome the spec *expects* (SLO attainment
+// bounds, shed/defer counts, journal event assertions). A Runner executes
+// the spec deterministically under the sim clock against core.Campaign
+// and emits a canonical outcome report; Verify replays the spec twice,
+// proves the reports byte-identical, and diffs them against a checked-in
+// golden. Every scale/perf/robustness claim thereby becomes a replayable
+// scenario instead of a hand-written test.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+)
+
+// Duration is a time.Duration that decodes from a Go duration string
+// ("90m", "1h30m") or a bare number of seconds, and encodes as a string.
+type Duration time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// String renders the canonical Go duration form.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON accepts "90m"-style strings or bare numbers (seconds).
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v interface{}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return fmt.Errorf("scenario: duration %s: %w", b, err)
+	}
+	switch x := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("scenario: duration %q: %w", x, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	case json.Number:
+		sec, err := x.Float64()
+		if err != nil {
+			return fmt.Errorf("scenario: duration %s: %w", x, err)
+		}
+		if math.IsNaN(sec) || math.IsInf(sec, 0) || math.Abs(sec) > 1e9 {
+			return fmt.Errorf("scenario: duration %v seconds out of range", sec)
+		}
+		*d = Duration(sec * float64(time.Second))
+		return nil
+	default:
+		return fmt.Errorf("scenario: duration must be a string or number, got %s", b)
+	}
+}
+
+// Spec is one declared campaign: the workload, the weather, the
+// incidents, and the outcome it promises.
+type Spec struct {
+	// Name identifies the scenario; it names the golden file and labels
+	// the outcome report.
+	Name string `json:"name"`
+	// Description says what the scenario demonstrates.
+	Description string `json:"description,omitempty"`
+	// Seed overrides the sim RNG seed (default 832).
+	Seed int64 `json:"seed,omitempty"`
+	// Epoch is the campaign start in RFC3339 (default 2026-07-04T08:00:00Z).
+	Epoch string `json:"epoch,omitempty"`
+
+	Campaign  CampaignSpec   `json:"campaign"`
+	Admission *AdmissionSpec `json:"admission,omitempty"`
+	Burst     *BurstSpec     `json:"burst,omitempty"`
+	WAN       []WANEvent     `json:"wan,omitempty"`
+	Incidents []Incident     `json:"incidents,omitempty"`
+	Expect    Expect         `json:"expect,omitempty"`
+}
+
+// CampaignSpec sizes the campaign (see core.CampaignConfig).
+type CampaignSpec struct {
+	Beamlines        int       `json:"beamlines"`
+	Weights          []float64 `json:"weights,omitempty"`
+	Workers          int       `json:"workers"`
+	Reserved         int       `json:"reserved,omitempty"`
+	ScansPerBeamline int       `json:"scans_per_beamline"`
+	ScanInterval     Duration  `json:"scan_interval"`
+	// FileTarget is the end-to-end file-branch objective (default 45m).
+	FileTarget Duration `json:"file_target,omitempty"`
+	// FastSim selects core.FastSimConfig (stochastic tails stripped,
+	// shrunk reconstruction) so scenarios replay in milliseconds.
+	FastSim bool `json:"fast_sim,omitempty"`
+}
+
+// AdmissionSpec is the scheduler's backpressure policy (sched.Admission).
+type AdmissionSpec struct {
+	Enabled           bool     `json:"enabled"`
+	GuardObjectives   []string `json:"guard_objectives,omitempty"`
+	GuardRate         float64  `json:"guard_rate,omitempty"`
+	MaxQueuePerTenant int      `json:"max_queue_per_tenant,omitempty"`
+	DeferDelay        Duration `json:"defer_delay,omitempty"`
+	MaxDefers         int      `json:"max_defers,omitempty"`
+	ShedAfter         Duration `json:"shed_after,omitempty"`
+}
+
+// BurstSpec injects a reprocessing backlog on beamline 0 (the PR 6 bench
+// narrative): Scans extra file-branch scans starting at At.
+type BurstSpec struct {
+	At    Duration `json:"at"`
+	Scans int      `json:"scans"`
+}
+
+// WANEvent is one entry in the WAN weather schedule. Zero BandwidthGbps
+// with Down false is invalid; Down true is a link flap (bandwidth
+// irrelevant). Duration zero leaves the change in place to campaign end.
+type WANEvent struct {
+	At       Duration `json:"at"`
+	Duration Duration `json:"duration,omitempty"`
+	// Site selects the far end of the ALS link: "nersc", "alcf", or
+	// "all" (default) for both links.
+	Site          string  `json:"site,omitempty"`
+	BandwidthGbps float64 `json:"bandwidth_gbps,omitempty"`
+	Down          bool    `json:"down,omitempty"`
+}
+
+// Incident kinds.
+const (
+	IncidentSFAPIOutage   = "sfapi_outage"
+	IncidentSlurmStorm    = "slurm_storm"
+	IncidentEndpointPrune = "endpoint_prune"
+)
+
+// Incident is one facility incident window.
+type Incident struct {
+	// Kind is one of sfapi_outage, slurm_storm, endpoint_prune.
+	Kind string   `json:"kind"`
+	At   Duration `json:"at"`
+	// Duration bounds the window (sfapi_outage, slurm_storm).
+	Duration Duration `json:"duration,omitempty"`
+	// Nodes is how many partition nodes the storm's filler jobs occupy.
+	Nodes int `json:"nodes,omitempty"`
+	// Requests is how many prune requests the burst fires.
+	Requests int `json:"requests,omitempty"`
+	// LockedFraction of prune paths are permission-locked and fail.
+	LockedFraction float64 `json:"locked_fraction,omitempty"`
+	// FailFast selects the post-incident prune behaviour; false replays
+	// the legacy hang-per-error behaviour of the paper's §5.3 incident.
+	FailFast bool `json:"fail_fast,omitempty"`
+	// Workers sizes the prune worker pool (default 4).
+	Workers int `json:"workers,omitempty"`
+}
+
+// IntBound is an inclusive [Min, Max] expectation; nil ends are open.
+type IntBound struct {
+	Min *int `json:"min,omitempty"`
+	Max *int `json:"max,omitempty"`
+}
+
+// FloatBound is an inclusive [Min, Max] expectation; nil ends are open.
+type FloatBound struct {
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+}
+
+// Expect declares the outcome the scenario promises. Every bound becomes
+// a named check in the outcome report; a failed check fails Verify.
+type Expect struct {
+	CompletedRuns        *IntBound   `json:"completed_runs,omitempty"`
+	Deferred             *IntBound   `json:"deferred,omitempty"`
+	Shed                 *IntBound   `json:"shed,omitempty"`
+	StreamingUnder10sPct *FloatBound `json:"streaming_under10s_pct,omitempty"`
+
+	SLO     []SLOExpect     `json:"slo,omitempty"`
+	Journal []JournalExpect `json:"journal,omitempty"`
+}
+
+// SLOExpect bounds one objective's end-of-campaign attainment (percent)
+// and optionally its alert state.
+type SLOExpect struct {
+	Objective     string      `json:"objective"`
+	AttainmentPct *FloatBound `json:"attainment_pct,omitempty"`
+	MinSamples    int         `json:"min_samples,omitempty"`
+	Firing        *bool       `json:"firing,omitempty"`
+}
+
+// JournalExpect bounds how many journal events match a component, an
+// exact message, and a minimum level ("debug" when empty).
+type JournalExpect struct {
+	Component string   `json:"component,omitempty"`
+	Msg       string   `json:"msg,omitempty"`
+	MinLevel  string   `json:"min_level,omitempty"`
+	Count     IntBound `json:"count"`
+}
+
+// Hard bounds on spec fields: a fuzzer-supplied spec must not be able to
+// build a campaign that runs for days of wall time or exhausts memory.
+const (
+	maxBeamlines = 16
+	maxWorkers   = 64
+	maxScans     = 500
+	maxEvents    = 64
+	maxDuration  = Duration(30 * 24 * time.Hour)
+	maxBandwidth = 10000 // Gbps
+	maxRequests  = 10000
+)
+
+func checkDur(what string, d Duration, allowZero bool) error {
+	if d < 0 {
+		return fmt.Errorf("scenario: %s %v is negative", what, d)
+	}
+	if d == 0 && !allowZero {
+		return fmt.Errorf("scenario: %s must be positive", what)
+	}
+	if d > maxDuration {
+		return fmt.Errorf("scenario: %s %v exceeds the %v cap", what, d, maxDuration)
+	}
+	return nil
+}
+
+func checkFinite(what string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("scenario: %s is not finite", what)
+	}
+	return nil
+}
+
+// Validate rejects hostile or meaningless specs with a descriptive error.
+// A validated spec always builds a bounded campaign.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if len(s.Name) > 64 {
+		return fmt.Errorf("scenario: name longer than 64 bytes")
+	}
+	for _, r := range s.Name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '_' || r == '-' || r == '.') {
+			return fmt.Errorf("scenario: name %q: character %q not in [a-zA-Z0-9_.-]", s.Name, r)
+		}
+	}
+	if s.Epoch != "" {
+		if _, err := time.Parse(time.RFC3339, s.Epoch); err != nil {
+			return fmt.Errorf("scenario: epoch: %w", err)
+		}
+	}
+
+	c := &s.Campaign
+	if c.Beamlines < 1 || c.Beamlines > maxBeamlines {
+		return fmt.Errorf("scenario: beamlines %d outside [1, %d]", c.Beamlines, maxBeamlines)
+	}
+	if c.Workers < 1 || c.Workers > maxWorkers {
+		return fmt.Errorf("scenario: workers %d outside [1, %d]", c.Workers, maxWorkers)
+	}
+	if c.Reserved < 0 || c.Reserved >= c.Workers {
+		return fmt.Errorf("scenario: reserved %d outside [0, workers)", c.Reserved)
+	}
+	if c.ScansPerBeamline < 1 || c.ScansPerBeamline > maxScans {
+		return fmt.Errorf("scenario: scans_per_beamline %d outside [1, %d]", c.ScansPerBeamline, maxScans)
+	}
+	if err := checkDur("scan_interval", c.ScanInterval, false); err != nil {
+		return err
+	}
+	if err := checkDur("file_target", c.FileTarget, true); err != nil {
+		return err
+	}
+	if len(c.Weights) > c.Beamlines {
+		return fmt.Errorf("scenario: %d weights for %d beamlines", len(c.Weights), c.Beamlines)
+	}
+	for i, w := range c.Weights {
+		if err := checkFinite(fmt.Sprintf("weights[%d]", i), w); err != nil {
+			return err
+		}
+		if w <= 0 || w > 1000 {
+			return fmt.Errorf("scenario: weights[%d] = %v outside (0, 1000]", i, w)
+		}
+	}
+
+	if a := s.Admission; a != nil {
+		if err := checkFinite("admission.guard_rate", a.GuardRate); err != nil {
+			return err
+		}
+		if a.GuardRate < 0 {
+			return fmt.Errorf("scenario: admission.guard_rate %v is negative", a.GuardRate)
+		}
+		if a.MaxQueuePerTenant < 0 || a.MaxDefers < 0 {
+			return fmt.Errorf("scenario: admission queue bound and max_defers must be >= 0")
+		}
+		if err := checkDur("admission.defer_delay", a.DeferDelay, true); err != nil {
+			return err
+		}
+		if err := checkDur("admission.shed_after", a.ShedAfter, true); err != nil {
+			return err
+		}
+	}
+	if b := s.Burst; b != nil {
+		if err := checkDur("burst.at", b.At, true); err != nil {
+			return err
+		}
+		if b.Scans < 1 || b.Scans > maxScans {
+			return fmt.Errorf("scenario: burst.scans %d outside [1, %d]", b.Scans, maxScans)
+		}
+	}
+
+	if len(s.WAN) > maxEvents {
+		return fmt.Errorf("scenario: %d wan events exceed the %d cap", len(s.WAN), maxEvents)
+	}
+	for i, ev := range s.WAN {
+		what := fmt.Sprintf("wan[%d]", i)
+		if err := checkDur(what+".at", ev.At, true); err != nil {
+			return err
+		}
+		if err := checkDur(what+".duration", ev.Duration, true); err != nil {
+			return err
+		}
+		switch ev.Site {
+		case "", "all", "nersc", "alcf":
+		default:
+			return fmt.Errorf("scenario: %s.site %q not in {nersc, alcf, all}", what, ev.Site)
+		}
+		if err := checkFinite(what+".bandwidth_gbps", ev.BandwidthGbps); err != nil {
+			return err
+		}
+		if ev.Down {
+			if ev.BandwidthGbps != 0 {
+				return fmt.Errorf("scenario: %s sets both down and bandwidth_gbps", what)
+			}
+		} else if ev.BandwidthGbps <= 0 || ev.BandwidthGbps > maxBandwidth {
+			return fmt.Errorf("scenario: %s.bandwidth_gbps %v outside (0, %d]",
+				what, ev.BandwidthGbps, maxBandwidth)
+		}
+	}
+
+	if len(s.Incidents) > maxEvents {
+		return fmt.Errorf("scenario: %d incidents exceed the %d cap", len(s.Incidents), maxEvents)
+	}
+	for i, inc := range s.Incidents {
+		what := fmt.Sprintf("incidents[%d]", i)
+		if err := checkDur(what+".at", inc.At, true); err != nil {
+			return err
+		}
+		if err := checkDur(what+".duration", inc.Duration, true); err != nil {
+			return err
+		}
+		if err := checkFinite(what+".locked_fraction", inc.LockedFraction); err != nil {
+			return err
+		}
+		switch inc.Kind {
+		case IncidentSFAPIOutage:
+			if inc.Duration == 0 {
+				return fmt.Errorf("scenario: %s (sfapi_outage) needs a duration", what)
+			}
+		case IncidentSlurmStorm:
+			if inc.Duration == 0 {
+				return fmt.Errorf("scenario: %s (slurm_storm) needs a duration", what)
+			}
+			if inc.Nodes < 1 || inc.Nodes > 1024 {
+				return fmt.Errorf("scenario: %s.nodes %d outside [1, 1024]", what, inc.Nodes)
+			}
+		case IncidentEndpointPrune:
+			if inc.Requests < 1 || inc.Requests > maxRequests {
+				return fmt.Errorf("scenario: %s.requests %d outside [1, %d]", what, inc.Requests, maxRequests)
+			}
+			if inc.LockedFraction < 0 || inc.LockedFraction > 1 {
+				return fmt.Errorf("scenario: %s.locked_fraction %v outside [0, 1]", what, inc.LockedFraction)
+			}
+			if inc.Workers < 0 || inc.Workers > maxWorkers {
+				return fmt.Errorf("scenario: %s.workers %d outside [0, %d]", what, inc.Workers, maxWorkers)
+			}
+		default:
+			return fmt.Errorf("scenario: %s.kind %q not in {%s, %s, %s}", what, inc.Kind,
+				IncidentSFAPIOutage, IncidentSlurmStorm, IncidentEndpointPrune)
+		}
+	}
+
+	return s.Expect.validate()
+}
+
+func (b *IntBound) validate(what string) error {
+	if b == nil {
+		return nil
+	}
+	if b.Min != nil && b.Max != nil && *b.Min > *b.Max {
+		return fmt.Errorf("scenario: %s: min %d > max %d", what, *b.Min, *b.Max)
+	}
+	return nil
+}
+
+func (b *FloatBound) validate(what string) error {
+	if b == nil {
+		return nil
+	}
+	for side, v := range map[string]*float64{"min": b.Min, "max": b.Max} {
+		if v == nil {
+			continue
+		}
+		if err := checkFinite(what+"."+side, *v); err != nil {
+			return err
+		}
+	}
+	if b.Min != nil && b.Max != nil && *b.Min > *b.Max {
+		return fmt.Errorf("scenario: %s: min %v > max %v", what, *b.Min, *b.Max)
+	}
+	return nil
+}
+
+func (e *Expect) validate() error {
+	if err := e.CompletedRuns.validate("expect.completed_runs"); err != nil {
+		return err
+	}
+	if err := e.Deferred.validate("expect.deferred"); err != nil {
+		return err
+	}
+	if err := e.Shed.validate("expect.shed"); err != nil {
+		return err
+	}
+	if err := e.StreamingUnder10sPct.validate("expect.streaming_under10s_pct"); err != nil {
+		return err
+	}
+	if len(e.SLO) > maxEvents || len(e.Journal) > maxEvents {
+		return fmt.Errorf("scenario: expectation lists exceed the %d cap", maxEvents)
+	}
+	for i, se := range e.SLO {
+		what := fmt.Sprintf("expect.slo[%d]", i)
+		if se.Objective == "" {
+			return fmt.Errorf("scenario: %s needs an objective name", what)
+		}
+		if se.MinSamples < 0 {
+			return fmt.Errorf("scenario: %s.min_samples is negative", what)
+		}
+		if err := se.AttainmentPct.validate(what + ".attainment_pct"); err != nil {
+			return err
+		}
+	}
+	for i, je := range e.Journal {
+		what := fmt.Sprintf("expect.journal[%d]", i)
+		if je.Component == "" && je.Msg == "" {
+			return fmt.Errorf("scenario: %s needs a component or msg", what)
+		}
+		if je.MinLevel != "" {
+			if _, ok := parseLevel(je.MinLevel); !ok {
+				return fmt.Errorf("scenario: %s.min_level %q unknown", what, je.MinLevel)
+			}
+		}
+		if err := je.Count.validate(what + ".count"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode parses a spec from JSON or the YAML subset (chosen by the first
+// non-space byte) and validates it. Unknown fields are errors in both
+// formats, so a typoed key cannot silently weaken an expectation.
+func Decode(data []byte) (*Spec, error) {
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, fmt.Errorf("scenario: empty spec")
+	}
+	var jsonBytes []byte
+	if bytes.TrimSpace(data)[0] == '{' {
+		jsonBytes = data
+	} else {
+		tree, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		jsonBytes, err = json.Marshal(tree)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: yaml tree: %w", err)
+		}
+	}
+	spec := &Spec{}
+	dec := json.NewDecoder(bytes.NewReader(jsonBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	// Trailing garbage after the JSON document is an error, not ignored.
+	if err := dec.Decode(new(interface{})); err == nil {
+		return nil, fmt.Errorf("scenario: trailing data after spec document")
+	} else if !strings.Contains(err.Error(), "EOF") {
+		return nil, fmt.Errorf("scenario: trailing data: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// maxSpecBytes caps spec files; a campaign declaration is a page of
+// YAML, not a megabyte.
+const maxSpecBytes = 1 << 20
+
+// Load reads and decodes a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("scenario: %s: %d bytes exceeds the %d cap", path, len(data), maxSpecBytes)
+	}
+	spec, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spec, nil
+}

@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const minimalJSON = `{
+  "name": "t",
+  "campaign": {"beamlines": 1, "workers": 1, "scans_per_beamline": 1, "scan_interval": "1m"}
+}`
+
+const minimalYAML = `
+name: t
+campaign:
+  beamlines: 1
+  workers: 1
+  scans_per_beamline: 1
+  scan_interval: 1m
+`
+
+func TestDecodeJSONAndYAMLAgree(t *testing.T) {
+	a, err := Decode([]byte(minimalJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode([]byte(minimalYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name || !reflect.DeepEqual(a.Campaign, b.Campaign) {
+		t.Fatalf("JSON and YAML decode differently:\n%+v\n%+v", a, b)
+	}
+	if a.Campaign.ScanInterval.D() != time.Minute {
+		t.Fatalf("scan_interval = %v", a.Campaign.ScanInterval)
+	}
+}
+
+func TestDecodeFullYAML(t *testing.T) {
+	spec, err := Decode([]byte(`
+name: full
+description: every section exercised
+seed: 7
+epoch: 2026-07-04T08:00:00Z
+campaign:
+  beamlines: 2
+  weights: [3, 1]
+  workers: 2
+  reserved: 1
+  scans_per_beamline: 4
+  scan_interval: 90s
+  file_target: 30m
+  fast_sim: true
+admission:
+  enabled: true
+  guard_objectives: [file_branch]
+  guard_rate: 1.5
+  max_queue_per_tenant: 8
+  defer_delay: 2m
+  max_defers: 3
+  shed_after: 45m
+burst:
+  at: 10m
+  scans: 20
+wan:
+  - at: 5m
+    duration: 10m
+    site: nersc
+    bandwidth_gbps: 0.5
+  - at: 20m
+    duration: 1m
+    down: true
+incidents:
+  - kind: sfapi_outage
+    at: 15m
+    duration: 20m
+  - kind: endpoint_prune
+    at: 1m
+    requests: 10
+    locked_fraction: 0.5
+    fail_fast: true
+expect:
+  completed_runs:
+    min: 1
+  streaming_under10s_pct:
+    min: 50
+  slo:
+    - objective: transfer_success
+      attainment_pct:
+        max: 99.99
+  journal:
+    - component: scenario
+      msg: sfapi outage begins
+      count:
+        min: 1
+        max: 1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 || spec.Admission == nil || spec.Burst == nil {
+		t.Fatalf("sections lost: %+v", spec)
+	}
+	if len(spec.WAN) != 2 || len(spec.Incidents) != 2 {
+		t.Fatalf("events lost: %d wan, %d incidents", len(spec.WAN), len(spec.Incidents))
+	}
+	if spec.WAN[0].BandwidthGbps != 0.5 || !spec.WAN[1].Down {
+		t.Fatalf("wan decode: %+v", spec.WAN)
+	}
+	if spec.Admission.GuardObjectives[0] != "file_branch" {
+		t.Fatalf("guard objectives: %v", spec.Admission.GuardObjectives)
+	}
+	if spec.Expect.Journal[0].Count.Max == nil || *spec.Expect.Journal[0].Count.Max != 1 {
+		t.Fatalf("journal bound: %+v", spec.Expect.Journal[0].Count)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"whitespace":       "  \n\t ",
+		"unknown field":    `{"name":"t","bogus":1,"campaign":{"beamlines":1,"workers":1,"scans_per_beamline":1,"scan_interval":"1m"}}`,
+		"trailing data":    minimalJSON + `{"x":1}`,
+		"no name":          `{"campaign":{"beamlines":1,"workers":1,"scans_per_beamline":1,"scan_interval":"1m"}}`,
+		"bad name char":    strings.Replace(minimalJSON, `"t"`, `"a b"`, 1),
+		"bad epoch":        strings.Replace(minimalJSON, `"name": "t"`, `"name":"t","epoch":"yesterday"`, 1),
+		"zero beamlines":   strings.Replace(minimalJSON, `"beamlines": 1`, `"beamlines": 0`, 1),
+		"huge beamlines":   strings.Replace(minimalJSON, `"beamlines": 1`, `"beamlines": 999`, 1),
+		"zero interval":    strings.Replace(minimalJSON, `"1m"`, `"0s"`, 1),
+		"negative seconds": strings.Replace(minimalJSON, `"1m"`, `-5`, 1),
+		"huge duration":    strings.Replace(minimalJSON, `"1m"`, `"100000h"`, 1),
+		"bad duration":     strings.Replace(minimalJSON, `"1m"`, `"soon"`, 1),
+		"duration object":  strings.Replace(minimalJSON, `"1m"`, `{"m":1}`, 1),
+	}
+	for name, src := range cases {
+		if _, err := Decode([]byte(src)); err == nil {
+			t.Errorf("%s: decode accepted %q", name, src)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := func() *Spec {
+		s, err := Decode([]byte(minimalJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	ten, two := 10, 2
+	lo, hi := 5.0, 1.0
+	cases := map[string]func(*Spec){
+		"reserved >= workers": func(s *Spec) { s.Campaign.Reserved = 1 },
+		"too many weights":    func(s *Spec) { s.Campaign.Weights = []float64{1, 2} },
+		"zero weight":         func(s *Spec) { s.Campaign.Weights = []float64{0} },
+		"nan guard rate": func(s *Spec) {
+			s.Admission = &AdmissionSpec{GuardRate: nan()}
+		},
+		"wan both down and bw": func(s *Spec) {
+			s.WAN = []WANEvent{{Down: true, BandwidthGbps: 1}}
+		},
+		"wan no bw": func(s *Spec) {
+			s.WAN = []WANEvent{{At: 0}}
+		},
+		"wan bad site": func(s *Spec) {
+			s.WAN = []WANEvent{{Site: "esnet", BandwidthGbps: 1}}
+		},
+		"unknown incident": func(s *Spec) {
+			s.Incidents = []Incident{{Kind: "quench"}}
+		},
+		"outage no duration": func(s *Spec) {
+			s.Incidents = []Incident{{Kind: IncidentSFAPIOutage}}
+		},
+		"storm no nodes": func(s *Spec) {
+			s.Incidents = []Incident{{Kind: IncidentSlurmStorm, Duration: Duration(time.Minute)}}
+		},
+		"prune no requests": func(s *Spec) {
+			s.Incidents = []Incident{{Kind: IncidentEndpointPrune}}
+		},
+		"prune locked > 1": func(s *Spec) {
+			s.Incidents = []Incident{{Kind: IncidentEndpointPrune, Requests: 1, LockedFraction: 1.5}}
+		},
+		"int bound inverted": func(s *Spec) {
+			s.Expect.CompletedRuns = &IntBound{Min: &ten, Max: &two}
+		},
+		"float bound inverted": func(s *Spec) {
+			s.Expect.StreamingUnder10sPct = &FloatBound{Min: &lo, Max: &hi}
+		},
+		"slo no objective": func(s *Spec) {
+			s.Expect.SLO = []SLOExpect{{}}
+		},
+		"journal no selector": func(s *Spec) {
+			s.Expect.Journal = []JournalExpect{{}}
+		},
+		"journal bad level": func(s *Spec) {
+			s.Expect.Journal = []JournalExpect{{Component: "x", MinLevel: "loud"}}
+		},
+		"burst zero scans": func(s *Spec) {
+			s.Burst = &BurstSpec{Scans: 0}
+		},
+	}
+	for name, mutate := range cases {
+		s := base()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: validate accepted the spec", name)
+		}
+	}
+}
+
+// nan builds a NaN without the constant-expression restriction.
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	d := Duration(90 * time.Minute)
+	b, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1h30m0s"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var back Duration
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip %v != %v", back, d)
+	}
+	var sec Duration
+	if err := sec.UnmarshalJSON([]byte("90")); err != nil {
+		t.Fatal(err)
+	}
+	if sec.D() != 90*time.Second {
+		t.Fatalf("bare number = %v, want 90s", sec)
+	}
+	for _, bad := range []string{`"1 parsec"`, `1e400`, `true`, `[1]`} {
+		var d Duration
+		if err := d.UnmarshalJSON([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalJSON accepted %s", bad)
+		}
+	}
+}
+
+func TestLoadCapsFileSize(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/big.json"
+	if err := os.WriteFile(path, make([]byte, maxSpecBytes+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("Load accepted an oversized spec")
+	}
+	if _, err := Load(dir + "/missing.yaml"); err == nil {
+		t.Fatal("Load accepted a missing file")
+	}
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// GoldenPath maps a spec path to its golden report path: the spec
+// extension (.yaml/.yml/.json) is replaced with .golden.json.
+func GoldenPath(specPath string) string {
+	ext := filepath.Ext(specPath)
+	switch ext {
+	case ".yaml", ".yml", ".json":
+		return strings.TrimSuffix(specPath, ext) + ".golden.json"
+	default:
+		return specPath + ".golden.json"
+	}
+}
+
+// Verification is the result of replaying one spec against its golden.
+type Verification struct {
+	SpecPath   string
+	GoldenPath string
+	Outcome    *Outcome // from the first replay
+
+	Deterministic bool   // two fresh runs produced identical bytes
+	DetDiff       string // diff between the two runs when not
+
+	GoldenMissing bool   // no golden recorded yet
+	GoldenMatch   bool   // replay bytes == golden bytes
+	GoldenDiff    string // "- golden / + replay" lines when they differ
+}
+
+// Pass reports whether the verification holds end to end: deterministic
+// replay, a recorded golden it matches, and every in-spec expectation met.
+func (v *Verification) Pass() bool {
+	return v.Deterministic && !v.GoldenMissing && v.GoldenMatch && v.Outcome.Pass
+}
+
+// runTwice executes the spec in two fresh runners and returns both
+// canonical reports plus the first outcome.
+func runTwice(specPath string) (first, second []byte, out *Outcome, err error) {
+	for i := 0; i < 2; i++ {
+		spec, err := Load(specPath)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		o, err := Run(spec)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("scenario: run %s: %w", spec.Name, err)
+		}
+		if i == 0 {
+			first, out = o.Canonical(), o
+		} else {
+			second = o.Canonical()
+		}
+	}
+	return first, second, out, nil
+}
+
+// Verify replays the spec twice and diffs the outcome against its golden.
+// The returned Verification distinguishes nondeterminism, a missing or
+// stale golden, and failed in-spec expectations; err is reserved for
+// specs that cannot be loaded or run at all.
+func Verify(specPath string) (*Verification, error) {
+	v := &Verification{SpecPath: specPath, GoldenPath: GoldenPath(specPath)}
+	first, second, out, err := runTwice(specPath)
+	if err != nil {
+		return nil, err
+	}
+	v.Outcome = out
+	v.Deterministic = string(first) == string(second)
+	if !v.Deterministic {
+		v.DetDiff = Diff(first, second)
+	}
+	golden, err := os.ReadFile(v.GoldenPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			v.GoldenMissing = true
+			return v, nil
+		}
+		return nil, fmt.Errorf("scenario: read golden: %w", err)
+	}
+	v.GoldenMatch = string(golden) == string(first)
+	if !v.GoldenMatch {
+		v.GoldenDiff = Diff(golden, first)
+	}
+	return v, nil
+}
+
+// Record replays the spec twice, requires byte-identical outcomes, and
+// writes the canonical report as the spec's golden. It refuses to record
+// a nondeterministic scenario — a golden that cannot replay is worse than
+// none.
+func Record(specPath string) (*Verification, error) {
+	v := &Verification{SpecPath: specPath, GoldenPath: GoldenPath(specPath)}
+	first, second, out, err := runTwice(specPath)
+	if err != nil {
+		return nil, err
+	}
+	v.Outcome = out
+	v.Deterministic = string(first) == string(second)
+	if !v.Deterministic {
+		v.DetDiff = Diff(first, second)
+		return v, fmt.Errorf("scenario: %s: outcome is not deterministic, refusing to record", specPath)
+	}
+	if err := os.WriteFile(v.GoldenPath, first, 0o644); err != nil {
+		return nil, fmt.Errorf("scenario: write golden: %w", err)
+	}
+	v.GoldenMatch = true
+	return v, nil
+}

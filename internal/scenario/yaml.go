@@ -1,0 +1,376 @@
+package scenario
+
+// A minimal YAML-subset parser — just enough for scenario specs, with no
+// dependency beyond the standard library. Supported: block maps
+// ("key: value" / "key:" + indented block), block lists ("- item",
+// including "- key: value" opening an inline map), inline scalar lists
+// ("[a, b, c]"), double- and single-quoted strings, "#" comments,
+// booleans, null/~, and numbers (emitted as json.Number so int64 seeds
+// survive the tree → JSON round trip losslessly). Everything else —
+// tabs, anchors, aliases, multi-document streams, flow maps, block
+// scalars — is a parse error, never a silent guess: the decoder's job is
+// to reject what it does not understand.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+const (
+	maxYAMLLines = 10000
+	maxYAMLDepth = 32
+)
+
+type yamlLine struct {
+	n      int // 1-based source line number
+	indent int
+	text   string // content after indent, comment stripped, right-trimmed
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses one YAML-subset document into a tree of
+// map[string]interface{}, []interface{}, json.Number, string, bool, nil.
+func parseYAML(data []byte) (interface{}, error) {
+	p := &yamlParser{}
+	if err := p.scan(string(data)); err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("scenario: yaml: empty document")
+	}
+	v, err := p.parseBlock(p.lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("scenario: yaml line %d: unexpected content %q (indent mismatch?)", l.n, l.text)
+	}
+	return v, nil
+}
+
+// scan splits, strips comments, and records indentation.
+func (p *yamlParser) scan(src string) error {
+	lines := strings.Split(src, "\n")
+	if len(lines) > maxYAMLLines {
+		return fmt.Errorf("scenario: yaml: %d lines exceed the %d cap", len(lines), maxYAMLLines)
+	}
+	for i, raw := range lines {
+		n := i + 1
+		if strings.ContainsRune(raw, '\t') {
+			return fmt.Errorf("scenario: yaml line %d: tabs are not allowed", n)
+		}
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		text := stripComment(raw[indent:])
+		text = strings.TrimRight(text, " ")
+		if text == "" {
+			continue
+		}
+		if text == "---" || text == "..." {
+			if len(p.lines) == 0 && text == "---" {
+				continue // a leading document marker is harmless
+			}
+			return fmt.Errorf("scenario: yaml line %d: multi-document streams are not supported", n)
+		}
+		if strings.HasPrefix(text, "&") || strings.HasPrefix(text, "*") || strings.HasPrefix(text, "%") {
+			return fmt.Errorf("scenario: yaml line %d: anchors, aliases, and directives are not supported", n)
+		}
+		p.lines = append(p.lines, yamlLine{n: n, indent: indent, text: text})
+	}
+	return nil
+}
+
+// stripComment removes a trailing "# ..." comment outside quotes. A '#'
+// must start the line or follow a space to count as a comment ("a#b" is
+// content), matching YAML.
+func stripComment(s string) string {
+	inS, inD := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == '#' && !inS && !inD && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseBlock parses the map or list starting at the current line, whose
+// indent must equal want.
+func (p *yamlParser) parseBlock(want, depth int) (interface{}, error) {
+	if depth > maxYAMLDepth {
+		return nil, fmt.Errorf("scenario: yaml line %d: nesting deeper than %d", p.lines[p.pos].n, maxYAMLDepth)
+	}
+	l := p.lines[p.pos]
+	if l.indent != want {
+		return nil, fmt.Errorf("scenario: yaml line %d: expected indent %d, got %d", l.n, want, l.indent)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseList(want, depth)
+	}
+	return p.parseMap(want, depth)
+}
+
+func (p *yamlParser) parseList(want, depth int) (interface{}, error) {
+	var out []interface{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != want {
+			if l.indent > want {
+				return nil, fmt.Errorf("scenario: yaml line %d: unexpected indent inside list", l.n)
+			}
+			break
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("scenario: yaml line %d: expected a '-' list item", l.n)
+		}
+		if l.text == "-" {
+			// A dash alone introduces a nested block on the next lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= want {
+				out = append(out, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		rest := l.text[2:]
+		if isMapEntry(rest) {
+			// "- key: value" opens an inline map whose entries continue at
+			// the item's content column; re-present this line as a map
+			// entry at that virtual indent.
+			p.lines[p.pos] = yamlLine{n: l.n, indent: want + 2, text: rest}
+			v, err := p.parseMap(want+2, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			continue
+		}
+		v, err := parseScalar(rest, l.n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+func (p *yamlParser) parseMap(want, depth int) (interface{}, error) {
+	out := map[string]interface{}{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != want {
+			if l.indent > want {
+				return nil, fmt.Errorf("scenario: yaml line %d: unexpected indent inside map", l.n)
+			}
+			break
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("scenario: yaml line %d: list item inside a map block", l.n)
+		}
+		key, rest, err := splitMapEntry(l.text, l.n)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("scenario: yaml line %d: duplicate key %q", l.n, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest, l.n)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			continue
+		}
+		// "key:" with nothing after — a nested block if the next line is
+		// deeper, else an explicit null.
+		if p.pos >= len(p.lines) || p.lines[p.pos].indent <= want {
+			out[key] = nil
+			continue
+		}
+		v, err := p.parseBlock(p.lines[p.pos].indent, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = v
+	}
+	return out, nil
+}
+
+// isMapEntry reports whether s looks like "key:" or "key: value" with a
+// plain (unquoted) key.
+func isMapEntry(s string) bool {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return false // "a:b" is a scalar, not an entry
+	}
+	return validKey(s[:i])
+}
+
+func validKey(k string) bool {
+	if k == "" {
+		return false
+	}
+	for _, r := range k {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '_' || r == '-' || r == '.') {
+			return false
+		}
+	}
+	return true
+}
+
+func splitMapEntry(s string, n int) (key, rest string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i <= 0 || (i+1 < len(s) && s[i+1] != ' ') {
+		return "", "", fmt.Errorf("scenario: yaml line %d: expected 'key: value', got %q", n, s)
+	}
+	key = s[:i]
+	if !validKey(key) {
+		return "", "", fmt.Errorf("scenario: yaml line %d: key %q not in [a-zA-Z0-9_.-]", n, key)
+	}
+	return key, strings.TrimSpace(s[i+1:]), nil
+}
+
+// parseScalar interprets one scalar token: quoted string, inline list,
+// null, bool, number, or plain string.
+func parseScalar(s string, n int) (interface{}, error) {
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[':
+		return parseInlineList(s, n)
+	case s[0] == '{':
+		return nil, fmt.Errorf("scenario: yaml line %d: flow maps are not supported", n)
+	case s[0] == '&' || s[0] == '*':
+		return nil, fmt.Errorf("scenario: yaml line %d: anchors and aliases are not supported", n)
+	case s[0] == '"':
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: yaml line %d: bad quoted string %s: %w", n, s, err)
+		}
+		return u, nil
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("scenario: yaml line %d: unterminated single-quoted string", n)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case s == "null" || s == "~":
+		return nil, nil
+	case s == "true":
+		return true, nil
+	case s == "false":
+		return false, nil
+	case isJSONNumber(s):
+		return json.Number(s), nil
+	case strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">"):
+		return nil, fmt.Errorf("scenario: yaml line %d: block scalars are not supported", n)
+	default:
+		return s, nil
+	}
+}
+
+func parseInlineList(s string, n int) (interface{}, error) {
+	if s[len(s)-1] != ']' {
+		return nil, fmt.Errorf("scenario: yaml line %d: unterminated inline list", n)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return []interface{}{}, nil
+	}
+	if strings.ContainsAny(inner, "[]{}") {
+		return nil, fmt.Errorf("scenario: yaml line %d: nested inline collections are not supported", n)
+	}
+	var out []interface{}
+	for _, part := range splitInline(inner) {
+		v, err := parseScalar(strings.TrimSpace(part), n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitInline splits on commas outside quotes.
+func splitInline(s string) []string {
+	var parts []string
+	start, inS, inD := 0, false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inD:
+			inS = !inS
+		case c == '"' && !inS:
+			inD = !inD
+		case c == ',' && !inS && !inD:
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// isJSONNumber reports whether s is a valid JSON number literal, the
+// only numeric form the tree may carry (json.Marshal re-emits a
+// json.Number verbatim, so it must already be valid JSON).
+func isJSONNumber(s string) bool {
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(s) && s[i] == '0':
+		i++
+	case i < len(s) && s[i] >= '1' && s[i] <= '9':
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		if i >= len(s) || s[i] < '0' || s[i] > '9' {
+			return false
+		}
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		if i < len(s) && (s[i] == '+' || s[i] == '-') {
+			i++
+		}
+		if i >= len(s) || s[i] < '0' || s[i] > '9' {
+			return false
+		}
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+	}
+	return i == len(s)
+}

@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustYAML(t *testing.T, src string) interface{} {
+	t.Helper()
+	v, err := parseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestYAMLScalars(t *testing.T) {
+	v := mustYAML(t, `
+s: plain words
+q: "quoted: text # kept"
+sq: 'it''s'
+i: 42
+neg: -3
+f: 2.5
+exp: 1e3
+b: true
+nb: false
+nul: null
+tilde: ~
+empty:
+`)
+	want := map[string]interface{}{
+		"s":     "plain words",
+		"q":     "quoted: text # kept",
+		"sq":    "it's",
+		"i":     json.Number("42"),
+		"neg":   json.Number("-3"),
+		"f":     json.Number("2.5"),
+		"exp":   json.Number("1e3"),
+		"b":     true,
+		"nb":    false,
+		"nul":   nil,
+		"tilde": nil,
+		"empty": nil,
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLNesting(t *testing.T) {
+	v := mustYAML(t, `
+top:
+  inline: [1, two, "three, four"]
+  list:
+    - a
+    - kind: x
+      at: 5m
+    -
+    - nested:
+        deep: 1
+`)
+	top, ok := v.(map[string]interface{})["top"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("top not a map: %#v", v)
+	}
+	inline := top["inline"].([]interface{})
+	if len(inline) != 3 || inline[2] != "three, four" {
+		t.Fatalf("inline = %#v", inline)
+	}
+	list := top["list"].([]interface{})
+	if len(list) != 4 {
+		t.Fatalf("list = %#v", list)
+	}
+	item := list[1].(map[string]interface{})
+	if item["kind"] != "x" || item["at"] != "5m" {
+		t.Fatalf("item map = %#v", item)
+	}
+	if list[2] != nil {
+		t.Fatalf("bare dash should be nil, got %#v", list[2])
+	}
+	nested := list[3].(map[string]interface{})["nested"].(map[string]interface{})
+	if nested["deep"] != json.Number("1") {
+		t.Fatalf("nested = %#v", nested)
+	}
+}
+
+func TestYAMLCommentsAndMarkers(t *testing.T) {
+	v := mustYAML(t, `---
+# full-line comment
+key: value  # trailing comment
+anchor: "a # not a comment"
+hash: a#b
+`)
+	m := v.(map[string]interface{})
+	if m["key"] != "value" || m["anchor"] != "a # not a comment" || m["hash"] != "a#b" {
+		t.Fatalf("comment handling: %#v", m)
+	}
+}
+
+func TestYAMLRejects(t *testing.T) {
+	cases := map[string]string{
+		"tab":           "key:\tvalue",
+		"multi-doc":     "a: 1\n---\nb: 2",
+		"end marker":    "a: 1\n...",
+		"anchor":        "a: &x 1",
+		"alias":         "a: *x",
+		"directive":     "%YAML 1.2\na: 1",
+		"flow map":      "a: {b: 1}",
+		"block scalar":  "a: |\n  text",
+		"folded scalar": "a: >\n  text",
+		"dup key":       "a: 1\na: 2",
+		"bad indent":    "a: 1\n   b: 2",
+		"list in map":   "a: 1\n- b",
+		"bad key":       "a b: 1",
+		"no colon":      "just words\nmore",
+		"unterminated":  `a: "open`,
+		"unclosed list": "a: [1, 2",
+		"nested inline": "a: [[1], 2]",
+		"inline flow":   "a: [{b: 1}]",
+		"empty doc":     "",
+		"comments only": "# nothing\n# here",
+		"single quote":  "a: 'open",
+		"deep indent":   "a:\n    b: 1\n  c: 2",
+	}
+	for name, src := range cases {
+		if _, err := parseYAML([]byte(src)); err == nil {
+			t.Errorf("%s: parsed %q without error", name, src)
+		}
+	}
+}
+
+func TestYAMLDepthCap(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < maxYAMLDepth+2; i++ {
+		sb.WriteString(strings.Repeat(" ", i*2))
+		sb.WriteString("k:\n")
+	}
+	sb.WriteString(strings.Repeat(" ", (maxYAMLDepth+2)*2))
+	sb.WriteString("leaf: 1\n")
+	if _, err := parseYAML([]byte(sb.String())); err == nil {
+		t.Fatal("depth cap not enforced")
+	}
+}
+
+func TestYAMLLineCap(t *testing.T) {
+	src := strings.Repeat("# pad\n", maxYAMLLines+1)
+	if _, err := parseYAML([]byte(src)); err == nil {
+		t.Fatal("line cap not enforced")
+	}
+}
+
+// Numbers must survive the tree → JSON round trip losslessly: a 19-digit
+// seed is beyond float64's integer range.
+func TestYAMLNumberFidelity(t *testing.T) {
+	v := mustYAML(t, "seed: 9007199254740993")
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"seed":9007199254740993}` {
+		t.Fatalf("marshal = %s", b)
+	}
+}

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestDeferShedBoundary drives a single guarded file run through the
+// dispatch-time admission state machine and pins the defer→shed boundary:
+// the guard rate is read live at every dispatch attempt, a run defers
+// while attempts remain, and sheds the moment either the defer budget or
+// the ShedAfter age is exhausted. DeferDelay is 1m throughout, so retry
+// k happens at t≈k minutes.
+func TestDeferShedBoundary(t *testing.T) {
+	cases := []struct {
+		name      string
+		rate      float64       // burn rate while the guard is hot
+		clearAt   time.Duration // 0 = never clears
+		maxDefers int
+		shedAfter time.Duration
+		streaming bool
+
+		wantDeferred int
+		wantShed     int
+		wantRan      int
+	}{
+		{
+			// Rate below GuardRate never trips: straight dispatch.
+			name: "under threshold dispatches", rate: 1.99,
+			maxDefers: 2, wantRan: 1,
+		},
+		{
+			// The guard trips at exactly GuardRate (>=, not >).
+			name: "at threshold defers", rate: 2, clearAt: 30 * time.Second,
+			maxDefers: 2, wantDeferred: 1, wantRan: 1,
+		},
+		{
+			// Guard clears after one defer: the retry dispatches.
+			name: "clears before budget", rate: 5, clearAt: 30 * time.Second,
+			maxDefers: 2, wantDeferred: 1, wantRan: 1,
+		},
+		{
+			// Guard clears after exactly MaxDefers defers: the final retry
+			// finds it quiet and still runs — the budget bounds defers, it
+			// does not doom the run.
+			name: "clears exactly at budget", rate: 5, clearAt: 90 * time.Second,
+			maxDefers: 2, wantDeferred: 2, wantRan: 1,
+		},
+		{
+			// Guard still hot at the MaxDefers+1'th attempt: shed.
+			name: "persists past budget", rate: 5,
+			maxDefers: 2, wantDeferred: 2, wantShed: 1,
+		},
+		{
+			// Age-based shed fires before the defer budget is spent: at the
+			// third attempt (t=2m ≥ ShedAfter=90s) the run sheds with
+			// defers still below the 10-defer budget.
+			name: "age sheds first", rate: 5,
+			maxDefers: 10, shedAfter: 90 * time.Second,
+			wantDeferred: 2, wantShed: 1,
+		},
+		{
+			// Streaming is never deferred or shed, however hot the guard.
+			name: "streaming immune", rate: 5, streaming: true,
+			maxDefers: 2, wantRan: 1,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := sim.New(epoch)
+			burn := &stubBurn{}
+			s := New(e, Config{
+				Workers: 1,
+				Burn:    burn,
+				Admission: Admission{
+					Enabled:         true,
+					GuardObjectives: []string{"g"},
+					GuardRate:       2,
+					DeferDelay:      time.Minute,
+					MaxDefers:       tc.maxDefers,
+					ShedAfter:       tc.shedAfter,
+				},
+			})
+			tenant := Tenant{Beamline: "bl0", Class: ClassFile, Weight: 1}
+			if tc.streaming {
+				tenant.Class = ClassStreaming
+			}
+			s.Register(tenant)
+
+			ran := 0
+			runCampaign(e, s, func(p *sim.Proc) {
+				burn.set("g", tc.rate)
+				s.Submit(context.Background(), tenant, "f",
+					func(ctx context.Context, p *sim.Proc) { ran++ })
+				if tc.clearAt > 0 {
+					p.Sleep(tc.clearAt)
+					burn.set("g", 0)
+				}
+			})
+
+			rep := s.Snapshot()
+			ts := rep.Tenants[0]
+			if ts.Deferred != tc.wantDeferred || ts.Shed != tc.wantShed || ran != tc.wantRan {
+				t.Fatalf("deferred=%d shed=%d ran=%d, want %d/%d/%d",
+					ts.Deferred, ts.Shed, ran, tc.wantDeferred, tc.wantShed, tc.wantRan)
+			}
+		})
+	}
+}

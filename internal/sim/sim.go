@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -44,6 +45,7 @@ func (q *eventQueue) Pop() interface{} {
 // Engine owns the virtual clock and the event queue. Create with New, add
 // processes with Go, then call Run.
 type Engine struct {
+	nowMu  sync.Mutex // guards now against readers outside the sim thread
 	now    time.Time
 	events eventQueue
 	seq    int64
@@ -56,8 +58,22 @@ func New(epoch time.Time) *Engine {
 	return &Engine{now: epoch, yield: make(chan struct{})}
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() time.Time { return e.now }
+// Now returns the current virtual time. Unlike the rest of the engine it
+// is safe to call from goroutines outside the cooperative schedule, so
+// observability surfaces (SLO reports, journal snapshots) can be polled
+// while the simulation runs.
+func (e *Engine) Now() time.Time {
+	e.nowMu.Lock()
+	defer e.nowMu.Unlock()
+	return e.now
+}
+
+// setNow advances the clock under the lock that external Now readers take.
+func (e *Engine) setNow(t time.Time) {
+	e.nowMu.Lock()
+	e.now = t
+	e.nowMu.Unlock()
+}
 
 // schedule pushes a wakeup at time t and returns its channel.
 func (e *Engine) schedule(at time.Time) *event {
@@ -111,11 +127,11 @@ func (e *Engine) RunUntil(deadline time.Time) time.Time {
 	for e.events.Len() > 0 {
 		ev := e.events[0]
 		if !deadline.IsZero() && ev.at.After(deadline) {
-			e.now = deadline
+			e.setNow(deadline)
 			return e.now
 		}
 		heap.Pop(&e.events)
-		e.now = ev.at
+		e.setNow(ev.at)
 		ev.wake <- struct{}{}
 		<-e.yield
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,11 @@ type Link struct {
 	Bandwidth  float64 // bytes per second
 	Latency    time.Duration
 	ChunkBytes int64
+	// Down marks the link failed: transfers in flight fail at their next
+	// chunk boundary and new transfers fail immediately, with a transient
+	// fault so retry loops treat a flap as recoverable. Scenario chaos
+	// toggles it through Network.SetDown.
+	Down bool
 
 	res *sim.Resource
 	// TotalBytes accumulates all payload bytes moved over the link.
@@ -71,6 +77,50 @@ func (n *Network) Link(a, b string) (*Link, error) {
 	return l, nil
 }
 
+// both returns the directed link pair between two sites (in either
+// argument order both directions are affected — WAN weather does not
+// discriminate by direction).
+func (n *Network) both(a, b string) (*Link, *Link, error) {
+	fwd, err := n.Link(a, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	rev, err := n.Link(b, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fwd, rev, nil
+}
+
+// SetBandwidth retunes both directions of the a↔b link to the given
+// bandwidth in bytes per second. Transfers in flight pick the new rate up
+// at their next chunk, which is how a time-varying WAN weather schedule
+// composes with long transfers.
+func (n *Network) SetBandwidth(a, b string, bandwidth float64) error {
+	if bandwidth <= 0 {
+		return fmt.Errorf("simnet: bandwidth %v for %s ↔ %s must be positive (use SetDown for an outage)", bandwidth, a, b)
+	}
+	fwd, rev, err := n.both(a, b)
+	if err != nil {
+		return err
+	}
+	fwd.Bandwidth = bandwidth
+	rev.Bandwidth = bandwidth
+	return nil
+}
+
+// SetDown fails (or restores) both directions of the a↔b link — a link
+// flap. While down, transfers error with a transient fault.
+func (n *Network) SetDown(a, b string, down bool) error {
+	fwd, rev, err := n.both(a, b)
+	if err != nil {
+		return err
+	}
+	fwd.Down = down
+	rev.Down = down
+	return nil
+}
+
 // Transfer moves size bytes from site a to site b, blocking the calling
 // process for the propagation latency plus the serialized chunk time, and
 // returns the elapsed virtual duration.
@@ -80,12 +130,21 @@ func (n *Network) Transfer(p *sim.Proc, a, b string, size int64) (time.Duration,
 		return 0, err
 	}
 	start := p.Now()
+	if l.Down {
+		return p.Now().Sub(start), faults.Errorf(faults.Transient, "simnet: link %s → %s is down", a, b)
+	}
 	p.Sleep(l.Latency)
 	chunk := l.ChunkBytes
 	if chunk <= 0 {
 		chunk = DefaultChunkBytes
 	}
 	for remaining := size; remaining > 0; remaining -= chunk {
+		// Re-check per chunk: a flap mid-transfer kills the stream at the
+		// next chunk boundary, and a bandwidth change applies from here on.
+		if l.Down {
+			return p.Now().Sub(start), faults.Errorf(faults.Transient,
+				"simnet: link %s → %s went down mid-transfer", a, b)
+		}
 		this := chunk
 		if remaining < chunk {
 			this = remaining

@@ -1,0 +1,122 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// A link flap fails new transfers immediately, kills in-flight transfers
+// at the next chunk boundary, and restores cleanly — the WAN weather the
+// scenario engine schedules.
+func TestSetDownFailsTransfers(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	n.AddLink("als", "nersc", 10*Gbps, 0)
+
+	var newErr, inflightErr, afterErr error
+	e.Go("inflight", func(p *sim.Proc) {
+		// 4 chunks at 10 Gbps ≈ 0.2 s each; the flap at t=0.3 s lands
+		// between chunk boundaries.
+		_, inflightErr = n.Transfer(p, "als", "nersc", 4*DefaultChunkBytes)
+	})
+	e.Go("weather", func(p *sim.Proc) {
+		p.Sleep(300 * time.Millisecond)
+		if err := n.SetDown("als", "nersc", true); err != nil {
+			t.Error(err)
+		}
+		_, newErr = n.Transfer(p, "als", "nersc", 1<<20)
+		p.Sleep(time.Second)
+		if err := n.SetDown("als", "nersc", false); err != nil {
+			t.Error(err)
+		}
+		_, afterErr = n.Transfer(p, "als", "nersc", 1<<20)
+	})
+	e.Run()
+
+	for name, err := range map[string]error{"new": newErr, "inflight": inflightErr} {
+		if err == nil {
+			t.Fatalf("%s transfer succeeded across a down link", name)
+		}
+		if faults.Classify(err) != faults.Transient {
+			t.Fatalf("%s transfer error class %v, want Transient", name, faults.Classify(err))
+		}
+	}
+	if afterErr != nil {
+		t.Fatalf("transfer after restore failed: %v", afterErr)
+	}
+	// Down applies to both directions, like real WAN weather.
+	rev, err := n.Link("nersc", "als")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Down {
+		t.Fatal("reverse link still down after restore")
+	}
+}
+
+func TestSetDownBothDirections(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	n.AddLink("a", "b", Gbps, 0)
+	if err := n.SetDown("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range [][2]string{{"a", "b"}, {"b", "a"}} {
+		l, err := n.Link(dir[0], dir[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.Down {
+			t.Fatalf("link %s → %s not down", dir[0], dir[1])
+		}
+	}
+	if err := n.SetDown("a", "c", true); err == nil {
+		t.Fatal("SetDown on a missing link must error")
+	}
+}
+
+// SetBandwidth retunes both directions live: a transfer started before
+// the change finishes at a rate reflecting the mid-flight dip.
+func TestSetBandwidthAppliesPerChunk(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	n.AddLink("als", "nersc", 10*Gbps, 0)
+
+	var dur time.Duration
+	e.Go("t", func(p *sim.Proc) {
+		d, err := n.Transfer(p, "als", "nersc", 4*DefaultChunkBytes)
+		if err != nil {
+			t.Error(err)
+		}
+		dur = d
+	})
+	e.Go("weather", func(p *sim.Proc) {
+		p.Sleep(250 * time.Millisecond) // after the first chunk or two
+		if err := n.SetBandwidth("als", "nersc", Gbps); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Run()
+
+	fullSec := float64(4*DefaultChunkBytes) / (10 * Gbps)
+	full := time.Duration(fullSec * float64(time.Second))
+	if dur <= full {
+		t.Fatalf("transfer took %v, no slower than the undegraded %v", dur, full)
+	}
+	rev, err := n.Link("nersc", "als")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Bandwidth != Gbps {
+		t.Fatalf("reverse bandwidth %v, want %v", rev.Bandwidth, Gbps)
+	}
+	if err := n.SetBandwidth("als", "nersc", 0); err == nil {
+		t.Fatal("zero bandwidth must be rejected")
+	}
+	if err := n.SetBandwidth("als", "missing", Gbps); err == nil {
+		t.Fatal("SetBandwidth on a missing link must error")
+	}
+}

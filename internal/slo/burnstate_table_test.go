@@ -1,0 +1,195 @@
+package slo
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBurnStateEdges pins BurnState's edge behaviour with a hand-driven
+// clock: the minimum-sample gate, the >= threshold comparison, the
+// zero-threshold opt-out, the Goal=1 budget floor, the burn-window cut
+// boundary, and the latched firing flag resolving only on Record.
+func TestBurnStateEdges(t *testing.T) {
+	epoch := time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)
+	obj := func(mutate func(*Objective)) Objective {
+		o := Objective{
+			Name:          "edge",
+			Source:        "src:edge",
+			Target:        time.Minute,
+			Goal:          0.5, // budget 0.5: burn = missRate * 2
+			Window:        time.Hour,
+			BurnWindow:    10 * time.Minute,
+			BurnThreshold: 2,
+		}
+		if mutate != nil {
+			mutate(&o)
+		}
+		return o
+	}
+	// Each step records one sample (met or missed) and advances the clock.
+	type step struct {
+		met     bool
+		advance time.Duration
+	}
+	cases := []struct {
+		name     string
+		obj      Objective
+		steps    []step
+		settle   time.Duration // extra clock advance before reading
+		wantRate float64
+		wantFire bool
+	}{
+		{
+			// One miss is a 100% miss rate, burn 2 ≥ threshold 2 — but a
+			// single sample is below minBurnSamples, so no alert.
+			name: "single sample never fires",
+			obj:  obj(nil),
+			steps: []step{
+				{met: false},
+			},
+			wantRate: 2, wantFire: false,
+		},
+		{
+			// The second miss crosses the sample gate; burn == threshold
+			// fires (>=, not >).
+			name: "fires at exactly threshold",
+			obj:  obj(func(o *Objective) { o.BurnThreshold = 2 }),
+			steps: []step{
+				{met: false, advance: time.Minute},
+				{met: false},
+			},
+			wantRate: 2, wantFire: true,
+		},
+		{
+			// Burn just under the threshold: 1 miss / 2 samples = burn 1.
+			name: "under threshold",
+			obj:  obj(nil),
+			steps: []step{
+				{met: true, advance: time.Minute},
+				{met: false},
+			},
+			wantRate: 1, wantFire: false,
+		},
+		{
+			// BurnThreshold 0 disables alerting entirely, even at 100% miss.
+			name: "zero threshold never fires",
+			obj:  obj(func(o *Objective) { o.BurnThreshold = 0 }),
+			steps: []step{
+				{met: false, advance: time.Minute},
+				{met: false, advance: time.Minute},
+				{met: false},
+			},
+			wantRate: 2, wantFire: false,
+		},
+		{
+			// Goal 1.0 floors the budget at 1e-9 instead of dividing by
+			// zero: one miss among successes produces an astronomical rate.
+			name: "goal one budget floor",
+			obj:  obj(func(o *Objective) { o.Goal = 1 }),
+			steps: []step{
+				{met: true, advance: time.Minute},
+				{met: false},
+			},
+			wantRate: 0.5 / 1e-9, wantFire: true,
+		},
+		{
+			// A miss exactly at the burn-window cut still counts (the prune
+			// is strictly-before); one step later it ages out.
+			name: "miss exactly at window edge counts",
+			obj:  obj(nil),
+			steps: []step{
+				{met: false, advance: 5 * time.Minute},
+				{met: false},
+			},
+			settle:   5 * time.Minute, // first miss now exactly at now-BurnWindow
+			wantRate: 2, wantFire: true,
+		},
+		{
+			// Past the cut the samples vanish and the live rate reads 0 —
+			// but the firing flag stays latched until the next Record.
+			name: "latched firing outlives the window",
+			obj:  obj(nil),
+			steps: []step{
+				{met: false, advance: time.Minute},
+				{met: false},
+			},
+			settle:   time.Hour,
+			wantRate: 0, wantFire: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			clock := &tickClock{now: epoch}
+			e := NewEngine(clock, nil, tc.obj)
+			ctx := context.Background()
+			for _, st := range tc.steps {
+				e.Record(ctx, tc.obj.Source, tc.obj.Target+hitOrMiss(st.met), st.met)
+				clock.now = clock.now.Add(st.advance)
+			}
+			clock.now = clock.now.Add(tc.settle)
+			rate, firing := e.BurnState(tc.obj.Name)
+			if !close2(rate, tc.wantRate) || firing != tc.wantFire {
+				t.Fatalf("rate=%g firing=%v, want %g/%v", rate, firing, tc.wantRate, tc.wantFire)
+			}
+		})
+	}
+}
+
+// hitOrMiss makes the recorded duration consistent with the met flag so
+// the sample would classify the same way from its latency alone.
+func hitOrMiss(met bool) time.Duration {
+	if met {
+		return -time.Second
+	}
+	return time.Hour
+}
+
+func close2(a, b float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	d := a/b - 1
+	return d > -1e-6 && d < 1e-6
+}
+
+// TestBurnStateResolveOnRecord verifies the latched alert resolves only
+// when a Record re-evaluates the rule, and that both transitions land in
+// the alert history in order.
+func TestBurnStateResolveOnRecord(t *testing.T) {
+	clock := &tickClock{now: time.Date(2026, 7, 4, 8, 0, 0, 0, time.UTC)}
+	o := Objective{
+		Name: "r", Source: "src:r", Target: time.Minute,
+		Goal: 0.5, Window: time.Hour, BurnWindow: 10 * time.Minute, BurnThreshold: 2,
+	}
+	e := NewEngine(clock, nil, o)
+	ctx := context.Background()
+
+	e.Record(ctx, "src:r", time.Hour, false)
+	clock.now = clock.now.Add(time.Minute)
+	e.Record(ctx, "src:r", time.Hour, false)
+	if _, firing := e.BurnState("r"); !firing {
+		t.Fatal("two misses over budget did not fire")
+	}
+
+	// The misses age out; the latch holds until the next sample.
+	clock.now = clock.now.Add(time.Hour)
+	if _, firing := e.BurnState("r"); !firing {
+		t.Fatal("latch released without a Record")
+	}
+	e.Record(ctx, "src:r", time.Second, true)
+	clock.now = clock.now.Add(time.Minute)
+	e.Record(ctx, "src:r", time.Second, true)
+	if rate, firing := e.BurnState("r"); firing || rate != 0 {
+		t.Fatalf("after recovery: rate=%g firing=%v, want 0,false", rate, firing)
+	}
+
+	alerts := e.Alerts()
+	if len(alerts) != 2 || alerts[0].State != "firing" || alerts[1].State != "resolved" {
+		t.Fatalf("alert history = %+v, want firing then resolved", alerts)
+	}
+	if !alerts[1].Time.After(alerts[0].Time) {
+		t.Fatalf("alert times out of order: %+v", alerts)
+	}
+}

@@ -66,9 +66,29 @@ if ! grep -q '"run shed"' "$jdir/s1.jsonl" || ! grep -q '"run deferred"' "$jdir/
 fi
 echo "sched journals identical ($(wc -l <"$jdir/s1.jsonl") events, incl. shed/defer)"
 
+echo "== scenario goldens (full seed corpus, seeded replay vs golden) =="
+# Every spec in the seed corpus must replay deterministically (two fresh
+# runs byte-identical), match its recorded golden outcome, and pass its
+# own declared expectations.
+go run ./cmd/scenario verify
+
+echo "== scenario determinism (same spec twice, byte-identical outcomes) =="
+go run ./cmd/scenario run internal/scenario/testdata/sfapi_outage.yaml >"$jdir/o1.json"
+go run ./cmd/scenario run internal/scenario/testdata/sfapi_outage.yaml >"$jdir/o2.json"
+if ! cmp -s "$jdir/o1.json" "$jdir/o2.json"; then
+	echo "scenario outcomes differ between identical runs"
+	exit 1
+fi
+echo "scenario outcomes identical ($(wc -c <"$jdir/o1.json") bytes)"
+
+echo "== scenario flake guard (-count=2) =="
+go test -run . -count=2 ./internal/scenario >/dev/null
+echo "internal/scenario stable across two consecutive runs"
+
 echo "== fuzz smoke (5s per target) =="
 go test -run '^$' -fuzz '^FuzzDXFileRoundTrip$' -fuzztime 5s ./internal/dxfile
 go test -run '^$' -fuzz '^FuzzTIFFRoundTrip$' -fuzztime 5s ./internal/tiff
+go test -run '^$' -fuzz '^FuzzScenarioSpec$' -fuzztime 5s ./internal/scenario
 
 echo "== coverage floors =="
 # floor() fails the gate when a package's statement coverage drops below
@@ -97,5 +117,6 @@ floor ./internal/obslog 85
 floor ./internal/slo 90
 floor ./internal/monitor 90
 floor ./internal/sched 85
+floor ./internal/scenario 85
 
 echo "OK"
