@@ -4,15 +4,19 @@
 //
 // Usage:
 //
-//	go run ./cmd/repolint [-list] [-c analyzer[,analyzer...]] [patterns]
+//	go run ./cmd/repolint [-list] [-json] [-c n] [-checks a[,b...]] [patterns]
 //
 // Patterns default to ./... relative to the module root, which is found
 // by walking up from the working directory. Diagnostics print one per
-// line as "file:line:col: [analyzer] message"; the exit status is 0 when
-// clean, 1 when any diagnostic fired, 2 on usage or load errors.
+// line as "file:line:col: [analyzer] message"; -json switches to one
+// JSON object per line (machine-readable, stable field order), and -c n
+// prints n lines of source context around each finding. The exit status
+// is 0 when clean, 1 when any diagnostic fired, 2 on usage or load
+// errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,11 +31,22 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiagnostic is the machine-readable form one -json line carries.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
-	checks := fs.String("c", "", "comma-separated analyzer names to run (default: all)")
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit one JSON object per diagnostic instead of text")
+	context := fs.Int("c", 0, "print n lines of source context around each diagnostic")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -40,6 +55,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if *context < 0 {
+		fmt.Fprintf(stderr, "repolint: -c must be non-negative\n")
+		return 2
 	}
 	analyzers := lint.All
 	if *checks != "" {
@@ -63,14 +82,56 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "repolint: %v\n", err)
 		return 2
 	}
+	enc := json.NewEncoder(stdout)
 	for _, d := range diags {
+		if *asJSON {
+			if err := enc.Encode(jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "repolint: %v\n", err)
+				return 2
+			}
+			continue
+		}
 		fmt.Fprintln(stdout, d)
+		if *context > 0 {
+			printContext(stdout, d, *context)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "repolint: %d diagnostic(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// printContext prints n lines around the diagnostic line, gutter-marked
+// with the line number and a ">" on the finding itself.
+func printContext(w io.Writer, d lint.Diagnostic, n int) {
+	raw, err := os.ReadFile(d.Pos.Filename)
+	if err != nil {
+		return // context is best-effort; the diagnostic already printed
+	}
+	lines := strings.Split(string(raw), "\n")
+	lo := d.Pos.Line - n
+	if lo < 1 {
+		lo = 1
+	}
+	hi := d.Pos.Line + n
+	if hi > len(lines) {
+		hi = len(lines)
+	}
+	for i := lo; i <= hi; i++ {
+		mark := " "
+		if i == d.Pos.Line {
+			mark = ">"
+		}
+		fmt.Fprintf(w, "  %s %4d | %s\n", mark, i, lines[i-1])
+	}
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,8 @@ func TestListPrintsRegistry(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"simclock", "wrapcheck", "ctxfirst", "testsleep"} {
+	for _, name := range []string{"simclock", "wrapcheck", "ctxfirst", "testsleep",
+		"lockguard", "lockorder", "nocopy", "hotalloc"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -20,7 +22,7 @@ func TestListPrintsRegistry(t *testing.T) {
 
 func TestUnknownAnalyzerIsUsageError(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-c", "nope"}, &out, &errb); code != 2 {
+	if code := run([]string{"-checks", "nope"}, &out, &errb); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "unknown analyzer") {
@@ -35,12 +37,71 @@ func TestBadFlagIsUsageError(t *testing.T) {
 	}
 }
 
+func TestNegativeContextIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-c", "-1"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
 func TestCleanPackageExitsZero(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-c", "testsleep,ctxfirst", "./internal/leakcheck"}, &out, &errb); code != 0 {
+	if code := run([]string{"-checks", "testsleep,ctxfirst", "./internal/leakcheck"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
 	}
 	if out.Len() != 0 {
 		t.Fatalf("unexpected diagnostics:\n%s", out.String())
+	}
+}
+
+// The lockguard fixture is a deliberately broken package: pointing the
+// gate at it must produce findings and a nonzero exit, proving the gate
+// cannot silently pass a dirty tree.
+func TestSeededFixtureExitsNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "lockguard", "./internal/lint/testdata/lockguard"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "[lockguard]") {
+		t.Fatalf("diagnostics missing lockguard tag:\n%s", out.String())
+	}
+}
+
+// -json emits exactly one parseable object per diagnostic with the
+// canonical fields.
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-checks", "hotalloc", "./internal/lint/testdata/hotalloc"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON lines")
+	}
+	for _, line := range lines {
+		var d jsonDiagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("bad JSON line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Analyzer != "hotalloc" || d.Message == "" {
+			t.Fatalf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// -c prints gutter-marked source context under each text diagnostic.
+func TestContextOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-c", "2", "-checks", "nocopy", "./internal/lint/testdata/nocopy"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "> ") {
+		t.Fatalf("context output missing finding marker:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "func (b box) value()") {
+		t.Fatalf("context output missing fixture source line:\n%s", out.String())
 	}
 }

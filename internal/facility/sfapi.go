@@ -26,8 +26,8 @@ type SFAPI struct {
 	env      flow.Env
 
 	mu     sync.Mutex
-	jobs   map[int]*SFJob
-	nextID int
+	jobs   map[int]*SFJob // guarded by mu
+	nextID int            // guarded by mu
 }
 
 // Command is a registered executable the facility can run.

@@ -103,6 +103,8 @@ func (p *Plan) Len() int { return p.n }
 
 // Forward computes the in-place forward DFT of x. len(x) must equal the
 // plan length. The transform is unnormalized: Inverse(Forward(x)) == x.
+//
+//perf:hot
 func (p *Plan) Forward(x []complex128) {
 	p.checkLen(x)
 	p.scramble(x)
@@ -111,6 +113,8 @@ func (p *Plan) Forward(x []complex128) {
 
 // Inverse computes the in-place inverse DFT of x, including the 1/N
 // normalization. len(x) must equal the plan length.
+//
+//perf:hot
 func (p *Plan) Inverse(x []complex128) {
 	p.checkLen(x)
 	p.scramble(x)
@@ -130,6 +134,8 @@ func (p *Plan) Inverse(x []complex128) {
 // forward frequency response is spec: x ← IFFT(FFT(x) ⊙ spec). spec is
 // typically precomputed once (e.g. a windowed ramp filter) and reused for
 // every call; the operation performs no allocations.
+//
+//perf:hot
 func (p *Plan) ConvolveInto(x, spec []complex128) {
 	p.checkLen(x)
 	p.checkLen(spec)
@@ -192,6 +198,8 @@ func (p *Plan) checkLen(x []complex128) {
 }
 
 // scramble applies the precomputed bit-reversal permutation.
+//
+//perf:hot
 func (p *Plan) scramble(x []complex128) {
 	rev := p.rev
 	for i := 0; i < len(rev); i += 2 {
@@ -202,6 +210,8 @@ func (p *Plan) scramble(x []complex128) {
 
 // butterflies runs the iterative Cooley-Tukey stages against a twiddle
 // table (forward or inverse).
+//
+//perf:hot
 func (p *Plan) butterflies(x []complex128, tw []complex128) {
 	n := p.n
 	if n <= 1 {

@@ -159,13 +159,13 @@ func (r *Run) Duration() time.Duration { return r.End.Sub(r.Start) }
 // state, and the statistics API.
 type Server struct {
 	mu             sync.Mutex
-	runs           []*Run
-	nextID         int
-	idemp          map[string]bool
+	runs           []*Run          // guarded by mu
+	nextID         int             // guarded by mu
+	idemp          map[string]bool // guarded by mu
 	metrics        *monitor.Registry
 	journal        *obslog.Journal
-	observers      []CompletionObserver
-	startObservers []StartObserver
+	observers      []CompletionObserver // guarded by mu
+	startObservers []StartObserver      // guarded by mu
 }
 
 // CompletionObserver receives every finished run — how the SLO engine

@@ -1,0 +1,379 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is a small from-scratch control-flow graph over ast.Stmt,
+// built for the lockguard analyzer's must-hold dataflow. Each function
+// body becomes basic blocks of *shallow* nodes — expressions and simple
+// statements in evaluation order, never a statement that contains
+// branching — joined by successor edges that model if/else, the three
+// loop forms, switch/type-switch/select (including fallthrough), labeled
+// break/continue, goto, return, and panic termination. Deferred and
+// go-spawned calls appear as their own node kinds so the dataflow can
+// evaluate their arguments without executing the call itself.
+
+// cfgNode is one shallow unit of work inside a basic block.
+type cfgNode struct {
+	// n is an expression or a simple (non-branching) statement. For
+	// deferCall and goCall nodes it is the *ast.CallExpr whose arguments
+	// are evaluated at the node but whose call body runs elsewhere.
+	n ast.Node
+	// kind distinguishes immediate evaluation from defer/go suspension.
+	kind nodeKind
+}
+
+type nodeKind int8
+
+const (
+	nodeEval  nodeKind = iota // evaluated in place
+	nodeDefer                 // deferred call: args evaluate now, call at exit
+	nodeGo                    // go call: args evaluate now, call on new goroutine
+)
+
+// cfgBlock is one basic block.
+type cfgBlock struct {
+	index int
+	nodes []cfgNode
+	succs []*cfgBlock
+	preds []*cfgBlock
+}
+
+// cfgGraph is the control-flow graph of one function body. entry has no
+// predecessors; exit collects every return, panic, and fallthrough-off-
+// the-end path. Blocks unreachable from entry have no predecessors and
+// are treated as dead by the dataflow.
+type cfgGraph struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *cfgGraph {
+	b := &cfgBuilder{g: &cfgGraph{}}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = b.g.entry
+	b.labels = map[string]*cfgBlock{}
+	b.stmt(body)
+	// Falling off the end of the body flows to exit.
+	b.link(b.cur, b.g.exit)
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.link(g.from, target)
+		}
+	}
+	return b.g
+}
+
+// pendingGoto is a goto whose label block may not exist yet.
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+// loopFrame records the break/continue targets of one enclosing loop,
+// switch, or select ("" label matches the innermost frame).
+type loopFrame struct {
+	label       string
+	breakTarget *cfgBlock
+	continueTgt *cfgBlock // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	g      *cfgGraph
+	cur    *cfgBlock
+	frames []loopFrame
+	labels map[string]*cfgBlock
+	gotos  []pendingGoto
+	// pendingLabel is the label of the LabeledStmt currently being
+	// unwrapped, claimed by the next loop/switch/select construct.
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+// startBlock seals the current block into a fresh successor.
+func (b *cfgBuilder) startBlock() *cfgBlock {
+	blk := b.newBlock()
+	b.link(b.cur, blk)
+	b.cur = blk
+	return blk
+}
+
+func (b *cfgBuilder) add(n ast.Node, kind nodeKind) {
+	if n == nil {
+		return
+	}
+	b.cur.nodes = append(b.cur.nodes, cfgNode{n: n, kind: kind})
+}
+
+// terminate ends the current path (after return/goto/break/continue);
+// subsequent statements land in a fresh predecessor-less block that the
+// dataflow treats as unreachable.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) pushFrame(breakTarget, continueTgt *cfgBlock) {
+	b.frames = append(b.frames, loopFrame{
+		label:       b.pendingLabel,
+		breakTarget: breakTarget,
+		continueTgt: continueTgt,
+	})
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+// findBreak returns the break target for the given label ("" means the
+// innermost frame).
+func (b *cfgBuilder) findBreak(label string) *cfgBlock {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" || f.label == label {
+			return f.breakTarget
+		}
+	}
+	return nil
+}
+
+// findContinue returns the continue target for the given label, skipping
+// switch/select frames (continue binds to loops only).
+func (b *cfgBuilder) findContinue(label string) *cfgBlock {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.continueTgt == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f.continueTgt
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a call of the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+
+	case *ast.LabeledStmt:
+		// The label starts its own block so goto can land on it.
+		lbl := b.startBlock()
+		b.labels[s.Label.Name] = lbl
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ExprStmt:
+		b.add(s.X, nodeEval)
+		if isPanicCall(s.X) {
+			b.link(b.cur, b.g.exit)
+			b.terminate()
+		}
+
+	case *ast.AssignStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.DeclStmt:
+		b.add(s, nodeEval)
+
+	case *ast.DeferStmt:
+		b.add(s.Call, nodeDefer)
+
+	case *ast.GoStmt:
+		b.add(s.Call, nodeGo)
+
+	case *ast.ReturnStmt:
+		b.add(s, nodeEval)
+		b.link(b.cur, b.g.exit)
+		b.terminate()
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.link(b.cur, b.findBreak(label))
+			b.terminate()
+		case token.CONTINUE:
+			b.link(b.cur, b.findContinue(label))
+			b.terminate()
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Resolved by the enclosing switch builder; the clause body
+			// records the source block and links it to the next clause.
+		}
+
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond, nodeEval)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.link(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.link(b.cur, join)
+		} else {
+			b.link(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		b.stmt(s.Init)
+		head := b.startBlock()
+		b.add(s.Cond, nodeEval)
+		exit := b.newBlock()
+		if s.Cond != nil {
+			b.link(head, exit)
+		}
+		post := b.newBlock() // continue target; runs Post then loops
+		body := b.newBlock()
+		b.link(head, body)
+		b.pushFrame(exit, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		b.link(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.link(b.cur, head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(s.X, nodeEval)
+		head := b.startBlock()
+		// Key/Value assignment happens per iteration in the head.
+		b.add(s.Key, nodeEval)
+		b.add(s.Value, nodeEval)
+		exit := b.newBlock()
+		b.link(head, exit) // the range may be empty or exhausted
+		body := b.newBlock()
+		b.link(head, body)
+		b.pushFrame(exit, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.popFrame()
+		b.link(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		b.add(s.Tag, nodeEval)
+		b.switchClauses(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init)
+		b.add(s.Assign, nodeEval)
+		b.switchClauses(s.Body, nil)
+
+	case *ast.SelectStmt:
+		b.switchClauses(s.Body, func(comm ast.Stmt) {
+			b.stmt(comm)
+		})
+	}
+}
+
+// switchClauses builds the clause bodies of a switch, type switch, or
+// select hanging off the current block. commEval, when non-nil, builds
+// each select clause's communication statement inside its branch.
+func (b *cfgBuilder) switchClauses(body *ast.BlockStmt, commEval func(ast.Stmt)) {
+	cond := b.cur
+	exit := b.newBlock()
+	b.pushFrame(exit, nil)
+	hasDefault := false
+	// First lay out every clause's entry block so fallthrough can link
+	// forward.
+	type clause struct {
+		entry *cfgBlock
+		stmts []ast.Stmt
+		exprs []ast.Expr // case expressions (evaluated in the entry block)
+		comm  ast.Stmt   // select only
+		def   bool
+	}
+	var clauses []clause
+	for _, raw := range body.List {
+		switch c := raw.(type) {
+		case *ast.CaseClause:
+			clauses = append(clauses, clause{entry: b.newBlock(), stmts: c.Body, exprs: c.List, def: c.List == nil})
+		case *ast.CommClause:
+			clauses = append(clauses, clause{entry: b.newBlock(), stmts: c.Body, comm: c.Comm, def: c.Comm == nil})
+		}
+	}
+	for _, c := range clauses {
+		if c.def {
+			hasDefault = true
+		}
+		b.link(cond, c.entry)
+	}
+	if !hasDefault && commEval == nil {
+		// A switch with no default may match nothing.
+		b.link(cond, exit)
+	}
+	// A select with no default blocks until one clause is ready, so no
+	// cond→exit edge; an empty select never proceeds at all.
+	for i, c := range clauses {
+		b.cur = c.entry
+		for _, e := range c.exprs {
+			b.add(e, nodeEval)
+		}
+		if c.comm != nil && commEval != nil {
+			commEval(c.comm)
+		}
+		fellThrough := false
+		for _, st := range c.stmts {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(clauses) {
+					b.link(b.cur, clauses[i+1].entry)
+					fellThrough = true
+				}
+				b.terminate()
+				continue
+			}
+			b.stmt(st)
+		}
+		if !fellThrough {
+			b.link(b.cur, exit)
+		}
+	}
+	b.popFrame()
+	b.cur = exit
+}

@@ -41,7 +41,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run and
+// RunModule is set: Run sees one package at a time, RunModule sees every
+// loaded package at once (for checks whose facts span packages, like the
+// lock-acquisition graph).
 type Analyzer struct {
 	// Name tags diagnostics and selects the analyzer on the command line.
 	Name string
@@ -49,10 +52,13 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one type-checked package and reports findings.
 	Run func(*Pass)
+	// RunModule inspects the whole loaded package set at once.
+	RunModule func(*ModulePass)
 }
 
 // All is the analyzer registry, in reporting order.
-var All = []*Analyzer{Simclock, Wrapcheck, CtxFirst, TestSleep, Stdlog}
+var All = []*Analyzer{Simclock, Wrapcheck, CtxFirst, TestSleep, Stdlog,
+	Lockguard, Lockorder, Nocopy, Hotalloc}
 
 // ByName returns the registered analyzer with the given name, if any.
 func ByName(name string) (*Analyzer, bool) {
@@ -90,6 +96,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // IsTestFile reports whether f is a _test.go file.
 func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// ModulePass carries every loaded package through one module-spanning
+// analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Config   *Config
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (m *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*m.diags = append(*m.diags, Diagnostic{
+		Pos:      m.Fset.Position(pos),
+		Analyzer: m.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// isTestFile reports whether f is a _test.go file.
+func (m *ModulePass) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(m.Fset.Position(f.Pos()).Filename, "_test.go")
 }
 
 // CalleeFunc resolves the static callee of a call expression, or nil for
@@ -241,6 +272,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnos
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -252,6 +286,18 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnos
 			}
 			a.Run(pass)
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil || len(pkgs) == 0 {
+			continue
+		}
+		a.RunModule(&ModulePass{
+			Analyzer: a,
+			Fset:     pkgs[0].Fset,
+			Pkgs:     pkgs,
+			Config:   cfg,
+			diags:    &diags,
+		})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -47,6 +47,22 @@ func TestStdlogGolden(t *testing.T) {
 	})
 }
 
+func TestLockguardGolden(t *testing.T) {
+	testFixture(t, "lockguard", []*Analyzer{Lockguard}, &Config{})
+}
+
+func TestLockorderGolden(t *testing.T) {
+	testFixture(t, "lockorder", []*Analyzer{Lockorder}, &Config{})
+}
+
+func TestNocopyGolden(t *testing.T) {
+	testFixture(t, "nocopy", []*Analyzer{Nocopy}, &Config{})
+}
+
+func TestHotallocGolden(t *testing.T) {
+	testFixture(t, "hotalloc", []*Analyzer{Hotalloc}, &Config{})
+}
+
 // TestRepoIsClean is the gate's self-check: the production configuration
 // over the whole repository must come back empty, i.e. `go run
 // ./cmd/repolint ./...` exits 0.

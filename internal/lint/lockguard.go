@@ -1,0 +1,621 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Lockguard enforces the `// guarded by <mutex>` annotation: a struct
+// field (or package-level variable) so annotated may only be read or
+// written while the named sibling mutex (or package-level mutex) is held
+// on every intra-procedural control-flow path. The analysis builds a
+// small CFG per function (cfg.go) and runs a forward must-hold dataflow
+// over it: Lock/RLock acquire, Unlock/RUnlock release, a deferred Unlock
+// keeps the mutex held to function exit, and branch joins intersect —
+// a path that can reach an access without the lock is a diagnostic.
+//
+// Conventions understood by the analysis:
+//
+//   - methods whose name ends in "Locked" are callee-side helpers that
+//     document "caller holds the receiver's mutexes"; they start with
+//     every mutex field of the receiver held;
+//   - an RWMutex RLock satisfies reads of guarded fields but not writes;
+//   - function literals inherit the lock state at their creation point,
+//     except goroutine bodies (`go func(){...}`), which start unlocked —
+//     they run after the spawner may have released everything.
+var Lockguard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by <mutex>` must only be accessed with the " +
+		"sibling mutex held on every intra-procedural path",
+	Run: runLockguard,
+}
+
+// guardedBy extracts the mutex name from an annotation comment.
+var guardedBy = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// lock kinds, ordered so that the weaker mode is the smaller value.
+const (
+	lockShared int8 = 1 // RLock: reads allowed
+	lockExcl   int8 = 2 // Lock: reads and writes allowed
+)
+
+// lockSet is the dataflow state: which mutex paths are known held, and
+// how. top marks the unreachable state (everything held), the identity
+// of the meet.
+type lockSet struct {
+	top bool
+	m   map[string]int8
+}
+
+func topState() *lockSet { return &lockSet{top: true} }
+
+func (s *lockSet) clone() *lockSet {
+	if s.top {
+		return topState()
+	}
+	c := &lockSet{m: make(map[string]int8, len(s.m))}
+	for k, v := range s.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// meet intersects two states: a mutex is held after a join only if it is
+// held on both inbound paths, in the weaker of the two modes.
+func (s *lockSet) meet(o *lockSet) *lockSet {
+	if s.top {
+		return o.clone()
+	}
+	if o.top {
+		return s.clone()
+	}
+	out := &lockSet{m: map[string]int8{}}
+	for k, v := range s.m {
+		if ov, ok := o.m[k]; ok {
+			if ov < v {
+				v = ov
+			}
+			out.m[k] = v
+		}
+	}
+	return out
+}
+
+func (s *lockSet) equal(o *lockSet) bool {
+	if s.top != o.top || len(s.m) != len(o.m) {
+		return false
+	}
+	for k, v := range s.m {
+		if o.m[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *lockSet) acquire(key string, kind int8) {
+	if s.top {
+		return
+	}
+	if s.m == nil {
+		s.m = map[string]int8{}
+	}
+	if s.m[key] < kind {
+		s.m[key] = kind
+	}
+}
+
+func (s *lockSet) release(key string) {
+	if s.top {
+		return
+	}
+	delete(s.m, key)
+}
+
+// holds reports whether key is held at least in the given mode.
+func (s *lockSet) holds(key string, kind int8) bool {
+	return s.top || s.m[key] >= kind
+}
+
+// guardInfo is one annotated field or variable.
+type guardInfo struct {
+	mutex string // sibling field name, or package-level var name
+	// pkgLevel marks a package-level guarded var (key is the bare mutex
+	// var name rather than base+"."+mutex).
+	pkgLevel bool
+}
+
+// lockguardIndex is the per-package annotation table.
+type lockguardIndex struct {
+	guards map[*types.Var]guardInfo
+	// mutexFields maps a struct's type name to its mutex-typed field
+	// names, the set held on entry to *Locked methods.
+	mutexFields map[*types.TypeName][]string
+}
+
+// exprPath renders a selector chain ("p.e.nowMu") or "" for anything
+// that is not a pure identifier/selector path.
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// annotationText joins a field's doc and trailing comment.
+func annotationText(doc, comment *ast.CommentGroup) string {
+	var parts []string
+	if doc != nil {
+		parts = append(parts, doc.Text())
+	}
+	if comment != nil {
+		parts = append(parts, comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// buildLockguardIndex collects annotations and validates them.
+func buildLockguardIndex(p *Pass) *lockguardIndex {
+	idx := &lockguardIndex{
+		guards:      map[*types.Var]guardInfo{},
+		mutexFields: map[*types.TypeName][]string{},
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if st, ok := n.(*ast.StructType); ok {
+				p.indexStruct(idx, st)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			p.indexVarDecl(idx, gd)
+		}
+	}
+	return idx
+}
+
+// indexStruct records the struct's mutex fields and its guarded-by
+// annotations.
+func (p *Pass) indexStruct(idx *lockguardIndex, st *ast.StructType) {
+	type fieldInfo struct {
+		v   *types.Var
+		pos token.Pos
+	}
+	fields := map[string]fieldInfo{}
+	var tn *types.TypeName
+	for _, fld := range st.Fields.List {
+		for _, name := range fld.Names {
+			v, ok := p.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			fields[name.Name] = fieldInfo{v: v, pos: name.Pos()}
+			if tn == nil {
+				// Recover the owning named type through the field's
+				// parent struct, so mutexFields keys by type name.
+				if owner := owningTypeName(p, v); owner != nil {
+					tn = owner
+				}
+			}
+		}
+	}
+	for _, fld := range st.Fields.List {
+		text := annotationText(fld.Doc, fld.Comment)
+		m := guardedBy.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mutex := m[1]
+		sib, ok := fields[mutex]
+		switch {
+		case !ok:
+			p.Reportf(fld.Pos(),
+				"guarded-by annotation names %q, which is not a sibling field", mutex)
+			continue
+		case !isMutexType(sib.v.Type()):
+			p.Reportf(fld.Pos(),
+				"guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex (type %s)",
+				mutex, sib.v.Type())
+			continue
+		}
+		for _, name := range fld.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok {
+				idx.guards[v] = guardInfo{mutex: mutex}
+			}
+		}
+	}
+	if tn != nil {
+		var mus []string
+		for _, fld := range st.Fields.List {
+			for _, name := range fld.Names {
+				if fi, ok := fields[name.Name]; ok && isMutexType(fi.v.Type()) {
+					mus = append(mus, name.Name)
+				}
+			}
+		}
+		idx.mutexFields[tn] = mus
+	}
+}
+
+// owningTypeName finds the named type whose struct declares field v, by
+// scanning the package scope (fields carry no back-pointer).
+func owningTypeName(p *Pass, v *types.Var) *types.TypeName {
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// indexVarDecl records package-level guarded variables.
+func (p *Pass) indexVarDecl(idx *lockguardIndex, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		text := annotationText(vs.Doc, vs.Comment)
+		if gd.Doc != nil && len(gd.Specs) == 1 {
+			text += " " + gd.Doc.Text()
+		}
+		m := guardedBy.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mutex := m[1]
+		obj := p.Pkg.Scope().Lookup(mutex)
+		mv, ok := obj.(*types.Var)
+		switch {
+		case !ok:
+			p.Reportf(vs.Pos(),
+				"guarded-by annotation names %q, which is not a package-level variable", mutex)
+			continue
+		case !isMutexType(mv.Type()):
+			p.Reportf(vs.Pos(),
+				"guarded-by annotation names %q, which is not a sync.Mutex or sync.RWMutex (type %s)",
+				mutex, mv.Type())
+			continue
+		}
+		for _, name := range vs.Names {
+			if v, ok := p.Info.Defs[name].(*types.Var); ok {
+				idx.guards[v] = guardInfo{mutex: mutex, pkgLevel: true}
+			}
+		}
+	}
+}
+
+func runLockguard(p *Pass) {
+	idx := buildLockguardIndex(p)
+	if len(idx.guards) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		parents := buildParents(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := &lockguardFunc{p: p, idx: idx, parents: parents}
+			a.analyze(fd.Body, a.entryState(fd))
+		}
+	}
+}
+
+// entryState computes the function's starting lock set: empty, unless
+// the name ends in "Locked" and there is a named receiver, in which case
+// every mutex field of the receiver is held exclusively.
+func (a *lockguardFunc) entryState(fd *ast.FuncDecl) *lockSet {
+	st := &lockSet{m: map[string]int8{}}
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return st
+	}
+	recv := fd.Recv.List[0]
+	if len(recv.Names) == 0 {
+		return st
+	}
+	recvName := recv.Names[0].Name
+	rv, ok := a.p.Info.Defs[recv.Names[0]].(*types.Var)
+	if !ok {
+		return st
+	}
+	t := rv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return st
+	}
+	for _, mu := range a.idx.mutexFields[named.Obj()] {
+		st.acquire(recvName+"."+mu, lockExcl)
+	}
+	return st
+}
+
+// lockguardFunc analyzes one function body (and, recursively, the
+// function literals it contains).
+type lockguardFunc struct {
+	p       *Pass
+	idx     *lockguardIndex
+	parents parentMap
+}
+
+// pendingLit is a function literal queued for its own analysis, with the
+// lock state at its creation point.
+type pendingLit struct {
+	lit   *ast.FuncLit
+	entry *lockSet
+}
+
+func (a *lockguardFunc) analyze(body *ast.BlockStmt, entry *lockSet) {
+	g := buildCFG(body)
+	in := make([]*lockSet, len(g.blocks))
+	out := make([]*lockSet, len(g.blocks))
+	for i := range in {
+		in[i] = topState()
+		out[i] = topState()
+	}
+	in[g.entry.index] = entry
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[blk.index].clone()
+		a.walkBlock(blk, st, nil)
+		if st.equal(out[blk.index]) {
+			continue
+		}
+		out[blk.index] = st
+		for _, succ := range blk.succs {
+			merged := in[succ.index].meet(out[blk.index])
+			if !merged.equal(in[succ.index]) {
+				in[succ.index] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	// Reporting pass: re-walk each reachable block from its fixpoint
+	// in-state, checking guarded accesses and queueing function literals
+	// with the state at their creation point.
+	var lits []pendingLit
+	for _, blk := range g.blocks {
+		if in[blk.index].top && blk != g.entry {
+			continue // unreachable
+		}
+		st := in[blk.index].clone()
+		a.walkBlock(blk, st, &lits)
+	}
+	for _, pl := range lits {
+		a.analyze(pl.lit.Body, pl.entry)
+	}
+}
+
+// walkBlock interprets the block's nodes in order against st. With lits
+// non-nil it also reports guarded-access violations and queues function
+// literals; with lits nil it only applies lock transfers (the dataflow
+// pass).
+func (a *lockguardFunc) walkBlock(blk *cfgBlock, st *lockSet, lits *[]pendingLit) {
+	for _, node := range blk.nodes {
+		a.walkNode(node, st, lits)
+	}
+}
+
+func (a *lockguardFunc) walkNode(node cfgNode, st *lockSet, lits *[]pendingLit) {
+	topCall, _ := node.n.(*ast.CallExpr)
+	ast.Inspect(node.n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if lits != nil {
+				entry := st.clone()
+				if node.kind == nodeGo {
+					// A goroutine body runs after the spawner may have
+					// released everything: start unlocked.
+					entry = &lockSet{m: map[string]int8{}}
+				}
+				*lits = append(*lits, pendingLit{lit: n, entry: entry})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, kind, isAcquire, ok := a.lockOp(n); ok {
+				// The deferred/spawned call itself does not execute here;
+				// in particular `defer mu.Unlock()` leaves the mutex held
+				// for the rest of the function.
+				if node.kind == nodeEval || n != topCall {
+					if isAcquire {
+						st.acquire(key, kind)
+					} else {
+						st.release(key)
+					}
+				}
+				return true
+			}
+		case *ast.SelectorExpr:
+			if lits != nil {
+				a.checkSelector(n, st)
+			}
+		case *ast.Ident:
+			if lits != nil {
+				a.checkIdent(n, st)
+			}
+		}
+		return true
+	})
+}
+
+// lockOp recognizes path.Lock/RLock/Unlock/RUnlock calls on sync mutex
+// values and returns the tracked path key.
+func (a *lockguardFunc) lockOp(call *ast.CallExpr) (key string, kind int8, acquire, ok bool) {
+	sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOK {
+		return "", 0, false, false
+	}
+	fn, fnOK := a.p.Info.Uses[sel.Sel].(*types.Func)
+	if !fnOK || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	sig, sigOK := fn.Type().(*types.Signature)
+	if !sigOK || sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return "", 0, false, false
+	}
+	key = exprPath(sel.X)
+	if key == "" {
+		return "", 0, false, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		return key, lockExcl, true, true
+	case "RLock":
+		return key, lockShared, true, true
+	case "Unlock", "RUnlock":
+		return key, 0, false, true
+	}
+	return "", 0, false, false
+}
+
+// checkSelector validates an access to a guarded struct field.
+func (a *lockguardFunc) checkSelector(sel *ast.SelectorExpr, st *lockSet) {
+	v, ok := a.p.Info.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return
+	}
+	gi, guarded := a.idx.guards[v]
+	if !guarded || gi.pkgLevel {
+		return
+	}
+	base := exprPath(sel.X)
+	path := exprPath(sel)
+	if path == "" {
+		path = v.Name()
+	}
+	if base == "" {
+		a.p.Reportf(sel.Pos(),
+			"access to guarded field %s through an expression the analysis cannot track; bind the owner to a variable first (guarded by %s)",
+			v.Name(), gi.mutex)
+		return
+	}
+	a.checkAccess(sel, st, path, base+"."+gi.mutex, gi.mutex)
+}
+
+// checkIdent validates an access to a guarded package-level variable.
+func (a *lockguardFunc) checkIdent(id *ast.Ident, st *lockSet) {
+	v, ok := a.p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	gi, guarded := a.idx.guards[v]
+	if !guarded || !gi.pkgLevel {
+		return
+	}
+	a.checkAccess(id, st, id.Name, gi.mutex, gi.mutex)
+}
+
+func (a *lockguardFunc) checkAccess(at ast.Expr, st *lockSet, path, key, mutex string) {
+	write := a.isWrite(at)
+	need := lockShared
+	verb := "read of"
+	if write {
+		need = lockExcl
+		verb = "write to"
+	}
+	if st.holds(key, need) {
+		return
+	}
+	if write && st.holds(key, lockShared) {
+		a.p.Reportf(at.Pos(),
+			"write to %s while %s is held only for reading (RLock); writes require Lock (guarded by %s)",
+			path, key, mutex)
+		return
+	}
+	a.p.Reportf(at.Pos(),
+		"unguarded %s %s: %s is not held on every path to this access (guarded by %s)",
+		verb, path, key, mutex)
+}
+
+// isWrite reports whether the expression is in a store position:
+// assignment LHS (possibly through index/star/slice), ++/--, or its
+// address taken.
+func (a *lockguardFunc) isWrite(e ast.Expr) bool {
+	cur := ast.Node(e)
+	for {
+		parent := a.parents[cur]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.SliceExpr:
+			if p.X != cur {
+				return false
+			}
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == cur
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.RangeStmt:
+			return p.Key == cur || p.Value == cur
+		default:
+			return false
+		}
+	}
+}

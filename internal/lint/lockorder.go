@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockorder builds a module-spanning lock-acquisition graph and reports
+// cycles as potential deadlocks. A node is an abstract mutex — a struct
+// field ("pkg.Type.field") or a package-level variable ("pkg.var") —
+// and an edge A→B means some function acquires B while holding A, either
+// directly or through a statically resolved call chain. Two goroutines
+// traversing a cycle from different entry points can deadlock; a single
+// function that re-locks the exact mutex value it already holds is a
+// guaranteed self-deadlock and is reported separately.
+//
+// The per-function walk is a deliberate over-approximation: statements
+// are scanned in source order with an evolving held-set, deferred calls
+// do not release (so the common `mu.Lock(); defer mu.Unlock()` keeps the
+// mutex held for the rest of the body), and function literals are
+// analyzed as independent roots with nothing held.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: "no cycles in the module-wide lock-acquisition graph: a mutex acquired " +
+		"while holding another establishes an order every goroutine must follow",
+	RunModule: runLockorder,
+}
+
+// heldLock is one entry of the walk's held-set.
+type heldLock struct {
+	abstract string // graph node ("pkg.Type.field" or "pkg.var")
+	concrete string // expression path ("s.mu"), for self-deadlock checks
+	excl     bool   // Lock rather than RLock
+}
+
+// lockEdge is one held→acquired observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// lockCall is a statically resolved call made with locks held.
+type lockCall struct {
+	callee *types.Func
+	held   []string // abstract ids held at the call site
+	pos    token.Pos
+}
+
+// lockorderFunc is the per-function summary.
+type lockorderFunc struct {
+	acquires map[string]token.Pos // directly acquired abstract mutexes
+	calls    []lockCall
+}
+
+type lockorderState struct {
+	m     *ModulePass
+	funcs map[*types.Func]*lockorderFunc
+	edges []lockEdge
+}
+
+func runLockorder(m *ModulePass) {
+	st := &lockorderState{m: m, funcs: map[*types.Func]*lockorderFunc{}}
+	// Pass 1: per-function summaries and direct edges.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			if m.isTestFile(f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				w := &lockWalker{st: st, pkg: pkg, fn: fn,
+					summary: &lockorderFunc{acquires: map[string]token.Pos{}}}
+				w.walk(fd.Body, w.entryHeld(pkg, fd))
+				if fn != nil {
+					st.funcs[fn] = w.summary
+				}
+			}
+		}
+	}
+	// Pass 2: transitive acquire sets to a fixpoint.
+	trans := map[*types.Func]map[string]bool{}
+	for fn, sum := range st.funcs {
+		set := map[string]bool{}
+		for id := range sum.acquires {
+			set[id] = true
+		}
+		trans[fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, sum := range st.funcs {
+			set := trans[fn]
+			for _, call := range sum.calls {
+				for id := range trans[call.callee] {
+					if !set[id] {
+						set[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Pass 3: call-mediated edges — holding H while calling a function
+	// that (transitively) acquires A adds H→A.
+	for _, sum := range st.funcs {
+		for _, call := range sum.calls {
+			for id := range trans[call.callee] {
+				for _, h := range call.held {
+					if h != id {
+						st.edges = append(st.edges, lockEdge{from: h, to: id, pos: call.pos})
+					}
+				}
+			}
+		}
+	}
+	st.reportCycles()
+}
+
+// reportCycles finds mutually reachable node pairs and reports each
+// once, at the position of the first edge observed between them.
+func (st *lockorderState) reportCycles() {
+	succ := map[string]map[string]bool{}
+	for _, e := range st.edges {
+		if succ[e.from] == nil {
+			succ[e.from] = map[string]bool{}
+		}
+		succ[e.from][e.to] = true
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range succ[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	// Deterministic order: edges sorted by position, deduped by pair.
+	edges := append([]lockEdge{}, st.edges...)
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	reported := map[[2]string]bool{}
+	for _, e := range edges {
+		key := [2]string{e.from, e.to}
+		if e.from > e.to {
+			key = [2]string{e.to, e.from}
+		}
+		if reported[key] {
+			continue
+		}
+		if reaches(e.to, e.from) {
+			reported[key] = true
+			st.m.Reportf(e.pos,
+				"lock order cycle: %s is acquired while %s is held, but elsewhere %s is acquired while %s is held — potential deadlock",
+				e.to, e.from, e.from, e.to)
+		}
+	}
+}
+
+// lockWalker scans one function body in source order.
+type lockWalker struct {
+	st      *lockorderState
+	pkg     *Package
+	fn      *types.Func
+	summary *lockorderFunc
+	held    []heldLock
+}
+
+// entryHeld seeds the held-set for *Locked methods: the receiver's mutex
+// fields are held by contract (matching lockguard's convention), so the
+// locks such helpers acquire are ordered after them.
+func (w *lockWalker) entryHeld(pkg *Package, fd *ast.FuncDecl) []heldLock {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	if len(fd.Name.Name) < len("Locked") || fd.Name.Name[len(fd.Name.Name)-len("Locked"):] != "Locked" {
+		return nil
+	}
+	rv, ok := pkg.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	if !ok {
+		return nil
+	}
+	t := rv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	strct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	var held []heldLock
+	for i := 0; i < strct.NumFields(); i++ {
+		fld := strct.Field(i)
+		if isMutexType(fld.Type()) {
+			held = append(held, heldLock{
+				abstract: named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fld.Name(),
+				concrete: recvName + "." + fld.Name(),
+				excl:     true,
+			})
+		}
+	}
+	return held
+}
+
+func (w *lockWalker) walk(body ast.Node, entry []heldLock) {
+	w.held = append([]heldLock{}, entry...)
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred unlocks run at exit; treating them as immediate
+			// would clear the held-set mid-body. Deferred closures are
+			// analyzed as independent roots.
+			ast.Inspect(n.Call, func(inner ast.Node) bool {
+				if lit, ok := inner.(*ast.FuncLit); ok {
+					lits = append(lits, lit)
+					return false
+				}
+				return true
+			})
+			return false
+		case *ast.FuncLit:
+			lits = append(lits, n)
+			return false
+		case *ast.CallExpr:
+			w.call(n)
+		}
+		return true
+	})
+	for _, lit := range lits {
+		inner := &lockWalker{st: w.st, pkg: w.pkg, fn: w.fn, summary: w.summary}
+		inner.walk(lit.Body, nil)
+	}
+}
+
+// call handles one call expression: a mutex operation updates the
+// held-set and the graph; a statically resolved module-internal call is
+// recorded for the transitive pass.
+func (w *lockWalker) call(call *ast.CallExpr) {
+	var id *ast.Ident
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if isSel {
+		id = sel.Sel
+	} else if plain, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		id = plain
+	} else {
+		return
+	}
+	fn, ok := w.pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isMutexType(sig.Recv().Type()) && isSel {
+			w.mutexOp(call, sel, fn.Name())
+		}
+		return
+	}
+	// Record module-internal static callees made with locks held.
+	if len(w.held) == 0 || fn.Pkg() == nil {
+		return
+	}
+	held := make([]string, 0, len(w.held))
+	for _, h := range w.held {
+		held = append(held, h.abstract)
+	}
+	w.summary.calls = append(w.summary.calls, lockCall{callee: fn, held: held, pos: call.Lparen})
+}
+
+func (w *lockWalker) mutexOp(call *ast.CallExpr, sel *ast.SelectorExpr, op string) {
+	abstract := w.abstractMutex(sel.X)
+	concrete := exprPath(sel.X)
+	switch op {
+	case "Lock", "RLock":
+		excl := op == "Lock"
+		if excl && concrete != "" {
+			for _, h := range w.held {
+				if h.concrete == concrete && h.excl {
+					w.st.m.Reportf(call.Lparen,
+						"%s.Lock() while %s is already held: guaranteed self-deadlock", concrete, concrete)
+				}
+			}
+		}
+		if abstract != "" {
+			for _, h := range w.held {
+				if h.abstract != abstract {
+					w.st.edges = append(w.st.edges, lockEdge{from: h.abstract, to: abstract, pos: call.Lparen})
+				}
+			}
+			if _, ok := w.summary.acquires[abstract]; !ok {
+				w.summary.acquires[abstract] = call.Lparen
+			}
+		}
+		w.held = append(w.held, heldLock{abstract: abstract, concrete: concrete, excl: excl})
+	case "Unlock", "RUnlock":
+		for i := len(w.held) - 1; i >= 0; i-- {
+			h := w.held[i]
+			if (concrete != "" && h.concrete == concrete) || (concrete == "" && h.abstract == abstract) {
+				w.held = append(w.held[:i], w.held[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// abstractMutex names the graph node for a mutex expression: the owning
+// type and field for field selections, "pkg.name" for package-level
+// variables, "" for anything untrackable (locals, map entries).
+func (w *lockWalker) abstractMutex(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := w.pkg.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			t := s.Recv()
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+			return ""
+		}
+		// Package-qualified variable (otherpkg.Mu).
+		if v, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := w.pkg.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nocopy forbids copying values whose type contains a sync.Mutex or
+// sync.RWMutex — directly, through a nested field, an embedded type, or
+// an array element — or whose pointer method set carries a Lock/Unlock
+// pair that its value method set lacks (the method-set-aware version of
+// vet's copylocks, so a wrapper hiding its mutex behind accessor methods
+// is still caught). A copied mutex is a fork: the copy and the original
+// guard nothing in common, and the data they were protecting silently
+// races.
+//
+// Flagged copy sites: by-value receivers, by-value parameters and
+// results in function signatures, range-clause value copies, assignments
+// and returns that read an existing lock-bearing value, and call
+// arguments passed by value. Constructing a fresh value (composite
+// literal, new, var declaration) is not a copy and is not flagged.
+var Nocopy = &Analyzer{
+	Name: "nocopy",
+	Doc: "no value copies of types that contain sync.Mutex/RWMutex (directly, " +
+		"nested, embedded, or via a pointer-only Lock/Unlock method set)",
+	Run: runNocopy,
+}
+
+// lockReason memoizes why a type must not be copied ("" = copyable).
+type lockReason struct {
+	desc string
+	bad  bool
+}
+
+type nocopyState struct {
+	p    *Pass
+	memo map[types.Type]lockReason
+}
+
+func runNocopy(p *Pass) {
+	st := &nocopyState{p: p, memo: map[types.Type]lockReason{}}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				st.checkSignature(n.Recv, n.Type)
+			case *ast.FuncLit:
+				st.checkSignature(nil, n.Type)
+			case *ast.RangeStmt:
+				st.checkRange(n)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// A blank LHS discards the value: no live copy.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					st.checkCopyRead(rhs, "assignment copies")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					st.checkCopyRead(res, "return copies")
+				}
+			case *ast.CallExpr:
+				st.checkCall(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags by-value lock-bearing receivers, parameters, and
+// results.
+func (st *nocopyState) checkSignature(recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, fld := range fl.List {
+			t := st.p.Info.Types[fld.Type].Type
+			if t == nil {
+				continue
+			}
+			if reason, bad := st.containsLock(t); bad {
+				st.p.Reportf(fld.Type.Pos(),
+					"by-value %s of type %s copies %s; use a pointer", what, t, reason)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+	report(ft.Results, "result")
+}
+
+// checkRange flags `for _, v := range xs` where v copies a lock-bearing
+// element.
+func (st *nocopyState) checkRange(r *ast.RangeStmt) {
+	for _, e := range []ast.Expr{r.Key, r.Value} {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		t := st.p.Info.Types[e].Type
+		if t == nil {
+			// := defines the variable; Types has no entry, Defs does.
+			if id, ok := e.(*ast.Ident); ok {
+				if v, vok := st.p.Info.Defs[id].(*types.Var); vok {
+					t = v.Type()
+				}
+			}
+		}
+		if t == nil {
+			continue
+		}
+		if reason, bad := st.containsLock(t); bad {
+			st.p.Reportf(e.Pos(),
+				"range clause copies %s values; each copy forks %s — iterate by index or over pointers", t, reason)
+		}
+	}
+}
+
+// checkCall flags lock-bearing values passed (or converted) by value.
+func (st *nocopyState) checkCall(call *ast.CallExpr) {
+	if tv, ok := st.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion T(x): copies x.
+		for _, arg := range call.Args {
+			st.checkCopyRead(arg, "conversion copies")
+		}
+		return
+	}
+	if tv, ok := st.p.Info.Types[call.Fun]; ok && tv.IsBuiltin() {
+		return // len/cap/append etc. judged too noisy; vet covers copy()
+	}
+	for _, arg := range call.Args {
+		st.checkCopyRead(arg, "call passes")
+	}
+}
+
+// checkCopyRead flags e when it reads an existing lock-bearing value by
+// value (identifier, field, deref, or index — not construction).
+func (st *nocopyState) checkCopyRead(e ast.Expr, verb string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := st.p.Info.Types[e].Type
+	if t == nil {
+		return
+	}
+	if reason, bad := st.containsLock(t); bad {
+		st.p.Reportf(e.Pos(), "%s a %s by value, which copies %s", verb, t, reason)
+	}
+}
+
+// containsLock reports whether copying a value of type t would copy a
+// mutex, and describes where the mutex lives.
+func (st *nocopyState) containsLock(t types.Type) (string, bool) {
+	if r, ok := st.memo[t]; ok {
+		return r.desc, r.bad
+	}
+	st.memo[t] = lockReason{} // in-progress: break recursive types
+	desc, bad := st.lockDesc(t)
+	st.memo[t] = lockReason{desc: desc, bad: bad}
+	return desc, bad
+}
+
+func (st *nocopyState) lockDesc(t types.Type) (string, bool) {
+	if isMutexType(t) {
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return "", false // a *Mutex copy shares the lock; fine
+		}
+		return "its " + t.String(), true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			fld := u.Field(i)
+			if desc, bad := st.containsLock(fld.Type()); bad {
+				if fld.Embedded() {
+					return "embedded " + fld.Name() + " (" + desc + ")", true
+				}
+				return "field " + fld.Name() + " (" + desc + ")", true
+			}
+		}
+	case *types.Array:
+		if desc, bad := st.containsLock(u.Elem()); bad {
+			return "array element (" + desc + ")", true
+		}
+	}
+	// Method-set-aware fallback: a pointer-only Lock/Unlock pair marks
+	// the type as lock-bearing even when the mutex itself is unexported
+	// in another package.
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			ptrSet := types.NewMethodSet(types.NewPointer(t))
+			valSet := types.NewMethodSet(t)
+			if hasMethod(ptrSet, "Lock") && hasMethod(ptrSet, "Unlock") && !hasMethod(valSet, "Lock") {
+				return "its pointer-receiver Lock/Unlock pair", true
+			}
+		}
+	}
+	return "", false
+}
+
+func hasMethod(ms *types.MethodSet, name string) bool {
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func (c *counter) badRead() int {
+	return c.n // want `unguarded read of c\.n`
+}
+
+func (c *counter) badWrite() {
+	c.n = 1 // want `unguarded write to c\.n`
+}
+
+func (c *counter) branchy(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `unguarded write to c\.n`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) bothBranches(b bool) {
+	if b {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.n++ // clean: held on every inbound path
+	c.mu.Unlock()
+}
+
+func (c *counter) bumpLocked() {
+	c.n++ // clean: *Locked methods hold the receiver's mutexes by contract
+}
+
+func (c *counter) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 1
+	go func() {
+		c.n = 2 // want `unguarded write to c\.n`
+	}()
+}
+
+func (c *counter) closure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bump := func() { c.n++ } // clean: inherits the creation-point lock state
+	bump()
+}
+
+func (c *counter) loopy(vals []int) {
+	c.mu.Lock()
+	for _, v := range vals {
+		c.n += v
+	}
+	c.mu.Unlock()
+	for range vals {
+		c.n-- // want `unguarded write to c\.n`
+	}
+}
+
+type stats struct {
+	rw   sync.RWMutex
+	hits int // guarded by rw
+}
+
+func (s *stats) read() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.hits
+}
+
+func (s *stats) badRWWrite() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.hits++ // want `writes require Lock`
+}
+
+func (s *stats) switchy(mode int) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	switch mode {
+	case 0:
+		return s.hits
+	default:
+		return -s.hits
+	}
+}
+
+func (s *stats) afterUnlock() int {
+	s.rw.Lock()
+	s.hits++
+	s.rw.Unlock()
+	return s.hits // want `unguarded read of s\.hits`
+}
+
+type badAnnotations struct {
+	x int // guarded by nosuch // want `not a sibling field`
+	y int // guarded by z // want `not a sync\.Mutex`
+	z int
+}
+
+var (
+	tableMu sync.Mutex
+	table   = map[string]int{} // guarded by tableMu
+)
+
+func goodTable(k string) int {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	return table[k]
+}
+
+func badTable(k string) int {
+	return table[k] // want `unguarded read of table`
+}

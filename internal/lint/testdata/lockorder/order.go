@@ -1,0 +1,83 @@
+package fixture
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+var (
+	x a
+	y b
+)
+
+func abOrder() {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock order cycle`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func baOrder() {
+	y.mu.Lock()
+	x.mu.Lock() // the a↔b pair is reported once, at the first edge seen
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+
+func nested() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // same a→b edge: no new report
+	defer y.mu.Unlock()
+}
+
+func selfDeadlock() {
+	x.mu.Lock()
+	x.mu.Lock() // want `guaranteed self-deadlock`
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+var (
+	cc c
+	dd d
+)
+
+func lockD() {
+	dd.mu.Lock()
+	defer dd.mu.Unlock()
+}
+
+func cThenD() {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	lockD() // want `lock order cycle`
+}
+
+func dThenC() {
+	dd.mu.Lock()
+	cc.mu.Lock()
+	cc.mu.Unlock()
+	dd.mu.Unlock()
+}
+
+type reg struct {
+	mu    sync.Mutex
+	items int
+}
+
+func (r *reg) drainLocked() {
+	x.mu.Lock() // want `lock order cycle`
+	r.items = 0
+	x.mu.Unlock()
+}
+
+func aThenReg(r *reg) {
+	x.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	x.mu.Unlock()
+}

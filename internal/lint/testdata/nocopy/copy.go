@@ -1,0 +1,86 @@
+package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct{ b box }
+
+type embeds struct{ sync.Mutex }
+
+// latch hides its locking behind methods: no mutex field in sight, but
+// the pointer-only Lock/Unlock pair still marks it uncopyable.
+type latch struct{ state int }
+
+func (l *latch) Lock()   { l.state++ }
+func (l *latch) Unlock() { l.state-- }
+
+func (b box) value() {} // want `by-value receiver`
+
+func (b *box) pointer() {} // clean
+
+func (e embeds) m() {} // want `embedded Mutex`
+
+func take(b box) {} // want `by-value parameter`
+
+func takeWrapped(w wrapper) {} // want `field b`
+
+func takeLatch(l latch) {} // want `pointer-receiver Lock/Unlock`
+
+func takePtr(b *box) {} // clean
+
+func ret(p *box) box { // want `by-value result`
+	return *p // want `return copies`
+}
+
+func assigns(p *box, m map[string]box) {
+	v := *p // want `assignment copies`
+	_ = v
+	arr := [2]box{}
+	w := arr[0] // want `assignment copies`
+	_ = w
+	e := m["k"] // want `assignment copies`
+	_ = e
+	fresh := box{} // clean: construction, not a copy
+	_ = fresh
+}
+
+func ranges(xs []box) {
+	for _, v := range xs { // want `range clause copies`
+		_ = v
+	}
+	for i := range xs { // clean
+		_ = i
+	}
+	for _, p := range ptrs(xs) { // clean: pointer elements
+		_ = p
+	}
+}
+
+func ptrs(xs []box) []*box {
+	out := make([]*box, len(xs))
+	for i := range xs {
+		out[i] = &xs[i]
+	}
+	return out
+}
+
+func calls(b *box) {
+	take(*b) // want `call passes`
+	takePtr(b)
+}
+
+type boxAlias box
+
+func conv(b *box) {
+	v := boxAlias(*b) // want `conversion copies`
+	_ = v
+}
+
+func closures() {
+	f := func(b box) {} // want `by-value parameter`
+	_ = f
+}

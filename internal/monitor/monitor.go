@@ -28,6 +28,7 @@ type histogram struct {
 	total   uint64
 }
 
+//perf:hot
 func (h *histogram) observe(v float64) {
 	for i, ub := range h.buckets {
 		if v <= ub {
@@ -42,14 +43,14 @@ func (h *histogram) observe(v float64) {
 // Registry is a thread-safe set of named metrics.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]float64
-	gauges     map[string]float64
-	histograms map[string]*histogram
+	counters   map[string]float64    // guarded by mu
+	gauges     map[string]float64    // guarded by mu
+	histograms map[string]*histogram // guarded by mu
 	// series tracks, per bare metric name, the label sets materialized
 	// through AddL/ObserveL/SetL — the state behind MaxSeriesPerMetric.
-	series map[string]map[string]bool
+	series map[string]map[string]bool // guarded by mu
 	// limits overrides MaxSeriesPerMetric per bare metric name.
-	limits map[string]int
+	limits map[string]int // guarded by mu
 }
 
 // NewRegistry creates an empty registry.
@@ -64,6 +65,8 @@ func NewRegistry() *Registry {
 }
 
 // Add increments a counter.
+//
+//perf:hot
 func (r *Registry) Add(name string, delta float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -71,6 +74,8 @@ func (r *Registry) Add(name string, delta float64) {
 }
 
 // Set stores a gauge value.
+//
+//perf:hot
 func (r *Registry) Set(name string, value float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -257,9 +262,9 @@ type CheckResult struct {
 // monitoring every 12-24 hours".
 type HealthChecker struct {
 	mu     sync.Mutex
-	checks []Check
-	last   []CheckResult
-	lastAt time.Time
+	checks []Check       // guarded by mu
+	last   []CheckResult // guarded by mu
+	lastAt time.Time     // guarded by mu
 }
 
 // NewHealthChecker creates an empty checker.

@@ -62,8 +62,8 @@ type Push struct {
 	addr string
 
 	mu     sync.Mutex
-	conn   net.Conn
-	closed bool
+	conn   net.Conn // guarded by mu
+	closed bool     // guarded by mu
 }
 
 // NewPush creates a push socket targeting addr (dialing is lazy).
@@ -142,7 +142,7 @@ type Pull struct {
 	once   sync.Once
 
 	mu    sync.Mutex
-	conns map[net.Conn]bool
+	conns map[net.Conn]bool // guarded by mu
 }
 
 // NewPull listens on addr ("127.0.0.1:0" picks a free port).
@@ -229,10 +229,10 @@ type Pub struct {
 	hwm int
 
 	mu      sync.Mutex
-	subs    map[int]*subscriber
-	nextID  int
-	dropped int
-	closed  bool
+	subs    map[int]*subscriber // guarded by mu
+	nextID  int                 // guarded by mu
+	dropped int                 // guarded by mu
+	closed  bool                // guarded by mu
 }
 
 type subscriber struct {
@@ -431,7 +431,7 @@ func (r *Rep) Close() error { return r.ln.Close() }
 // Req is the client side of request/reply.
 type Req struct {
 	mu   sync.Mutex
-	conn net.Conn
+	conn net.Conn // guarded by mu
 }
 
 // NewReq connects to a Rep server.
@@ -458,5 +458,12 @@ func (r *Req) Do(request []byte, timeout time.Duration) ([]byte, error) {
 	return readFrame(r.conn)
 }
 
-// Close closes the connection.
-func (r *Req) Close() error { return r.conn.Close() }
+// Close closes the connection. The close itself happens outside the
+// mutex so an in-flight Do blocked on a read is interrupted rather than
+// waited out.
+func (r *Req) Close() error {
+	r.mu.Lock()
+	conn := r.conn
+	r.mu.Unlock()
+	return conn.Close()
+}

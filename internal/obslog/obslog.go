@@ -154,13 +154,13 @@ type Sink interface {
 type Journal struct {
 	mu      sync.Mutex
 	clock   Clock
-	min     Level
-	ring    []Event
-	next    uint64 // next sequence number (first event is 1)
-	head    int    // ring index of the oldest retained event
-	count   int    // retained events
-	evicted uint64
-	sinks   []Sink
+	min     Level   // guarded by mu
+	ring    []Event // guarded by mu
+	next    uint64  // guarded by mu; next sequence number (first event is 1)
+	head    int     // guarded by mu; ring index of the oldest retained event
+	count   int     // guarded by mu; retained events
+	evicted uint64  // guarded by mu
+	sinks   []Sink  // guarded by mu
 }
 
 // DefaultCapacity is the ring size New uses when given a non-positive
@@ -200,6 +200,11 @@ func (j *Journal) AddSink(s Sink) {
 // Emit records one event, stamping it from the journal clock and pulling
 // the run ID and active span from ctx. Events below the minimum level are
 // dropped. Nil journals drop everything.
+//
+// The ring never reallocates: the fill phase stores through a reslice of
+// the backing array New made, and the steady state overwrites in place.
+//
+//perf:hot
 func (j *Journal) Emit(ctx context.Context, level Level, component, msg string, fields ...Field) {
 	if j == nil {
 		return
@@ -218,7 +223,8 @@ func (j *Journal) Emit(ctx context.Context, level Level, component, msg string, 
 		Component: component, Msg: msg, Run: run, Tenant: tenant, Span: span, Fields: fields,
 	}
 	if j.count < cap(j.ring) {
-		j.ring = append(j.ring, e)
+		j.ring = j.ring[:j.count+1]
+		j.ring[j.count] = e
 		j.count++
 	} else {
 		j.ring[j.head] = e

@@ -159,10 +159,10 @@ type Server struct {
 	hwm int
 
 	mu       sync.Mutex
-	channels map[string]map[int]chan []byte
-	nextID   int
-	dropped  int
-	closed   bool
+	channels map[string]map[int]chan []byte // guarded by mu
+	nextID   int                            // guarded by mu
+	dropped  int                            // guarded by mu
+	closed   bool                           // guarded by mu
 }
 
 // NewServer listens on addr. hwm is the per-monitor frame buffer

@@ -105,3 +105,48 @@ func TestSpecPortsHandWrittenBurstIncident(t *testing.T) {
 		}
 	}
 }
+
+// TestSpecPortsGPUContentionExperiment re-expresses EXPERIMENTS.md X4 —
+// the hand-coded core.RunStreamingContention shared-vs-reserved
+// comparison — as the gpu_contention_* spec pair and proves the ported
+// scenarios reproduce the policy crossover: on the identical saturated
+// campaign, the shared pool misses the streaming budget while
+// per-beamline reservation holds it at exactly 100%.
+func TestSpecPortsGPUContentionExperiment(t *testing.T) {
+	runSpec := func(path string) *Outcome {
+		spec, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	shared := runSpec("testdata/gpu_contention_shared.yaml")
+	reserved := runSpec("testdata/gpu_contention_reserved.yaml")
+
+	if shared.StreamingUnder10sPct >= 99 {
+		t.Errorf("saturated shared pool should miss the budget: %.2f%%",
+			shared.StreamingUnder10sPct)
+	}
+	if reserved.StreamingUnder10sPct != 100 {
+		t.Errorf("per-beamline reservation should hold the budget: %.2f%%",
+			reserved.StreamingUnder10sPct)
+	}
+	if reserved.StreamingUnder10sPct < shared.StreamingUnder10sPct {
+		t.Errorf("crossover inverted: reserved %.2f%% below shared %.2f%%",
+			reserved.StreamingUnder10sPct, shared.StreamingUnder10sPct)
+	}
+	// Reservation is a policy change, not extra capacity: both runs
+	// drain the same workload on the same pool.
+	if shared.CompletedRuns != reserved.CompletedRuns {
+		t.Errorf("completed runs diverge: shared %d vs reserved %d",
+			shared.CompletedRuns, reserved.CompletedRuns)
+	}
+}

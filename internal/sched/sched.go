@@ -175,16 +175,16 @@ type Scheduler struct {
 	mu      sync.Mutex
 	e       *sim.Engine
 	cfg     Config
-	tenants []*tenantState // registration order: the deterministic tie-break
-	byID    map[string]*tenantState
+	tenants []*tenantState          // guarded by mu; registration order: the deterministic tie-break
+	byID    map[string]*tenantState // guarded by mu
 
-	wake        *sim.Signal // replaced on every broadcast
-	done        *sim.Signal // fired when closed and idle
-	closed      bool
-	outstanding int // accepted and not yet finished or shed
-	seq         int
-	totalShed   int
-	totalDefer  int
+	wake        *sim.Signal // guarded by mu; replaced on every broadcast
+	done        *sim.Signal // set once in New; fired when closed and idle
+	closed      bool        // guarded by mu
+	outstanding int         // guarded by mu; accepted and not yet finished or shed
+	seq         int         // guarded by mu
+	totalShed   int         // guarded by mu
+	totalDefer  int         // guarded by mu
 }
 
 // New creates a scheduler on the engine. Workers do not start until

@@ -31,9 +31,9 @@ type Dataset struct {
 // Catalog is an in-memory SciCat.
 type Catalog struct {
 	mu     sync.RWMutex
-	byPID  map[string]*Dataset
-	order  []string
-	nextID int
+	byPID  map[string]*Dataset // guarded by mu
+	order  []string            // guarded by mu
+	nextID int                 // guarded by mu
 }
 
 // New creates an empty catalog.

@@ -46,7 +46,7 @@ func (q *eventQueue) Pop() interface{} {
 // processes with Go, then call Run.
 type Engine struct {
 	nowMu  sync.Mutex // guards now against readers outside the sim thread
-	now    time.Time
+	now    time.Time  // guarded by nowMu
 	events eventQueue
 	seq    int64
 	yield  chan struct{} // the running process signals here when it blocks or ends
@@ -77,8 +77,8 @@ func (e *Engine) setNow(t time.Time) {
 
 // schedule pushes a wakeup at time t and returns its channel.
 func (e *Engine) schedule(at time.Time) *event {
-	if at.Before(e.now) {
-		at = e.now
+	if now := e.Now(); at.Before(now) {
+		at = now
 	}
 	e.seq++
 	ev := &event{at: at, seq: e.seq, wake: make(chan struct{})}
@@ -101,7 +101,7 @@ type Proc struct {
 func (e *Engine) Go(name string, fn func(p *Proc)) *Signal {
 	p := &Proc{e: e, Name: name, done: NewSignal(e)}
 	e.live++
-	ev := e.schedule(e.now)
+	ev := e.schedule(e.Now())
 	go func() {
 		<-ev.wake
 		defer func() {
@@ -128,7 +128,7 @@ func (e *Engine) RunUntil(deadline time.Time) time.Time {
 		ev := e.events[0]
 		if !deadline.IsZero() && ev.at.After(deadline) {
 			e.setNow(deadline)
-			return e.now
+			return e.Now()
 		}
 		heap.Pop(&e.events)
 		e.setNow(ev.at)
@@ -138,7 +138,7 @@ func (e *Engine) RunUntil(deadline time.Time) time.Time {
 	if e.live > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d live processes with empty event queue", e.live))
 	}
-	return e.now
+	return e.Now()
 }
 
 // Now returns the current virtual time.
@@ -153,7 +153,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	ev := p.e.schedule(p.e.now.Add(d))
+	ev := p.e.schedule(p.e.Now().Add(d))
 	p.e.yield <- struct{}{}
 	<-ev.wake
 }
@@ -178,9 +178,10 @@ func (s *Signal) Fire() {
 		return
 	}
 	s.fired = true
+	now := s.e.Now()
 	for _, w := range s.waiters {
 		// Reschedule each waiter as a fresh event at the fire time.
-		w.at = s.e.now
+		w.at = now
 		s.e.seq++
 		w.seq = s.e.seq
 		heap.Push(&s.e.events, w)
@@ -197,7 +198,7 @@ func (s *Signal) Wait(p *Proc) {
 		return
 	}
 	s.e.seq++
-	ev := &event{at: s.e.now, seq: s.e.seq, wake: make(chan struct{})}
+	ev := &event{at: s.e.Now(), seq: s.e.seq, wake: make(chan struct{})}
 	s.waiters = append(s.waiters, ev)
 	p.e.yield <- struct{}{}
 	<-ev.wake
@@ -247,7 +248,7 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	r.e.seq++
-	ev := &event{at: r.e.now, seq: r.e.seq, wake: make(chan struct{})}
+	ev := &event{at: r.e.Now(), seq: r.e.seq, wake: make(chan struct{})}
 	r.queue = append(r.queue, ev)
 	if len(r.queue) > r.PeakQueue {
 		r.PeakQueue = len(r.queue)
@@ -262,7 +263,7 @@ func (r *Resource) Release() {
 	if len(r.queue) > 0 {
 		next := r.queue[0]
 		r.queue = r.queue[1:]
-		next.at = r.e.now
+		next.at = r.e.Now()
 		r.e.seq++
 		next.seq = r.e.seq
 		heap.Push(&r.e.events, next)

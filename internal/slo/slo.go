@@ -116,10 +116,10 @@ type Engine struct {
 	mu      sync.Mutex
 	clock   Clock
 	journal *obslog.Journal
-	objs    []Objective
-	samples map[string][]sample
-	firing  map[string]bool
-	alerts  []Alert
+	objs    []Objective         // guarded by mu
+	samples map[string][]sample // guarded by mu
+	firing  map[string]bool     // guarded by mu
+	alerts  []Alert             // guarded by mu
 }
 
 // NewEngine creates an engine judging objs, stamping samples through

@@ -69,7 +69,7 @@ func (zs *zarrSource) slice(level, z int) (*vol.Image, error) {
 // Server is the Tiled-style HTTP data service.
 type Server struct {
 	mu   sync.RWMutex
-	vols map[string]source
+	vols map[string]source // guarded by mu
 }
 
 // NewServer creates an empty server.

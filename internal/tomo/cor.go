@@ -86,6 +86,8 @@ func ShiftSinogram(s *Sinogram, shift float64) *Sinogram {
 // ShiftSinogramInto is the allocation-free core of ShiftSinogram,
 // resampling every row of s into dst (which must have matching
 // dimensions).
+//
+//perf:hot
 func ShiftSinogramInto(dst, s *Sinogram, shift float64) {
 	for a := 0; a < s.NAngles; a++ {
 		src := s.Row(a)

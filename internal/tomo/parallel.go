@@ -201,8 +201,11 @@ func QuickPreview(ctx context.Context, ps *ProjectionSet, opts ReconOptions) (xy
 		go pv.run(ctx, w)
 	}
 	pv.wg.Wait()
-	if pv.err != nil {
-		return nil, nil, nil, pv.err
+	pv.mu.Lock()
+	err = pv.err
+	pv.mu.Unlock()
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, nil, err
@@ -223,7 +226,7 @@ type previewPass struct {
 	xz, yz *vol.Image
 	wg     sync.WaitGroup
 	mu     sync.Mutex
-	err    error
+	err    error // guarded by mu
 }
 
 func (pv *previewPass) run(ctx context.Context, start int) {

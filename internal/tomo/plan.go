@@ -114,8 +114,8 @@ const maxCachedPlans = 32
 
 var (
 	reconPlanMu    sync.Mutex
-	reconPlans     = map[planKey][]*ReconPlan{}
-	reconPlanCount int
+	reconPlans     = map[planKey][]*ReconPlan{} // guarded by reconPlanMu
+	reconPlanCount int                          // guarded by reconPlanMu
 )
 
 // PlanRecon returns a reconstruction plan for the given angle set and
@@ -371,6 +371,7 @@ func (p *ReconPlan) reconInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
 	}
 }
 
+//perf:hot
 func (p *ReconPlan) fbpInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
 	p.filterInto(sc.filtered, s, sc.cbuf)
 	dTab, invD := p.dTab, p.invD
@@ -387,6 +388,8 @@ func (p *ReconPlan) fbpInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
 // ramp taps are real and even (a real, symmetric impulse response), so
 // the two convolutions never mix. This halves the FFT count relative to
 // the row-at-a-time path.
+//
+//perf:hot
 func (p *ReconPlan) filterInto(dst, src *Sinogram, cbuf []complex128) {
 	nc := p.NCols
 	m := p.fm
@@ -422,6 +425,7 @@ func (p *ReconPlan) filterInto(dst, src *Sinogram, cbuf []complex128) {
 	}
 }
 
+//perf:hot
 func (p *ReconPlan) sirtInto(x *vol.Image, s *Sinogram, sc *Scratch) {
 	for i := range x.Pix {
 		x.Pix[i] = 0
@@ -454,6 +458,7 @@ func (p *ReconPlan) sirtInto(x *vol.Image, s *Sinogram, sc *Scratch) {
 	}
 }
 
+//perf:hot
 func (p *ReconPlan) sartInto(x *vol.Image, s *Sinogram, sc *Scratch) {
 	for i := range x.Pix {
 		x.Pix[i] = 0

@@ -12,6 +12,8 @@ import (
 // rays of a single projection angle (given as its cosine and sine),
 // filling one sinogram row. Rays step through the unit square with
 // bilinear sampling at half-pixel steps. Allocation-free.
+//
+//perf:hot
 func projectRow(row []float64, im *vol.Image, ct, st float64) {
 	n := im.W
 	step := 1.0 / float64(n) // half a pixel in [-1,1] units
@@ -133,6 +135,8 @@ func BackProject(s *Sinogram, n int) *vol.Image {
 // accumulated rounding (≲1e-13) only perturbs the interpolation point
 // of a continuous piecewise-linear function, never an include/exclude
 // decision, so results stay within the plan's 1e-12 equivalence bound.
+//
+//perf:hot
 func backProjectKernel(dst *vol.Image, s *Sinogram, cosT, sinT, xs []float64, lo, hi []int, scale float64, affine bool, dTab, invD []float64) {
 	n := dst.W
 	pix := dst.Pix

@@ -31,9 +31,9 @@ type Span struct {
 	name     string
 	stage    string
 	start    time.Time
-	end      time.Time
-	children []*Span
-	attrs    []Attr
+	end      time.Time // guarded by mu
+	children []*Span   // guarded by mu
+	attrs    []Attr    // guarded by mu
 }
 
 // Attr is one ordered key/value annotation on a span — how the scheduler
@@ -168,6 +168,14 @@ func (s *Span) Children() []*Span {
 	return append([]*Span(nil), s.children...)
 }
 
+// childrenLocked returns the live child slice. The caller holds the
+// tree mutex, which every span of one tree shares.
+func (s *Span) childrenLocked() []*Span { return s.children }
+
+// windowLocked returns the span's start and end times. The caller holds
+// the tree mutex.
+func (s *Span) windowLocked() (start, end time.Time) { return s.start, s.end }
+
 // Walk visits the span and every descendant depth-first in creation
 // order. depth is 0 for the receiver. fn runs outside the tree lock, so
 // it may call any span method.
@@ -184,7 +192,7 @@ func (s *Span) Walk(fn func(depth int, sp *Span)) {
 	var collect func(depth int, sp *Span)
 	collect = func(depth int, sp *Span) {
 		order = append(order, visit{depth, sp})
-		for _, c := range sp.children {
+		for _, c := range sp.childrenLocked() {
 			collect(depth+1, c)
 		}
 	}
@@ -265,10 +273,11 @@ func (s *Span) StageTotals() []StageTotal {
 	sums := map[string]float64{}
 	var covered float64
 	for _, c := range s.children {
-		if c.end.IsZero() {
+		cstart, cend := c.windowLocked()
+		if cend.IsZero() {
 			continue
 		}
-		d := c.end.Sub(c.start).Seconds()
+		d := cend.Sub(cstart).Seconds()
 		if _, seen := sums[c.stage]; !seen {
 			order = append(order, c.stage)
 		}

@@ -21,6 +21,26 @@ go vet ./...
 echo "== repolint =="
 go run ./cmd/repolint ./...
 
+echo "== repolint JSON gate (valid JSONL, zero findings) =="
+# The machine-readable mode must emit only parseable JSON lines — and on a
+# clean tree, none at all.
+jout=$(go run ./cmd/repolint -json ./...)
+if [ -n "$jout" ]; then
+	echo "repolint -json reported findings on a clean tree:"
+	echo "$jout"
+	exit 1
+fi
+echo "repolint -json: clean"
+
+echo "== repolint negative control (seeded fixture must fail) =="
+# A gate that cannot fail is no gate: pointing repolint at a deliberately
+# broken fixture package must produce findings and exit nonzero.
+if go run ./cmd/repolint -checks lockguard ./internal/lint/testdata/lockguard >/dev/null 2>&1; then
+	echo "repolint passed the seeded lockguard fixture; the gate is not detecting findings"
+	exit 1
+fi
+echo "repolint correctly rejects the seeded fixture"
+
 echo "== go build =="
 go build ./...
 
@@ -111,7 +131,7 @@ floor() {
 floor ./internal/trace 90
 floor ./internal/faults 90
 floor ./internal/flow 85
-floor ./internal/lint 85
+floor ./internal/lint 90
 floor ./internal/leakcheck 85
 floor ./internal/obslog 85
 floor ./internal/slo 90
