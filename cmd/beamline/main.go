@@ -38,6 +38,7 @@ func main() {
 	slices := flag.Int("slices", 16, "detector rows (volume slices)")
 	sample := flag.String("sample", "shepp", "shepp|feather|proppant")
 	workdir := flag.String("workdir", "", "artifact directory (temp dir when empty)")
+	incremental := flag.Bool("incremental", false, "fold projections into the preview as they stream in (tomo.IncrementalPreview)")
 	flag.Parse()
 
 	// One ctx from entry to exit: Ctrl-C aborts the streaming service and
@@ -65,7 +66,8 @@ func main() {
 
 	svc := &core.StreamingService{
 		PVAAddr: mirrorSrv.Addr(), Channel: "bl832:det", PreviewAddr: sink.Addr(),
-		Recon: tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
+		Recon:       tomo.ReconOptions{Algorithm: tomo.AlgFBP, Filter: tomo.SheppLoganFilter},
+		Incremental: *incremental,
 	}
 	go svc.Run(ctx)
 	waitMonitors(mirrorSrv, "bl832:det")

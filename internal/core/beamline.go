@@ -98,6 +98,12 @@ type SimConfig struct {
 	// Streaming GPU node: seconds of reconstruction per raw byte. The
 	// paper's 4-GPU node does ~20 GB in 7.5 s.
 	StreamGPURate float64 // bytes per second
+	// StreamIncremental switches the streaming branch to the incremental
+	// accumulator: each projection is filtered and backprojected as it
+	// arrives during acquisition, so after the final frame only one
+	// angle's fold plus the scale/assembly pass remain instead of a full
+	// reconstruction (see tomo.IncrementalRecon for the real kernel).
+	StreamIncremental bool
 
 	// File-based reconstruction models (see flows.go).
 	NERSCReconFixed time.Duration // per-job setup (container, preproc warmup)

@@ -229,13 +229,25 @@ func (b *Beamline) ArchiveFlow(ctx context.Context, p *sim.Proc, scan *Scan) err
 // (§5.2): frames are already resident in the NERSC GPU node's memory cache
 // when acquisition ends (they streamed during the scan), so the
 // time-to-preview is reconstruction on four GPUs plus sending three slices
-// back. It records a run under FlowStreaming and returns the latency.
+// back — or, with Cfg.StreamIncremental, just the last frame's fold and
+// the accumulator finalize. It records a run under FlowStreaming and
+// returns the latency.
 func (b *Beamline) StreamingPreviewSim(ctx context.Context, p *sim.Proc, scan *Scan) (time.Duration, error) {
 	fc := b.Flows.Start(ctx, FlowStreaming, flow.SimEnv{P: p})
 	start := p.Now()
 
 	err := fc.Task("gpu_backprojection", flow.TaskOptions{}, func(context.Context) error {
-		p.Sleep(time.Duration(float64(scan.RawBytes) / b.Cfg.StreamGPURate * float64(time.Second)))
+		full := time.Duration(float64(scan.RawBytes) / b.Cfg.StreamGPURate * float64(time.Second))
+		d := full
+		if b.Cfg.StreamIncremental && scan.NAngles > 0 {
+			// Incremental mode: the per-angle filtering and
+			// backprojection already ran while frames streamed in, so
+			// only the final frame's fold and the scale/assembly pass
+			// over the accumulators remain — each one angle's share of
+			// the full reconstruction.
+			d = 2 * full / time.Duration(scan.NAngles)
+		}
+		p.Sleep(d)
 		return nil
 	})
 	if err == nil {

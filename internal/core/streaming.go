@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -93,6 +94,15 @@ type StreamingService struct {
 	Channel     string
 	PreviewAddr string
 	Recon       tomo.ReconOptions
+	// Incremental folds every projection into per-scan preview
+	// accumulators the moment it is delivered, so once the end-of-scan
+	// marker arrives only a scale-and-assemble finalize and the send
+	// remain — the preview latency drops from a full reconstruction to
+	// one frame's worth of work. Scans the incremental accumulator cannot
+	// reproduce exactly (reference frames arriving after the first
+	// projection, or recon options beyond the incremental FBP's reach)
+	// fall back to the batch path transparently.
+	Incremental bool
 	// Env supplies every timestamp the service records (nil means the
 	// wall clock), keeping span trees reproducible under an injected
 	// clock.
@@ -102,6 +112,9 @@ type StreamingService struct {
 	ScansDone   int
 	LastLatency time.Duration
 	LastMissed  int
+	// IncrementalScans counts completed scans whose preview came off the
+	// incremental path rather than the batch fallback.
+	IncrementalScans int
 
 	// frames counts every frame received, including ones that are
 	// dropped as invalid — an observable tests synchronize on instead of
@@ -130,6 +143,16 @@ type scanCache struct {
 	projs  [][]uint16
 	flats  [][]uint16
 	darks  [][]uint16
+
+	// Incremental state, populated only when the service runs in
+	// incremental mode and the scan stays eligible: the reference frames
+	// are averaged and frozen at the first projection, each raw frame is
+	// normalized and -log'd into incLI, and folded into inc as it lands.
+	inc     *tomo.IncrementalPreview
+	incFlat []float64
+	incDark []float64
+	incLI   []float64
+	incBad  bool // accumulator diverged from the batch result; fall back
 }
 
 // Run consumes the channel until the stream closes or ctx is cancelled,
@@ -184,6 +207,12 @@ func (s *StreamingService) Run(ctx context.Context) error {
 		if cache == nil || cache.scanID != f.ScanID {
 			cacheSpan.End(env.Now()) // geometry/scan change: close any stale span
 			cache = &scanCache{scanID: f.ScanID, rows: f.Rows, cols: f.Cols}
+			if s.incrementalEligible() {
+				if ip, err := tomo.NewIncrementalPreview(f.Rows, f.Cols, s.Recon.Size, s.Recon.Filter); err == nil {
+					cache.inc = ip
+					cache.incLI = make([]float64, f.Rows*f.Cols)
+				}
+			}
 			cacheSpan = parent.StartChildStage("cache "+f.ScanID, "cache", env.Now())
 			obslog.Debug(ctx, "streaming", "scan started",
 				obslog.F("scan", f.ScanID), obslog.F("rows", f.Rows), obslog.F("cols", f.Cols))
@@ -194,11 +223,31 @@ func (s *StreamingService) Run(ctx context.Context) error {
 		switch f.Kind {
 		case pva.KindFlat:
 			cache.flats = append(cache.flats, f.Data)
+			if cache.inc != nil && len(cache.projs) > 0 {
+				// Late reference: the frozen flat no longer matches the
+				// batch average; the accumulator cannot be repaired.
+				cache.incBad = true
+			}
 		case pva.KindDark:
 			cache.darks = append(cache.darks, f.Data)
+			if cache.inc != nil && len(cache.projs) > 0 {
+				cache.incBad = true
+			}
 		default:
 			cache.angles = append(cache.angles, f.AngleRad)
 			cache.projs = append(cache.projs, f.Data)
+			if cache.inc != nil && !cache.incBad {
+				if cache.incFlat == nil {
+					// Freeze the reference correction at the first
+					// projection — the detector sends flats and darks
+					// ahead of the scan.
+					n := cache.rows * cache.cols
+					cache.incFlat = averageFrames(cache.flats, n, 1)
+					cache.incDark = averageFrames(cache.darks, n, 0)
+				}
+				normalizeLogInto(cache.incLI, f.Data, cache.incFlat, cache.incDark)
+				cache.inc.AddProjection(f.AngleRad, cache.incLI)
+			}
 		}
 	}
 }
@@ -208,22 +257,33 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace
 		return fmt.Errorf("core: scan %s completed with no projections", c.scanID)
 	}
 	env := s.clock()
-	recon := parent.StartChildStage("recon "+c.scanID, "recon", env.Now())
-	ps := tomo.NewProjectionSet(c.angles, c.rows, c.cols)
-	for a, proj := range c.projs {
-		dst := ps.Projection(a)
-		for i, v := range proj {
-			dst[i] = float64(v)
+	var xy, xz, yz *vol.Image
+	var err error
+	incremental := c.inc != nil && !c.incBad
+	if incremental {
+		// The projections are already filtered and backprojected into the
+		// accumulators; only the π/n scale and the slice assembly remain.
+		fin := parent.StartChildStage("finalize "+c.scanID, "finalize", env.Now())
+		xy, xz, yz, err = c.inc.Finalize()
+		fin.End(env.Now())
+	} else {
+		recon := parent.StartChildStage("recon "+c.scanID, "recon", env.Now())
+		ps := tomo.NewProjectionSet(c.angles, c.rows, c.cols)
+		for a, proj := range c.projs {
+			dst := ps.Projection(a)
+			for i, v := range proj {
+				dst[i] = float64(v)
+			}
 		}
-	}
-	// Flat/dark correction from the cached reference frames (averaged),
-	// falling back to idealized references when absent.
-	flat := averageFrames(c.flats, c.rows*c.cols, 1)
-	dark := averageFrames(c.darks, c.rows*c.cols, 0)
-	li := tomo.MinusLog(tomo.Normalize(ps, flat, dark))
+		// Flat/dark correction from the cached reference frames (averaged),
+		// falling back to idealized references when absent.
+		flat := averageFrames(c.flats, c.rows*c.cols, 1)
+		dark := averageFrames(c.darks, c.rows*c.cols, 0)
+		li := tomo.MinusLog(tomo.Normalize(ps, flat, dark))
 
-	xy, xz, yz, err := tomo.QuickPreview(ctx, li, s.Recon)
-	recon.End(env.Now())
+		xy, xz, yz, err = tomo.QuickPreview(ctx, li, s.Recon)
+		recon.End(env.Now())
+	}
 	if err != nil {
 		obslog.Error(ctx, "streaming", "preview reconstruction failed",
 			obslog.F("scan", c.scanID), obslog.F("err", err))
@@ -243,11 +303,46 @@ func (s *StreamingService) reconstructAndSend(ctx context.Context, parent *trace
 	err = push.Send(ctx, msg)
 	send.End(env.Now())
 	if err == nil {
+		if incremental {
+			s.IncrementalScans++
+		}
 		obslog.Info(ctx, "streaming", "preview sent",
 			obslog.F("scan", c.scanID), obslog.F("angles", len(c.angles)),
-			obslog.F("missed", missed), obslog.F("latency", lat))
+			obslog.F("missed", missed), obslog.F("latency", lat),
+			obslog.F("incremental", incremental))
 	}
 	return err
+}
+
+// incrementalEligible reports whether the configured recon options can be
+// honoured by the incremental FBP accumulator bit for bit: QuickPreview
+// always reconstructs previews with FBP, so only option knobs the
+// incremental path lacks (COR handling, preprocessing, the float32 tier)
+// force the batch fallback.
+func (s *StreamingService) incrementalEligible() bool {
+	r := s.Recon
+	return s.Incremental &&
+		r.CORShift == 0 && !r.AutoCOR &&
+		r.Preprocess == (tomo.PreprocessOptions{}) &&
+		r.Precision == tomo.Float64
+}
+
+// normalizeLogInto flat/dark-corrects one raw detector frame and converts
+// it to line integrals — the per-frame form of MinusLog(Normalize(...)),
+// with identical clamps, writing into a preallocated buffer.
+func normalizeLogInto(dst []float64, raw []uint16, flat, dark []float64) {
+	const floor = 1e-6
+	for i, v := range raw {
+		den := flat[i] - dark[i]
+		if den < floor {
+			den = floor
+		}
+		tr := (float64(v) - dark[i]) / den
+		if tr < floor {
+			tr = floor
+		}
+		dst[i] = -math.Log(tr)
+	}
 }
 
 // averageFrames averages reference frames; when none exist it returns a

@@ -151,6 +151,181 @@ func TestStreamingEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStreamingIncrementalMatchesBatch publishes the same acquisition to
+// a batch service and an incremental one: the incremental preview must be
+// bit-identical to the batch preview (the accumulator reproduces the
+// reference FBP arithmetic exactly), the scan must be counted on the
+// incremental path, and its span tree must show the finalize stage in
+// place of the batch recon.
+func TestStreamingIncrementalMatchesBatch(t *testing.T) {
+	truth := phantom.SheppLogan3D(32, 6)
+	theta := tomo.UniformAngles(48)
+	acq := tomo.Acquire(truth, theta, 32, tomo.AcquireOptions{I0: 2e4, Seed: 9})
+
+	runOnce := func(incremental bool) (PreviewHeader, []*vol.Image, *StreamingService, *trace.Span) {
+		ioc, err := pva.NewServer("127.0.0.1:0", 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ioc.Close()
+		sink, err := msgq.NewPull("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sink.Close()
+		svc := &StreamingService{
+			PVAAddr: ioc.Addr(), Channel: "det",
+			PreviewAddr: sink.Addr(),
+			Recon:       tomo.ReconOptions{Filter: tomo.SheppLoganFilter},
+			Incremental: incremental,
+		}
+		root := trace.NewRoot("streaming", time.Now())
+		done := make(chan error, 1)
+		go func() { done <- svc.Run(trace.NewContext(context.Background(), root)) }()
+		waitForMonitors(t, ioc, "det", 1)
+		if err := PublishAcquisition(ioc, "det", "scan-inc", acq, 0); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := sink.Recv(30 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, slices, err := DecodePreview(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ioc.Close()
+		if err := <-done; err != nil {
+			t.Fatalf("service exit: %v", err)
+		}
+		return h, slices, svc, root
+	}
+
+	bh, batch, bsvc, _ := runOnce(false)
+	ih, inc, isvc, iroot := runOnce(true)
+
+	if bsvc.IncrementalScans != 0 {
+		t.Fatalf("batch service counted %d incremental scans", bsvc.IncrementalScans)
+	}
+	if isvc.IncrementalScans != 1 || isvc.ScansDone != 1 {
+		t.Fatalf("incremental service: %d incremental of %d scans", isvc.IncrementalScans, isvc.ScansDone)
+	}
+	if bh.ScanID != ih.ScanID || bh.NAngles != ih.NAngles {
+		t.Fatalf("headers diverge: %+v vs %+v", bh, ih)
+	}
+	names := []string{"xy", "xz", "yz"}
+	for i := range batch {
+		if batch[i].W != inc[i].W || batch[i].H != inc[i].H {
+			t.Fatalf("%s dims: %dx%d vs %dx%d", names[i], batch[i].W, batch[i].H, inc[i].W, inc[i].H)
+		}
+		for j := range batch[i].Pix {
+			if batch[i].Pix[j] != inc[i].Pix[j] {
+				t.Fatalf("%s pixel %d: batch %g vs incremental %g (must be bit-identical)",
+					names[i], j, batch[i].Pix[j], inc[i].Pix[j])
+			}
+		}
+	}
+	stages := []string{}
+	for _, sp := range iroot.Children() {
+		stages = append(stages, sp.Stage())
+	}
+	want := []string{"cache", "finalize", "preview_send"}
+	if len(stages) != len(want) {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Fatalf("stages = %v, want %v", stages, want)
+		}
+	}
+}
+
+// TestStreamingIncrementalLateReferenceFallsBack sends a flat frame after
+// projections have started: the frozen incremental correction no longer
+// matches the batch average, so the service must fall back to the batch
+// path — and still deliver a preview.
+func TestStreamingIncrementalLateReferenceFallsBack(t *testing.T) {
+	ioc, err := pva.NewServer("127.0.0.1:0", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ioc.Close()
+	sink, err := msgq.NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	svc := &StreamingService{
+		PVAAddr: ioc.Addr(), Channel: "det",
+		PreviewAddr: sink.Addr(),
+		Recon:       tomo.ReconOptions{Filter: tomo.SheppLoganFilter},
+		Incremental: true,
+	}
+	done := make(chan error, 1)
+	go func() { done <- svc.Run(context.Background()) }()
+	waitForMonitors(t, ioc, "det", 1)
+
+	truth := phantom.SheppLogan3D(16, 4)
+	theta := tomo.UniformAngles(12)
+	acq := tomo.Acquire(truth, theta, 16, tomo.AcquireOptions{I0: 2e4, Seed: 3})
+	raw := acq.Raw
+	n := raw.NRows * raw.NCols
+	toU16 := func(xs []float64) []uint16 {
+		out := make([]uint16, len(xs))
+		for i, v := range xs {
+			if v < 0 {
+				v = 0
+			}
+			if v > 65535 {
+				v = 65535
+			}
+			out[i] = uint16(v)
+		}
+		return out
+	}
+	seq := uint64(0)
+	send := func(f *pva.Frame) {
+		seq++
+		f.Seq, f.ScanID, f.Rows, f.Cols = seq, "scan-late", raw.NRows, raw.NCols
+		f.Timestamp = time.Now().UnixNano()
+		if err := ioc.Publish("det", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(&pva.Frame{Kind: pva.KindDark, Data: toU16(acq.Dark)})
+	for a := 0; a < raw.NAngles; a++ {
+		frame := &pva.Frame{Kind: pva.KindProjection, AngleRad: raw.Theta[a],
+			Data: toU16(raw.Data[a*n : (a+1)*n])}
+		send(frame)
+		if a == 2 {
+			send(&pva.Frame{Kind: pva.KindFlat, Data: toU16(acq.Flat)}) // late!
+		}
+	}
+	send(&pva.Frame{Kind: pva.KindEndOfScan})
+
+	msg, err := sink.Recv(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, slices, err := DecodePreview(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ScanID != "scan-late" || h.NAngles != 12 || len(slices) != 3 {
+		t.Fatalf("header %+v, %d slices", h, len(slices))
+	}
+	ioc.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("service exit: %v", err)
+	}
+	if svc.IncrementalScans != 0 {
+		t.Fatalf("late-reference scan was counted incremental (%d)", svc.IncrementalScans)
+	}
+	if svc.ScansDone != 1 {
+		t.Fatalf("scans done = %d", svc.ScansDone)
+	}
+}
+
 func centerRegion(im *vol.Image) []float64 {
 	var out []float64
 	for y := im.H / 4; y < im.H*3/4; y++ {

@@ -146,6 +146,36 @@ func (p *Plan) ConvolveInto(x, spec []complex128) {
 	p.Inverse(x)
 }
 
+// ConvolveBatchInto convolves every contiguous length-n row of x with the
+// kernel whose forward frequency response is spec, in place. len(x) must
+// be a whole number of plan-length rows. The batch runs stage-by-stage —
+// all forward transforms, one multiply sweep, all inverse transforms — so
+// spec stays hot in cache across the whole sinogram instead of being
+// re-streamed per row; per-row arithmetic is bit-identical to calling
+// ConvolveInto row by row.
+//
+//perf:hot
+func (p *Plan) ConvolveBatchInto(x, spec []complex128) {
+	p.checkLen(spec)
+	n := p.n
+	if n == 0 || len(x)%n != 0 {
+		p.badBatch(len(x))
+	}
+	rows := len(x) / n
+	for r := 0; r < rows; r++ {
+		p.Forward(x[r*n : (r+1)*n])
+	}
+	for r := 0; r < rows; r++ {
+		row := x[r*n : (r+1)*n]
+		for i := range row {
+			row[i] *= spec[i]
+		}
+	}
+	for r := 0; r < rows; r++ {
+		p.Inverse(x[r*n : (r+1)*n])
+	}
+}
+
 // Forward2D computes the forward DFT of the square n×n row-major image
 // img (n being the plan length) using col as column scratch (len ≥ n).
 // No allocations are performed.
@@ -195,6 +225,12 @@ func (p *Plan) checkLen(x []complex128) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft: buffer length %d does not match plan length %d", len(x), p.n))
 	}
+}
+
+// badBatch is the cold panic path of ConvolveBatchInto, kept out of the
+// hot function so its formatting does not allocate there.
+func (p *Plan) badBatch(got int) {
+	panic(fmt.Sprintf("fft: batch length %d is not a multiple of plan length %d", got, p.n))
 }
 
 // scramble applies the precomputed bit-reversal permutation.

@@ -1,0 +1,203 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Plan32 is the single-precision sibling of Plan: the same bit-reversal
+// permutation and exact-twiddle Cooley-Tukey stages over complex64
+// buffers. It backs the float32 reconstruction kernel tier, where the
+// halved memory traffic matters more than the last digits. Twiddles are
+// evaluated in float64 and rounded once, so each factor carries only the
+// single rounding of the final conversion. A Plan32 is immutable after
+// construction and safe for concurrent use.
+type Plan32 struct {
+	n   int
+	rev []int32     // flattened (i, j) swap pairs, i < j
+	twF []complex64 // twF[k] = exp(-2πik/n), k < n/2
+	twI []complex64 // twI[k] = exp(+2πik/n), k < n/2
+}
+
+// plan32Cache is deliberately separate from the float64 planCache: the two
+// tiers key on the same lengths, and sharing a map would force an
+// interface-typed value plus a type assertion on every hot lookup.
+var (
+	plan32Mu    sync.RWMutex
+	plan32Cache = map[int]*Plan32{}
+)
+
+// PlanFor32 returns the cached single-precision plan for power-of-two
+// length n, building it on first use. It panics when n is not a positive
+// power of two. PlanFor32(n) and PlanFor(n) are independent cache entries:
+// requesting one tier never builds or evicts the other.
+func PlanFor32(n int) *Plan32 {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	plan32Mu.RLock()
+	p := plan32Cache[n]
+	plan32Mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = newPlan32(n)
+	plan32Mu.Lock()
+	if q, ok := plan32Cache[n]; ok {
+		p = q // another goroutine won the race; share its plan
+	} else {
+		plan32Cache[n] = p
+	}
+	plan32Mu.Unlock()
+	return p
+}
+
+func newPlan32(n int) *Plan32 {
+	p := &Plan32{n: n}
+	if n <= 1 {
+		return p
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			p.rev = append(p.rev, int32(i), int32(j))
+		}
+	}
+	half := n / 2
+	p.twF = make([]complex64, half)
+	p.twI = make([]complex64, half)
+	for k := 0; k < half; k++ {
+		s, c := math.Sincos(2 * math.Pi * float64(k) / float64(n))
+		p.twF[k] = complex(float32(c), float32(-s))
+		p.twI[k] = complex(float32(c), float32(s))
+	}
+	return p
+}
+
+// Len returns the transform length the plan was built for.
+func (p *Plan32) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT of x. len(x) must equal the
+// plan length. The transform is unnormalized: Inverse(Forward(x)) == x up
+// to float32 rounding.
+//
+//perf:hot
+func (p *Plan32) Forward(x []complex64) {
+	p.checkLen(x)
+	p.scramble(x)
+	p.butterflies(x, p.twF)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization. len(x) must equal the plan length.
+//
+//perf:hot
+func (p *Plan32) Inverse(x []complex64) {
+	p.checkLen(x)
+	p.scramble(x)
+	p.butterflies(x, p.twI)
+	if p.n <= 1 {
+		return
+	}
+	s := float32(1) / float32(p.n)
+	for i := range x {
+		x[i] = complex(real(x[i])*s, imag(x[i])*s)
+	}
+}
+
+// ConvolveInto circularly convolves x, in place, with the kernel whose
+// forward frequency response is spec: x ← IFFT(FFT(x) ⊙ spec). No
+// allocations are performed.
+//
+//perf:hot
+func (p *Plan32) ConvolveInto(x, spec []complex64) {
+	p.checkLen(x)
+	p.checkLen(spec)
+	p.Forward(x)
+	for i := range x {
+		x[i] *= spec[i]
+	}
+	p.Inverse(x)
+}
+
+// ConvolveBatchInto convolves every contiguous length-n row of x with
+// spec, in place — the single-precision twin of Plan.ConvolveBatchInto,
+// with the same stage-by-stage sweep and the same bit-identity to the
+// row-at-a-time form.
+//
+//perf:hot
+func (p *Plan32) ConvolveBatchInto(x, spec []complex64) {
+	p.checkLen(spec)
+	n := p.n
+	if n == 0 || len(x)%n != 0 {
+		p.badBatch(len(x))
+	}
+	rows := len(x) / n
+	for r := 0; r < rows; r++ {
+		p.Forward(x[r*n : (r+1)*n])
+	}
+	for r := 0; r < rows; r++ {
+		row := x[r*n : (r+1)*n]
+		for i := range row {
+			row[i] *= spec[i]
+		}
+	}
+	for r := 0; r < rows; r++ {
+		p.Inverse(x[r*n : (r+1)*n])
+	}
+}
+
+func (p *Plan32) checkLen(x []complex64) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: buffer length %d does not match plan length %d", len(x), p.n))
+	}
+}
+
+// badBatch is the cold panic path of ConvolveBatchInto, kept out of the
+// hot function so its formatting does not allocate there.
+func (p *Plan32) badBatch(got int) {
+	panic(fmt.Sprintf("fft: batch length %d is not a multiple of plan length %d", got, p.n))
+}
+
+// scramble applies the precomputed bit-reversal permutation.
+//
+//perf:hot
+func (p *Plan32) scramble(x []complex64) {
+	rev := p.rev
+	for i := 0; i < len(rev); i += 2 {
+		a, b := rev[i], rev[i+1]
+		x[a], x[b] = x[b], x[a]
+	}
+}
+
+// butterflies runs the iterative Cooley-Tukey stages against a twiddle
+// table (forward or inverse).
+//
+//perf:hot
+func (p *Plan32) butterflies(x []complex64, tw []complex64) {
+	n := p.n
+	if n <= 1 {
+		return
+	}
+	for i := 0; i < n; i += 2 {
+		a, b := x[i], x[i+1]
+		x[i], x[i+1] = a+b, a-b
+	}
+	for size := 4; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for i := start; i < start+half; i++ {
+				a := x[i]
+				b := x[i+half] * tw[k]
+				x[i] = a + b
+				x[i+half] = a - b
+				k += stride
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randComplex64(n int, seed int64) []complex64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex64, n)
+	for i := range x {
+		x[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return x
+}
+
+func TestPlan32RoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		p := PlanFor32(n)
+		if p.Len() != n {
+			t.Fatalf("PlanFor32(%d).Len() = %d", n, p.Len())
+		}
+		x := randComplex64(n, int64(n))
+		orig := append([]complex64(nil), x...)
+		p.Forward(x)
+		p.Inverse(x)
+		for i := range x {
+			if d := cmplxAbs64(x[i] - orig[i]); d > 1e-5 {
+				t.Fatalf("n=%d round trip: |Δ[%d]| = %g > 1e-5", n, i, d)
+			}
+		}
+	}
+}
+
+// TestPlan32SizeOneTwo pins the degenerate transform lengths the plan
+// builder special-cases: length 1 is the identity, length 2 is the
+// butterfly [a+b, a−b] (and halved back by Inverse).
+func TestPlan32SizeOneTwo(t *testing.T) {
+	p1 := PlanFor32(1)
+	x1 := []complex64{complex(3, -2)}
+	p1.Forward(x1)
+	if x1[0] != complex(3, -2) {
+		t.Errorf("size-1 forward changed the sample: %v", x1[0])
+	}
+	p1.Inverse(x1)
+	if x1[0] != complex(3, -2) {
+		t.Errorf("size-1 inverse changed the sample: %v", x1[0])
+	}
+
+	p2 := PlanFor32(2)
+	x2 := []complex64{complex(1, 0), complex(2, 0)}
+	p2.Forward(x2)
+	if x2[0] != complex(3, 0) || x2[1] != complex(-1, 0) {
+		t.Errorf("size-2 forward = %v, want [(3+0i) (-1+0i)]", x2)
+	}
+	p2.Inverse(x2)
+	if x2[0] != complex(1, 0) || x2[1] != complex(2, 0) {
+		t.Errorf("size-2 round trip = %v, want [(1+0i) (2+0i)]", x2)
+	}
+}
+
+func TestPlanFor32PanicsOnNonPow2(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 12, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PlanFor32(%d) did not panic", n)
+				}
+			}()
+			PlanFor32(n)
+		}()
+	}
+}
+
+// TestPlan32CacheIndependentOfFloat64 guards the deliberate decision to
+// keep the two precision tiers in separate caches keyed on the same
+// lengths: requesting one tier returns a stable cached instance and never
+// aliases or perturbs the other tier's plan for the same n.
+func TestPlan32CacheIndependentOfFloat64(t *testing.T) {
+	const n = 32
+	p64 := PlanFor(n)
+	p32a := PlanFor32(n)
+	p32b := PlanFor32(n)
+	if p32a != p32b {
+		t.Error("PlanFor32 did not return the cached instance on the second call")
+	}
+	if PlanFor(n) != p64 {
+		t.Error("building the float32 plan evicted or replaced the float64 plan")
+	}
+	if p64.Len() != p32a.Len() {
+		t.Errorf("tier lengths diverge: %d vs %d", p64.Len(), p32a.Len())
+	}
+}
+
+// TestPlan32MatchesFloat64 cross-checks the single-precision transform
+// against the double-precision one on identical data: agreement to
+// float32 rounding, for both directions.
+func TestPlan32MatchesFloat64(t *testing.T) {
+	const n = 128
+	rng := rand.New(rand.NewSource(7))
+	x64 := make([]complex128, n)
+	x32 := make([]complex64, n)
+	for i := range x64 {
+		re, im := rng.NormFloat64(), rng.NormFloat64()
+		x64[i] = complex(re, im)
+		x32[i] = complex(float32(re), float32(im))
+	}
+	PlanFor(n).Forward(x64)
+	PlanFor32(n).Forward(x32)
+	for i := range x64 {
+		d := math.Hypot(real(x64[i])-float64(real(x32[i])), imag(x64[i])-float64(imag(x32[i])))
+		if d > 1e-3 { // spectra have magnitude ~√n ≈ 11; 1e-3 ≈ 100× f32 eps headroom
+			t.Fatalf("forward bin %d: |Δ| = %g > 1e-3", i, d)
+		}
+	}
+}
+
+// TestConvolveBatchMatchesPerRow proves the batch entry point's claim on
+// both tiers: stage-reordered batch convolution is bit-identical to
+// convolving row by row.
+func TestConvolveBatchMatchesPerRow(t *testing.T) {
+	const n, rows = 64, 7
+	rng := rand.New(rand.NewSource(11))
+
+	spec64 := make([]complex128, n)
+	for i := range spec64 {
+		spec64[i] = complex(rng.NormFloat64(), 0)
+	}
+	batch64 := make([]complex128, rows*n)
+	for i := range batch64 {
+		batch64[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	serial64 := append([]complex128(nil), batch64...)
+	p64 := PlanFor(n)
+	p64.ConvolveBatchInto(batch64, spec64)
+	for r := 0; r < rows; r++ {
+		p64.ConvolveInto(serial64[r*n:(r+1)*n], spec64)
+	}
+	for i := range batch64 {
+		if batch64[i] != serial64[i] {
+			t.Fatalf("float64 batch[%d] = %v, per-row = %v (must be bit-identical)", i, batch64[i], serial64[i])
+		}
+	}
+
+	spec32 := make([]complex64, n)
+	for i := range spec32 {
+		spec32[i] = complex(float32(rng.NormFloat64()), 0)
+	}
+	batch32 := randComplex64(rows*n, 13)
+	serial32 := append([]complex64(nil), batch32...)
+	p32 := PlanFor32(n)
+	p32.ConvolveBatchInto(batch32, spec32)
+	for r := 0; r < rows; r++ {
+		p32.ConvolveInto(serial32[r*n:(r+1)*n], spec32)
+	}
+	for i := range batch32 {
+		if batch32[i] != serial32[i] {
+			t.Fatalf("float32 batch[%d] = %v, per-row = %v (must be bit-identical)", i, batch32[i], serial32[i])
+		}
+	}
+}
+
+func TestConvolveBatchPanicsOnRaggedLength(t *testing.T) {
+	spec64 := make([]complex128, 8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("float64 batch with non-multiple length did not panic")
+			}
+		}()
+		PlanFor(8).ConvolveBatchInto(make([]complex128, 12), spec64)
+	}()
+	spec32 := make([]complex64, 8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("float32 batch with non-multiple length did not panic")
+			}
+		}()
+		PlanFor32(8).ConvolveBatchInto(make([]complex64, 12), spec32)
+	}()
+}
+
+func TestPlan32ConvolveIdentity(t *testing.T) {
+	const n = 16
+	p := PlanFor32(n)
+	spec := make([]complex64, n)
+	for i := range spec {
+		spec[i] = 1 // flat spectrum: identity convolution
+	}
+	x := randComplex64(n, 3)
+	orig := append([]complex64(nil), x...)
+	p.ConvolveInto(x, spec)
+	for i := range x {
+		if d := cmplxAbs64(x[i] - orig[i]); d > 1e-5 {
+			t.Fatalf("identity convolution moved sample %d by %g", i, d)
+		}
+	}
+}
+
+func cmplxAbs64(c complex64) float64 {
+	return math.Hypot(float64(real(c)), float64(imag(c)))
+}

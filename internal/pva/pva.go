@@ -299,6 +299,14 @@ type Monitor struct {
 	Missed  int
 	lastSeq uint64
 	started bool
+
+	// Hook, when non-nil, is invoked synchronously from Next with every
+	// frame it is about to return, after decoding and gap accounting.
+	// Incremental consumers (the streaming reconstruction service) use it
+	// to fold a projection into their accumulators the moment it is
+	// delivered, without a second dispatch layer. The hook must not retain
+	// the frame's Data slice past its return if the caller reuses frames.
+	Hook func(*Frame)
 }
 
 // NewMonitor connects to a server and subscribes to the channel.
@@ -336,6 +344,9 @@ func (m *Monitor) Next(timeout time.Duration) (*Frame, error) {
 		}
 		m.lastSeq = f.Seq
 		m.started = true
+	}
+	if m.Hook != nil {
+		m.Hook(f)
 	}
 	return f, nil
 }

@@ -183,6 +183,38 @@ func TestMonitorDetectsGaps(t *testing.T) {
 	}
 }
 
+// TestMonitorHook checks the per-frame delivery hook: it fires once per
+// frame Next returns — including the end-of-scan marker — in order, and
+// after gap accounting has updated Missed.
+func TestMonitorHook(t *testing.T) {
+	srv, _ := NewServer("127.0.0.1:0", 64)
+	defer srv.Close()
+	mon, _ := NewMonitor(srv.Addr(), "det1")
+	defer mon.Close()
+	waitMonitors(t, srv, "det1", 1)
+
+	var seqs []uint64
+	var missedAtHook []int
+	mon.Hook = func(f *Frame) {
+		seqs = append(seqs, f.Seq)
+		missedAtHook = append(missedAtHook, mon.Missed)
+	}
+	srv.Publish("det1", mkFrame(1, KindProjection))
+	srv.Publish("det1", mkFrame(4, KindProjection)) // 2 missing
+	srv.Publish("det1", &Frame{Seq: 5, ScanID: "scan-001", Kind: KindEndOfScan})
+	for i := 0; i < 3; i++ {
+		if _, err := mon.Next(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 4 || seqs[2] != 5 {
+		t.Fatalf("hook saw seqs %v", seqs)
+	}
+	if missedAtHook[1] != 2 {
+		t.Fatalf("hook at frame 4 saw Missed = %d, want gap already accounted", missedAtHook[1])
+	}
+}
+
 func TestChannelIsolation(t *testing.T) {
 	srv, _ := NewServer("127.0.0.1:0", 64)
 	defer srv.Close()

@@ -54,6 +54,7 @@ func NewRunner(spec *Spec) (*Runner, error) {
 	if spec.Seed != 0 {
 		simCfg.Seed = spec.Seed
 	}
+	simCfg.StreamIncremental = spec.Campaign.IncrementalPreview
 	cfg := core.CampaignConfig{
 		Sim:          simCfg,
 		Beamlines:    spec.Campaign.Beamlines,

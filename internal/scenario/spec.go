@@ -102,6 +102,11 @@ type CampaignSpec struct {
 	// FastSim selects core.FastSimConfig (stochastic tails stripped,
 	// shrunk reconstruction) so scenarios replay in milliseconds.
 	FastSim bool `json:"fast_sim,omitempty"`
+	// IncrementalPreview switches the streaming branch to the
+	// incremental accumulator (core.SimConfig.StreamIncremental): the
+	// preview's GPU work shrinks from a full reconstruction to one
+	// angle's fold plus the finalize pass.
+	IncrementalPreview bool `json:"incremental_preview,omitempty"`
 }
 
 // AdmissionSpec is the scheduler's backpressure policy (sched.Admission).

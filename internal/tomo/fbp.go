@@ -105,7 +105,7 @@ func FilterSinogram(s *Sinogram, f Filter) *Sinogram {
 	p := mustPlan(s.Theta, s.NCols, ReconOptions{Algorithm: AlgFBP, Filter: f})
 	out := NewSinogram(s.Theta, s.NCols)
 	sc := p.GetScratch()
-	p.filterInto(out, s, sc.cbuf)
+	p.filterInto(out, s, sc.fbatch)
 	p.PutScratch(sc)
 	return out
 }

@@ -1,0 +1,248 @@
+package tomo
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/vol"
+)
+
+// feedIncremental runs a whole sinogram through an IncrementalRecon in
+// acquisition order, as the streaming service would.
+func feedIncremental(t *testing.T, ir *IncrementalRecon, s *Sinogram) {
+	t.Helper()
+	for a := 0; a < s.NAngles; a++ {
+		ir.Accumulate(s.Theta[a], s.Row(a))
+	}
+}
+
+// TestIncrementalMatchesRefFBP is the tentpole's golden: fed every angle
+// in order, the per-angle accumulator reproduces the naive reference FBP
+// bit for bit — the single-row filter is the reference's own convolution
+// and the backprojection accumulates per pixel in the reference's angle
+// order, so no rounding may diverge.
+func TestIncrementalMatchesRefFBP(t *testing.T) {
+	geoms := []struct{ nangles, ncols, size int }{
+		{40, 32, 32},
+		{17, 33, 21}, // odd everything
+		{64, 32, 8},  // downsampled output
+	}
+	for _, g := range geoms {
+		s := testSinogram(g.nangles, g.ncols)
+		for _, f := range []Filter{RamLak, SheppLoganFilter, Hann} {
+			ir, err := NewIncrementalRecon(g.ncols, g.size, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedIncremental(t, ir, s)
+			got := vol.NewImage(ir.Size, ir.Size)
+			if err := ir.FinalizeInto(got); err != nil {
+				t.Fatal(err)
+			}
+			want := refFBP(s, f, g.size)
+			if d := maxAbsDiff(got.Pix, want.Pix); d != 0 {
+				t.Errorf("%dx%d size %d filter %v: max |Δ| = %g, want bit-identical",
+					g.nangles, g.ncols, g.size, f, d)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesPlanFBP ties the incremental path to the batch
+// plan engine at the plan suite's own equivalence bound.
+func TestIncrementalMatchesPlanFBP(t *testing.T) {
+	s := testSinogram(48, 32)
+	ir, err := NewIncrementalRecon(32, 32, SheppLoganFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedIncremental(t, ir, s)
+	got := vol.NewImage(32, 32)
+	if err := ir.FinalizeInto(got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReconstructSlice(s, ReconOptions{Algorithm: AlgFBP, Filter: SheppLoganFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got.Pix, want.Pix); d > 1e-12 {
+		t.Errorf("incremental vs plan FBP: max |Δ| = %g > 1e-12", d)
+	}
+}
+
+// TestIncrementalPreviewMatchesQuickPreview feeds frames one at a time
+// and checks all three finalized slices against the batch QuickPreview of
+// the same projection set.
+func TestIncrementalPreviewMatchesQuickPreview(t *testing.T) {
+	const w, d, ncols = 20, 5, 20
+	v := vol.NewVolume(w, w, d)
+	for i := range v.Data {
+		v.Data[i] = math.Abs(math.Sin(0.17 * float64(i)))
+	}
+	theta := UniformAngles(24)
+	ps := ProjectVolume(v, theta, ncols)
+
+	xy, xz, yz, err := QuickPreview(context.Background(), ps, ReconOptions{Filter: SheppLoganFilter})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ip, err := NewIncrementalPreview(ps.NRows, ps.NCols, 0, SheppLoganFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < ps.NAngles; a++ {
+		ip.AddProjection(theta[a], ps.Projection(a))
+	}
+	if ip.Angles() != ps.NAngles {
+		t.Fatalf("Angles() = %d, want %d", ip.Angles(), ps.NAngles)
+	}
+	ixy, ixz, iyz, err := ip.Finalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixy.W != xy.W || ixz.W != xz.W || ixz.H != xz.H {
+		t.Fatalf("preview dims: xy %dx%d vs %dx%d, xz %dx%d vs %dx%d",
+			ixy.W, ixy.H, xy.W, xy.H, ixz.W, ixz.H, xz.W, xz.H)
+	}
+	if d := maxAbsDiff(ixy.Pix, xy.Pix); d > 1e-12 {
+		t.Errorf("XY slice: max |Δ| = %g > 1e-12", d)
+	}
+	if d := maxAbsDiff(ixz.Pix, xz.Pix); d > 1e-12 {
+		t.Errorf("XZ slice: max |Δ| = %g > 1e-12", d)
+	}
+	if d := maxAbsDiff(iyz.Pix, yz.Pix); d > 1e-12 {
+		t.Errorf("YZ slice: max |Δ| = %g > 1e-12", d)
+	}
+}
+
+// TestIncrementalResetReuse checks that Reset restores a bit-identical
+// second scan on the same accumulator — the streaming service keeps one
+// IncrementalPreview alive across scans.
+func TestIncrementalResetReuse(t *testing.T) {
+	s := testSinogram(20, 16)
+	ir, err := NewIncrementalRecon(16, 16, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedIncremental(t, ir, s)
+	first := vol.NewImage(16, 16)
+	if err := ir.FinalizeInto(first); err != nil {
+		t.Fatal(err)
+	}
+	ir.Reset()
+	if ir.Angles() != 0 {
+		t.Fatalf("Angles() after Reset = %d", ir.Angles())
+	}
+	feedIncremental(t, ir, s)
+	second := vol.NewImage(16, 16)
+	if err := ir.FinalizeInto(second); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(first.Pix, second.Pix); d != 0 {
+		t.Errorf("reset scan diverged: max |Δ| = %g", d)
+	}
+}
+
+// TestIncrementalMidScanFinalize proves FinalizeInto is non-destructive:
+// a mid-scan preview (scaled by the angles seen so far) does not perturb
+// the end-of-scan result.
+func TestIncrementalMidScanFinalize(t *testing.T) {
+	s := testSinogram(20, 16)
+	ir, err := NewIncrementalRecon(16, 16, SheppLoganFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := vol.NewImage(16, 16)
+	for a := 0; a < s.NAngles; a++ {
+		ir.Accumulate(s.Theta[a], s.Row(a))
+		if a == s.NAngles/2 {
+			if err := ir.FinalizeInto(mid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := vol.NewImage(16, 16)
+	if err := ir.FinalizeInto(got); err != nil {
+		t.Fatal(err)
+	}
+	want := refFBP(s, SheppLoganFilter, 16)
+	if d := maxAbsDiff(got.Pix, want.Pix); d != 0 {
+		t.Errorf("mid-scan finalize perturbed the result: max |Δ| = %g", d)
+	}
+	// The mid-scan image must itself be the reference FBP of the partial
+	// angle set (scale π/k comes from the count actually received).
+	partial := NewSinogram(s.Theta[:s.NAngles/2+1], s.NCols)
+	copy(partial.Data, s.Data[:len(partial.Data)])
+	wantMid := refFBP(partial, SheppLoganFilter, 16)
+	if d := maxAbsDiff(mid.Pix, wantMid.Pix); d != 0 {
+		t.Errorf("mid-scan preview: max |Δ| = %g, want bit-identical", d)
+	}
+}
+
+// TestIncrementalZeroAlloc locks the streaming contract: once built, the
+// per-frame path (Accumulate / AddProjection) performs no allocations.
+func TestIncrementalZeroAlloc(t *testing.T) {
+	s := testSinogram(16, 16)
+	ir, err := NewIncrementalRecon(16, 16, SheppLoganFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := s.Row(3)
+	allocs := testing.AllocsPerRun(20, func() {
+		ir.Accumulate(s.Theta[3], row)
+	})
+	if allocs != 0 {
+		t.Errorf("Accumulate: %v allocs/op, want 0", allocs)
+	}
+
+	const w, dpt, ncols = 16, 4, 16
+	v := vol.NewVolume(w, w, dpt)
+	for i := range v.Data {
+		v.Data[i] = float64(i%7) * 0.1
+	}
+	theta := UniformAngles(8)
+	ps := ProjectVolume(v, theta, ncols)
+	ip, err := NewIncrementalPreview(ps.NRows, ps.NCols, 0, SheppLoganFilter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := ps.Projection(2)
+	allocs = testing.AllocsPerRun(20, func() {
+		ip.AddProjection(theta[2], frame)
+	})
+	if allocs != 0 {
+		t.Errorf("AddProjection: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	if _, err := NewIncrementalRecon(0, 16, RamLak); err == nil {
+		t.Error("zero-column recon accepted")
+	}
+	if _, err := NewIncrementalRecon(16, -3, RamLak); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := NewIncrementalPreview(0, 16, 0, RamLak); err == nil {
+		t.Error("zero-row preview accepted")
+	}
+	ir, err := NewIncrementalRecon(16, 16, RamLak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.FinalizeInto(vol.NewImage(8, 8)); err == nil {
+		t.Error("size-mismatched finalize destination accepted")
+	}
+	// Zero angles: finalize must produce zeros, not NaNs from π/0.
+	dst := vol.NewImage(16, 16)
+	dst.Fill(7)
+	if err := ir.FinalizeInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst.Pix {
+		if v != 0 {
+			t.Fatalf("zero-angle finalize left pixel %d = %g", i, v)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package tomo
+
+import (
+	"math"
+
+	"repro/internal/vol"
+)
+
+// This file holds the single-precision kernel tier (ReconOptions.Precision
+// == Float32). The float64 kernels in project.go are the golden-tested
+// reference and stay bit-identical to the naive implementations; every
+// speed trick that would perturb their rounding — ray clipping to the
+// object square, incremental (DDA) pixel stepping, inlined clamped
+// bilinear sampling, truncation-based floors — lives here instead, where
+// the gate is a relaxed RMSE bound against the float64 result rather than
+// 1e-12 equivalence. Halved element width also means the SIRT iterate,
+// projections, and residuals stream through cache at twice the rate,
+// which is where the iterative solvers spend their time.
+
+// projectRow32 is the single-precision forward projector: one sinogram
+// row for the angle whose cosine/sine are ct/st, integrating over the
+// square float32 image pix (side n). The sample set matches projectRow
+// exactly — the entry/exit steps are solved analytically in float64 and
+// then verified against projectRow's own inside predicate, so the two
+// tiers integrate identical sample lists and differ only in accumulation
+// precision. Between entry and exit the pixel coordinate advances by a
+// constant (±sinθ/2, cosθ/2) per step, so the inner loop is a fused
+// lerp-accumulate with no range checks. Allocation-free.
+//
+//perf:hot
+func projectRow32(row []float32, pix []float32, n int, ct, st float64) {
+	step := 1.0 / float64(n)
+	tMax := math.Sqrt2
+	nSteps := int(2 * tMax / step)
+	ncols := len(row)
+	nF := float64(n)
+	nf1 := float32(n - 1)
+	last := n - 2
+	step32 := float32(step)
+	dpx := float32(-st * 0.5) // d(px)/dk = -st·step·n/2
+	dpy := float32(ct * 0.5)  // d(py)/dk = ct·step·n/2
+	for c := 0; c < ncols; c++ {
+		sc := -1 + (2*float64(c)+1)/float64(ncols)
+		k0, k1 := rayStepBounds(sc, ct, st, tMax, step, nSteps)
+		if k1 < k0 {
+			row[c] = 0
+			continue
+		}
+		if n < 2 {
+			// Degenerate 1×1 image: bilinear sampling always returns the
+			// single pixel, so the integral is just the sample count.
+			row[c] = float32(k1-k0+1) * pix[0] * step32
+			continue
+		}
+		t0 := -tMax + float64(k0)*step
+		px := float32(((sc*ct-t0*st)+1)/2*nF - 0.5)
+		py := float32(((sc*st+t0*ct)+1)/2*nF - 0.5)
+		var sum float32
+		for k := k0; k <= k1; k++ {
+			qx, qy := px, py
+			if qx < 0 {
+				qx = 0
+			} else if qx > nf1 {
+				qx = nf1
+			}
+			if qy < 0 {
+				qy = 0
+			} else if qy > nf1 {
+				qy = nf1
+			}
+			ix := int(qx)
+			if ix > last {
+				ix = last
+			}
+			iy := int(qy)
+			if iy > last {
+				iy = last
+			}
+			fx := qx - float32(ix)
+			fy := qy - float32(iy)
+			base := iy*n + ix
+			p00 := pix[base]
+			p01 := pix[base+1]
+			p10 := pix[base+n]
+			p11 := pix[base+n+1]
+			top := p00 + fx*(p01-p00)
+			bot := p10 + fx*(p11-p10)
+			sum += top + fy*(bot-top)
+			px += dpx
+			py += dpy
+		}
+		row[c] = sum * step32
+	}
+}
+
+// rayStepBounds returns the inclusive step-index range [k0, k1] of the
+// samples t = -tMax + k·step that projectRow's inside predicate accepts
+// for the ray at detector coordinate sc. The crossing times of the |x|≤1
+// and |y|≤1 constraints are solved analytically (both coordinates are
+// linear in t), then the boundary indices are nudged against the exact
+// float64 predicate so reciprocal rounding can never add or drop a sample
+// relative to the double-precision projector.
+func rayStepBounds(sc, ct, st, tMax, step float64, nSteps int) (int, int) {
+	tlo, thi := -tMax, tMax
+	if st != 0 {
+		ta := (sc*ct - 1) / st
+		tb := (sc*ct + 1) / st
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > tlo {
+			tlo = ta
+		}
+		if tb < thi {
+			thi = tb
+		}
+	} else if x := sc * ct; x < -1 || x > 1 {
+		return 0, -1
+	}
+	if ct != 0 {
+		ta := (-1 - sc*st) / ct
+		tb := (1 - sc*st) / ct
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta > tlo {
+			tlo = ta
+		}
+		if tb < thi {
+			thi = tb
+		}
+	} else if y := sc * st; y < -1 || y > 1 {
+		return 0, -1
+	}
+	if thi < tlo {
+		return 0, -1
+	}
+	k0 := int(math.Ceil((tlo + tMax) / step))
+	k1 := int(math.Floor((thi + tMax) / step))
+	if k0 < 0 {
+		k0 = 0
+	}
+	if k1 > nSteps {
+		k1 = nSteps
+	}
+	for k0 <= k1 && !rayInside(sc, ct, st, tMax, step, k0) {
+		k0++
+	}
+	for k0 > 0 && rayInside(sc, ct, st, tMax, step, k0-1) {
+		k0--
+	}
+	for k1 >= k0 && !rayInside(sc, ct, st, tMax, step, k1) {
+		k1--
+	}
+	for k1 >= k0 && k1 < nSteps && rayInside(sc, ct, st, tMax, step, k1+1) {
+		k1++
+	}
+	return k0, k1
+}
+
+// rayInside replicates projectRow's sample-acceptance predicate exactly,
+// including its arithmetic order.
+func rayInside(sc, ct, st, tMax, step float64, k int) bool {
+	t := -tMax + float64(k)*step
+	x := sc*ct - t*st
+	y := sc*st + t*ct
+	return x >= -1 && x <= 1 && y >= -1 && y <= 1
+}
+
+// backProject32 accumulates the backprojection of the nang×ncols
+// sinogram data into the n×n float32 image dst (zeroing it first),
+// restricted per row to the reconstruction-circle range [lo, hi), then
+// applies scale. The detector coordinate is evaluated in multiply form
+// (base + k·Δ) with four data-independent angle chains per pixel pass,
+// mirroring the float64 kernel's blocking. Allocation-free.
+//
+//perf:hot
+func backProject32(dst []float32, n int, data []float32, nang, ncols int,
+	cosT, sinT, xs []float32, lo, hi []int, scale float32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	halfC := float32(ncols) / 2
+	dx := 2 / float32(n)
+	lastCol := ncols - 1
+	lastColF := float32(lastCol)
+	for py := 0; py < n; py++ {
+		l, h := lo[py], hi[py]
+		if l >= h {
+			continue
+		}
+		y := xs[py]
+		row := dst[py*n+l : py*n+h]
+		m := h - l
+		x0 := xs[l]
+		a := 0
+		for ; a+3 < nang; a += 4 {
+			src0 := data[a*ncols : (a+1)*ncols]
+			src1 := data[(a+1)*ncols : (a+2)*ncols]
+			src2 := data[(a+2)*ncols : (a+3)*ncols]
+			src3 := data[(a+3)*ncols : (a+4)*ncols]
+			fc0 := (x0*cosT[a]+y*sinT[a]+1)*halfC - 0.5
+			fc1 := (x0*cosT[a+1]+y*sinT[a+1]+1)*halfC - 0.5
+			fc2 := (x0*cosT[a+2]+y*sinT[a+2]+1)*halfC - 0.5
+			fc3 := (x0*cosT[a+3]+y*sinT[a+3]+1)*halfC - 0.5
+			d0 := dx * cosT[a] * halfC
+			d1 := dx * cosT[a+1] * halfC
+			d2 := dx * cosT[a+2] * halfC
+			d3 := dx * cosT[a+3] * halfC
+			affineQuad32(row, m, src0, src1, src2, src3,
+				fc0, fc1, fc2, fc3, d0, d1, d2, d3, lastCol, lastColF)
+		}
+		for ; a < nang; a++ {
+			src := data[a*ncols : (a+1)*ncols]
+			fc := (x0*cosT[a]+y*sinT[a]+1)*halfC - 0.5
+			d := dx * cosT[a] * halfC
+			affineSpan32(row, m, src, fc, d, lastCol, lastColF)
+		}
+	}
+	for i := range dst {
+		dst[i] *= scale
+	}
+}
+
+// affineQuad32 accumulates four angles into row[0:m) with multiply-form
+// detector coordinates. Floors use the truncation identity int(f+1)-1,
+// which matches math.Floor wherever the resulting column index can pass
+// the range test (f ≥ -1); more-negative coordinates may truncate a bin
+// high but remain negative and excluded either way.
+func affineQuad32(row []float32, m int, src0, src1, src2, src3 []float32,
+	fc0, fc1, fc2, fc3, d0, d1, d2, d3 float32, lastCol int, lastColF float32) {
+	var kf float32
+	for j := 0; j < m; j++ {
+		f0 := fc0 + kf*d0
+		f1 := fc1 + kf*d1
+		f2 := fc2 + kf*d2
+		f3 := fc3 + kf*d3
+		kf++
+		var v01, v23 float32
+		c := int(f0+1) - 1
+		if c >= 0 && c < lastCol {
+			fr := f0 - float32(c)
+			v01 = src0[c] + fr*(src0[c+1]-src0[c])
+		} else if c == lastCol && f0 <= lastColF {
+			v01 = src0[lastCol]
+		}
+		c = int(f1+1) - 1
+		if c >= 0 && c < lastCol {
+			fr := f1 - float32(c)
+			v01 += src1[c] + fr*(src1[c+1]-src1[c])
+		} else if c == lastCol && f1 <= lastColF {
+			v01 += src1[lastCol]
+		}
+		c = int(f2+1) - 1
+		if c >= 0 && c < lastCol {
+			fr := f2 - float32(c)
+			v23 = src2[c] + fr*(src2[c+1]-src2[c])
+		} else if c == lastCol && f2 <= lastColF {
+			v23 = src2[lastCol]
+		}
+		c = int(f3+1) - 1
+		if c >= 0 && c < lastCol {
+			fr := f3 - float32(c)
+			v23 += src3[c] + fr*(src3[c+1]-src3[c])
+		} else if c == lastCol && f3 <= lastColF {
+			v23 += src3[lastCol]
+		}
+		row[j] += v01 + v23
+	}
+}
+
+// affineSpan32 accumulates one angle into row[0:m) — the tail of the
+// four-wide blocking and the whole of SART's single-angle updates.
+func affineSpan32(row []float32, m int, src []float32, fc, d float32, lastCol int, lastColF float32) {
+	var kf float32
+	for j := 0; j < m; j++ {
+		f := fc + kf*d
+		kf++
+		c := int(f+1) - 1
+		if c >= 0 && c < lastCol {
+			fr := f - float32(c)
+			row[j] += src[c] + fr*(src[c+1]-src[c])
+		} else if c == lastCol && f <= lastColF {
+			row[j] += src[lastCol]
+		}
+	}
+}
+
+// fbpInto32 is the single-precision FBP path: batch ramp filtering on the
+// complex64 FFT plan, then float32 backprojection, with one widening copy
+// into the float64 destination at the end.
+//
+//perf:hot
+func (p *ReconPlan) fbpInto32(dst *vol.Image, s *Sinogram, sc *Scratch) {
+	p.filterInto32(sc.filt32, s, sc.batch32)
+	backProject32(sc.upd32, p.Size, sc.filt32, p.NAngles, p.NCols,
+		p.cosT32, p.sinT32, p.xs32, p.loPx, p.hiPx,
+		float32(math.Pi)/float32(p.NAngles))
+	for i, v := range sc.upd32 {
+		dst.Pix[i] = float64(v)
+	}
+}
+
+// filterInto32 ramp-filters every row of src into the float32 sinogram
+// dst, packing row pairs into one complex64 transform exactly like the
+// float64 filterInto and convolving the whole batch in one pass.
+//
+//perf:hot
+func (p *ReconPlan) filterInto32(dst []float32, src *Sinogram, batch []complex64) {
+	nc := p.NCols
+	m := p.fm
+	pairs := (src.NAngles + 1) / 2
+	buf := batch[:pairs*m]
+	a := 0
+	for pr := 0; pr < pairs; pr++ {
+		cbuf := buf[pr*m : (pr+1)*m]
+		if a+1 < src.NAngles {
+			ra, rb := src.Row(a), src.Row(a+1)
+			for i := 0; i < nc; i++ {
+				cbuf[i] = complex(float32(ra[i]), float32(rb[i]))
+			}
+		} else {
+			ra := src.Row(a)
+			for i := 0; i < nc; i++ {
+				cbuf[i] = complex(float32(ra[i]), 0)
+			}
+		}
+		for i := nc; i < m; i++ {
+			cbuf[i] = 0
+		}
+		a += 2
+	}
+	p.fp32.ConvolveBatchInto(buf, p.taps32)
+	a = 0
+	for pr := 0; pr < pairs; pr++ {
+		cbuf := buf[pr*m : (pr+1)*m]
+		da := dst[a*nc : (a+1)*nc]
+		if a+1 < src.NAngles {
+			db := dst[(a+1)*nc : (a+2)*nc]
+			for i := 0; i < nc; i++ {
+				da[i] = real(cbuf[i])
+				db[i] = imag(cbuf[i])
+			}
+		} else {
+			for i := 0; i < nc; i++ {
+				da[i] = real(cbuf[i])
+			}
+		}
+		a += 2
+	}
+}
+
+// sirtInto32 runs the SIRT iteration entirely in single precision: the
+// iterate, forward projections, residuals, and update image are float32,
+// and the ray weights come from the plan's converted tables. Input and
+// output cross the float64 boundary exactly once each.
+//
+//perf:hot
+func (p *ReconPlan) sirtInto32(dst *vol.Image, s *Sinogram, sc *Scratch) {
+	for i, v := range s.Data {
+		sc.sino32[i] = float32(v)
+	}
+	x := sc.x32
+	for i := range x {
+		x[i] = 0
+	}
+	n := p.Size
+	relax := float32(p.Relax)
+	bpScale := float32(math.Pi) / float32(p.NAngles)
+	for it := 0; it < p.Iterations; it++ {
+		for a := 0; a < p.NAngles; a++ {
+			projectRow32(sc.ax32[a*p.NCols:(a+1)*p.NCols], x, n, p.cosT[a], p.sinT[a])
+		}
+		for i := range sc.res32 {
+			r := sc.sino32[i] - sc.ax32[i]
+			if w := p.rowSum32[i]; w > 1e-9 {
+				r /= w
+			} else {
+				r = 0
+			}
+			sc.res32[i] = r
+		}
+		backProject32(sc.upd32, n, sc.res32, p.NAngles, p.NCols,
+			p.cosT32, p.sinT32, p.xs32, p.loPx, p.hiPx, bpScale)
+		for i := range x {
+			c := p.colSum32[i]
+			if c <= 1e-9 {
+				continue
+			}
+			x[i] += relax * sc.upd32[i] / c
+			if p.Positivity && x[i] < 0 {
+				x[i] = 0
+			}
+		}
+	}
+	for i, v := range x {
+		dst.Pix[i] = float64(v)
+	}
+}
+
+// sartInto32 is the single-precision block-iterative solver: per-angle
+// forward projection, residual normalization, and single-angle
+// backprojection, all in float32.
+//
+//perf:hot
+func (p *ReconPlan) sartInto32(dst *vol.Image, s *Sinogram, sc *Scratch) {
+	for i, v := range s.Data {
+		sc.sino32[i] = float32(v)
+	}
+	x := sc.x32
+	for i := range x {
+		x[i] = 0
+	}
+	n := p.Size
+	scale := float32(p.Relax / math.Pi)
+	for it := 0; it < p.Iterations; it++ {
+		for a := 0; a < p.NAngles; a++ {
+			projectRow32(sc.ax32, x, n, p.cosT[a], p.sinT[a])
+			brow := sc.sino32[a*p.NCols : (a+1)*p.NCols]
+			wrow := p.rowSum32[a*p.NCols : (a+1)*p.NCols]
+			for c := 0; c < p.NCols; c++ {
+				r := brow[c] - sc.ax32[c]
+				if wrow[c] > 1e-9 {
+					r /= wrow[c]
+				} else {
+					r = 0
+				}
+				sc.res32[c] = r
+			}
+			backProject32(sc.upd32, n, sc.res32, 1, p.NCols,
+				p.cosT32[a:a+1], p.sinT32[a:a+1], p.xs32, p.loPx, p.hiPx, math.Pi)
+			for i := range x {
+				x[i] += scale * sc.upd32[i]
+				if p.Positivity && x[i] < 0 {
+					x[i] = 0
+				}
+			}
+		}
+	}
+	for i, v := range x {
+		dst.Pix[i] = float64(v)
+	}
+}

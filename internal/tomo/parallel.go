@@ -23,6 +23,28 @@ const (
 	AlgSART Algorithm = "sart"
 )
 
+// Precision selects the arithmetic tier a reconstruction plan runs in.
+// Float64 is the reference tier, gated by the 1e-12 plan-vs-naive golden
+// tests; Float32 halves the memory traffic of the ray kernels and is
+// gated by its own relaxed (RMSE vs the float64 result) golden. Gridrec
+// has no float32 tier — its oversampled-grid accumulation is too
+// cancellation-prone for single precision.
+type Precision uint8
+
+const (
+	// Float64 is the default double-precision tier.
+	Float64 Precision = iota
+	// Float32 runs the FBP/SIRT/SART ray kernels in single precision.
+	Float32
+)
+
+func (p Precision) String() string {
+	if p == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
 // ReconOptions configures a (possibly multi-slice) reconstruction.
 type ReconOptions struct {
 	Algorithm  Algorithm
@@ -30,6 +52,9 @@ type ReconOptions struct {
 	Iterations int               // for SIRT/SART
 	Size       int               // output side; 0 = NCols
 	Preprocess PreprocessOptions // applied before reconstruction
+	// Precision selects the kernel arithmetic tier; the Float64 zero
+	// value preserves the golden-tested reference behaviour.
+	Precision Precision
 	// CORShift, if non-zero, recenters each sinogram before
 	// reconstruction. If AutoCOR is set it is estimated per volume from
 	// the middle slice instead.

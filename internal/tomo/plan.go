@@ -26,10 +26,11 @@ type ReconPlan struct {
 	Filter     Filter // FBP only
 	NAngles    int
 	NCols      int
-	Size       int     // output image side length
-	Iterations int     // SIRT/SART only
-	Relax      float64 // SIRT/SART only
-	Positivity bool    // SIRT/SART only
+	Size       int       // output image side length
+	Iterations int       // SIRT/SART only
+	Relax      float64   // SIRT/SART only
+	Positivity bool      // SIRT/SART only
+	Precision  Precision // kernel arithmetic tier
 	// CORShift, when non-zero, recenters each sinogram (into scratch)
 	// before reconstruction. Derive a shifted variant of a cached plan
 	// with WithCOR rather than building a new one.
@@ -68,6 +69,19 @@ type ReconPlan struct {
 	rowSum *Sinogram
 	colSum *vol.Image
 
+	// Float32 tier tables, populated only when Precision == Float32:
+	// single-precision copies of the trig/coordinate/ray-weight tables
+	// (converted once from the float64 originals so both tiers share one
+	// geometric definition), plus the complex64 ramp spectrum and its
+	// single-precision FFT plan for FBP.
+	cosT32   []float32
+	sinT32   []float32
+	xs32     []float32
+	rowSum32 []float32
+	colSum32 []float32
+	fp32     *fft.Plan32
+	taps32   []complex64
+
 	// pool hands out Scratch values to callers that do not hold their
 	// own; a pointer so WithCOR copies share it.
 	pool *sync.Pool
@@ -80,7 +94,8 @@ type Scratch struct {
 	rowIn    *Sinogram    // staging for ProjectionSet rows
 	shifted  *Sinogram    // COR-recentred copy (lazy: only if CORShift ≠ 0)
 	filtered *Sinogram    // FBP: ramp-filtered sinogram
-	cbuf     []complex128 // FBP: padded row pair; gridrec: radial line
+	fbatch   []complex128 // FBP: all padded row-pairs, batch-filtered in one pass
+	cbuf     []complex128 // gridrec: radial line
 	grid     []complex128 // gridrec: accumulated spectrum
 	wsum     []float64    // gridrec: splat weights
 	gcol     []complex128 // gridrec: 2D FFT column scratch
@@ -90,6 +105,15 @@ type Scratch struct {
 	resOne   *Sinogram    // SART: single-angle residual
 	upd      *vol.Image   // SIRT/SART: backprojected update
 	out      *vol.Image   // volume/preview workers: per-slice output
+
+	// Float32 tier buffers (allocated only for Float32 plans).
+	sino32  []float32   // single-precision copy of the input sinogram
+	x32     []float32   // SIRT/SART iterate
+	ax32    []float32   // SIRT: forward projection; SART: one row
+	res32   []float32   // SIRT: residual; SART: one row
+	upd32   []float32   // SIRT/SART: backprojected update
+	filt32  []float32   // FBP: filtered sinogram
+	batch32 []complex64 // FBP: padded row-pairs for the Plan32 batch filter
 }
 
 // planKey identifies a cacheable plan. COR shift is deliberately absent:
@@ -105,6 +129,7 @@ type planKey struct {
 	iters      int
 	relax      float64
 	positivity bool
+	prec       Precision
 }
 
 // maxCachedPlans bounds the global plan cache; on overflow the cache is
@@ -132,7 +157,7 @@ func PlanRecon(theta []float64, ncols int, opts ReconOptions) (*ReconPlan, error
 	if alg == "" {
 		alg = AlgFBP
 	}
-	key := planKey{alg: alg, nangles: len(theta), ncols: ncols, size: opts.Size}
+	key := planKey{alg: alg, nangles: len(theta), ncols: ncols, size: opts.Size, prec: opts.Precision}
 	if key.size == 0 {
 		key.size = ncols
 	}
@@ -140,6 +165,9 @@ func PlanRecon(theta []float64, ncols int, opts ReconOptions) (*ReconPlan, error
 	case AlgFBP:
 		key.filter = opts.Filter
 	case AlgGridrec:
+		if opts.Precision == Float32 {
+			return nil, fmt.Errorf("tomo: gridrec has no float32 tier (oversampled-grid accumulation needs double precision)")
+		}
 	case AlgSIRT:
 		key.iters = opts.Iterations
 		if key.iters <= 0 {
@@ -209,6 +237,7 @@ func buildPlan(theta []float64, key planKey) *ReconPlan {
 		Iterations: key.iters,
 		Relax:      key.relax,
 		Positivity: key.positivity,
+		Precision:  key.prec,
 		theta:      append([]float64(nil), theta...),
 	}
 	p.cosT, p.sinT = trigTables(p.theta)
@@ -260,8 +289,41 @@ func buildPlan(theta []float64, key planKey) *ReconPlan {
 			p.colSum = BackProject(onesSino, p.Size)
 		}
 	}
+	if key.prec == Float32 {
+		p.buildFloat32Tables()
+	}
 	p.pool = &sync.Pool{New: func() any { return p.NewScratch() }}
 	return p
+}
+
+// buildFloat32Tables derives the single-precision tier's tables from the
+// already-built float64 ones, so both tiers share one geometric
+// definition and the conversion happens exactly once per plan.
+func (p *ReconPlan) buildFloat32Tables() {
+	p.cosT32 = floats32(p.cosT)
+	p.sinT32 = floats32(p.sinT)
+	p.xs32 = floats32(p.xs)
+	switch p.Algorithm {
+	case AlgFBP:
+		p.fp32 = fft.PlanFor32(p.fm)
+		p.taps32 = make([]complex64, p.fm)
+		for i, t := range p.taps {
+			p.taps32[i] = complex(float32(real(t)), 0)
+		}
+	case AlgSIRT, AlgSART:
+		p.rowSum32 = floats32(p.rowSum.Data)
+		if p.colSum != nil {
+			p.colSum32 = floats32(p.colSum.Pix)
+		}
+	}
+}
+
+func floats32(src []float64) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return dst
 }
 
 // WithCOR returns a plan identical to p but recentring sinograms by shift
@@ -286,21 +348,43 @@ func (p *ReconPlan) NewScratch() *Scratch {
 	}
 	switch p.Algorithm {
 	case AlgFBP:
-		sc.filtered = NewSinogram(p.theta, p.NCols)
-		sc.cbuf = make([]complex128, p.fm)
+		if p.Precision == Float32 {
+			sc.filt32 = make([]float32, p.NAngles*p.NCols)
+			sc.batch32 = make([]complex64, ((p.NAngles+1)/2)*p.fm)
+			sc.upd32 = make([]float32, p.Size*p.Size)
+		} else {
+			sc.filtered = NewSinogram(p.theta, p.NCols)
+			sc.fbatch = make([]complex128, ((p.NAngles+1)/2)*p.fm)
+		}
 	case AlgGridrec:
 		sc.grid = make([]complex128, p.gm*p.gm)
 		sc.wsum = make([]float64, p.gm*p.gm)
 		sc.cbuf = make([]complex128, p.gm)
 		sc.gcol = make([]complex128, p.gm)
 	case AlgSIRT:
-		sc.ax = NewSinogram(p.theta, p.NCols)
-		sc.res = NewSinogram(p.theta, p.NCols)
-		sc.upd = vol.NewImage(p.Size, p.Size)
+		if p.Precision == Float32 {
+			sc.sino32 = make([]float32, p.NAngles*p.NCols)
+			sc.x32 = make([]float32, p.Size*p.Size)
+			sc.ax32 = make([]float32, p.NAngles*p.NCols)
+			sc.res32 = make([]float32, p.NAngles*p.NCols)
+			sc.upd32 = make([]float32, p.Size*p.Size)
+		} else {
+			sc.ax = NewSinogram(p.theta, p.NCols)
+			sc.res = NewSinogram(p.theta, p.NCols)
+			sc.upd = vol.NewImage(p.Size, p.Size)
+		}
 	case AlgSART:
-		sc.axOne = NewSinogram(p.theta[:1], p.NCols)
-		sc.resOne = NewSinogram(p.theta[:1], p.NCols)
-		sc.upd = vol.NewImage(p.Size, p.Size)
+		if p.Precision == Float32 {
+			sc.sino32 = make([]float32, p.NAngles*p.NCols)
+			sc.x32 = make([]float32, p.Size*p.Size)
+			sc.ax32 = make([]float32, p.NCols)
+			sc.res32 = make([]float32, p.NCols)
+			sc.upd32 = make([]float32, p.Size*p.Size)
+		} else {
+			sc.axOne = NewSinogram(p.theta[:1], p.NCols)
+			sc.resOne = NewSinogram(p.theta[:1], p.NCols)
+			sc.upd = vol.NewImage(p.Size, p.Size)
+		}
 	}
 	return sc
 }
@@ -359,6 +443,17 @@ func (p *ReconPlan) reconInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
 		ShiftSinogramInto(sc.shifted, s, p.CORShift)
 		work = sc.shifted
 	}
+	if p.Precision == Float32 {
+		switch p.Algorithm {
+		case AlgFBP:
+			p.fbpInto32(dst, work, sc)
+		case AlgSIRT:
+			p.sirtInto32(dst, work, sc)
+		case AlgSART:
+			p.sartInto32(dst, work, sc)
+		}
+		return
+	}
 	switch p.Algorithm {
 	case AlgFBP:
 		p.fbpInto(dst, work, sc)
@@ -373,7 +468,7 @@ func (p *ReconPlan) reconInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
 
 //perf:hot
 func (p *ReconPlan) fbpInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
-	p.filterInto(sc.filtered, s, sc.cbuf)
+	p.filterInto(sc.filtered, s, sc.fbatch)
 	dTab, invD := p.dTab, p.invD
 	if !p.stepOK {
 		dTab, invD = nil, nil
@@ -387,41 +482,53 @@ func (p *ReconPlan) fbpInto(dst *vol.Image, s *Sinogram, sc *Scratch) {
 // and imaginary parts of one complex FFT — valid because the windowed
 // ramp taps are real and even (a real, symmetric impulse response), so
 // the two convolutions never mix. This halves the FFT count relative to
-// the row-at-a-time path.
+// the row-at-a-time path. All row-pairs are packed into batch (the
+// scratch's fbatch buffer, one padded row per pair) and convolved in a
+// single ConvolveBatchInto pass, which keeps the tap spectrum hot in
+// cache across the whole sinogram; per-row arithmetic is unchanged.
 //
 //perf:hot
-func (p *ReconPlan) filterInto(dst, src *Sinogram, cbuf []complex128) {
+func (p *ReconPlan) filterInto(dst, src *Sinogram, batch []complex128) {
 	nc := p.NCols
 	m := p.fm
+	pairs := (src.NAngles + 1) / 2
+	buf := batch[:pairs*m]
 	a := 0
-	for ; a+1 < src.NAngles; a += 2 {
-		ra, rb := src.Row(a), src.Row(a+1)
-		for i := 0; i < nc; i++ {
-			cbuf[i] = complex(ra[i], rb[i])
+	for pr := 0; pr < pairs; pr++ {
+		cbuf := buf[pr*m : (pr+1)*m]
+		if a+1 < src.NAngles {
+			ra, rb := src.Row(a), src.Row(a+1)
+			for i := 0; i < nc; i++ {
+				cbuf[i] = complex(ra[i], rb[i])
+			}
+		} else { // odd angle count: last row rides alone
+			ra := src.Row(a)
+			for i := 0; i < nc; i++ {
+				cbuf[i] = complex(ra[i], 0)
+			}
 		}
 		for i := nc; i < m; i++ {
 			cbuf[i] = 0
 		}
-		p.fp.ConvolveInto(cbuf, p.taps)
-		da, db := dst.Row(a), dst.Row(a+1)
-		for i := 0; i < nc; i++ {
-			da[i] = real(cbuf[i])
-			db[i] = imag(cbuf[i])
-		}
+		a += 2
 	}
-	if a < src.NAngles { // odd angle count: last row rides alone
-		ra := src.Row(a)
-		for i := 0; i < nc; i++ {
-			cbuf[i] = complex(ra[i], 0)
-		}
-		for i := nc; i < m; i++ {
-			cbuf[i] = 0
-		}
-		p.fp.ConvolveInto(cbuf, p.taps)
+	p.fp.ConvolveBatchInto(buf, p.taps)
+	a = 0
+	for pr := 0; pr < pairs; pr++ {
+		cbuf := buf[pr*m : (pr+1)*m]
 		da := dst.Row(a)
-		for i := 0; i < nc; i++ {
-			da[i] = real(cbuf[i])
+		if a+1 < src.NAngles {
+			db := dst.Row(a + 1)
+			for i := 0; i < nc; i++ {
+				da[i] = real(cbuf[i])
+				db[i] = imag(cbuf[i])
+			}
+		} else {
+			for i := 0; i < nc; i++ {
+				da[i] = real(cbuf[i])
+			}
 		}
+		a += 2
 	}
 }
 

@@ -556,7 +556,7 @@ func TestFilterScratchZeroAlloc(t *testing.T) {
 	sc := p.NewScratch()
 	dst := NewSinogram(s.Theta, s.NCols)
 	allocs := testing.AllocsPerRun(10, func() {
-		p.filterInto(dst, s, sc.cbuf)
+		p.filterInto(dst, s, sc.fbatch)
 	})
 	if allocs != 0 {
 		t.Errorf("filterInto: %v allocs/op, want 0", allocs)
@@ -575,7 +575,7 @@ func BenchmarkFilterInto(b *testing.B) {
 	dst := NewSinogram(s.Theta, s.NCols)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.filterInto(dst, s, sc.cbuf)
+		p.filterInto(dst, s, sc.fbatch)
 	}
 }
 

@@ -6,19 +6,42 @@
 # EXPERIMENTS.md against the committed snapshot.
 #
 # Usage:
-#   scripts/bench.sh [out.json]        # default out: BENCH_PR6.json
+#   scripts/bench.sh [--compare BASE.json] [out.json]   # default out: BENCH_PR9.json
+#
+# With --compare, after writing the snapshot the guarded benchmarks
+# (BenchmarkStreamingPreview and BenchmarkReconAlgorithms/fbp) are checked
+# against the baseline snapshot's ns_per_op: a regression beyond the
+# tolerance fails the script. check.sh runs this as a smoke gate with a
+# loose tolerance; perf PRs run it tight against the previous snapshot.
+#
 # Environment:
-#   BENCH_TIME    go test -benchtime value (default 1s)
-#   BENCH_FILTER  -bench regexp (default ., i.e. the full suite)
-#   BENCH_LABEL   free-form label stored in the snapshot (default "current")
+#   BENCH_TIME         go test -benchtime value (default 1s)
+#   BENCH_FILTER       -bench regexp (default ., i.e. the full suite)
+#   BENCH_LABEL        free-form label stored in the snapshot (default "current")
+#   BENCH_COMPARE_PCT  allowed ns/op regression percent for --compare (default 15)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR6.json}
+compare=""
+if [ "${1:-}" = "--compare" ]; then
+	if [ $# -lt 2 ]; then
+		echo "bench.sh: --compare needs a baseline snapshot path" >&2
+		exit 2
+	fi
+	compare=$2
+	shift 2
+	if ! [ -f "$compare" ]; then
+		echo "bench.sh: baseline snapshot $compare not found" >&2
+		exit 2
+	fi
+fi
+
+out=${1:-BENCH_PR9.json}
 benchtime=${BENCH_TIME:-1s}
 filter=${BENCH_FILTER:-.}
 label=${BENCH_LABEL:-current}
+pct=${BENCH_COMPARE_PCT:-15}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -30,6 +53,7 @@ awk -v label="$label" '
 BEGIN { n = 0 }
 /^Benchmark/ && NF >= 3 {
 	name = $1
+	sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix: stable keys
 	iters = $2
 	ns = ""; bytes = ""; allocs = ""; metrics = ""
 	for (i = 3; i + 1 <= NF; i += 2) {
@@ -58,3 +82,49 @@ END {
 ' "$raw" >"$out"
 
 echo "wrote $out"
+
+if [ -z "$compare" ]; then
+	exit 0
+fi
+
+# ns_of snapshot name — extract a benchmark's ns_per_op from a snapshot.
+ns_of() {
+	awk -v want="\"name\":\"$2\"" '
+	index($0, want) {
+		if (match($0, /"ns_per_op":[0-9.eE+-]+/)) {
+			print substr($0, RSTART + 12, RLENGTH - 12)
+			exit
+		}
+	}' "$1"
+}
+
+echo "== bench compare vs $compare (tolerance +${pct}%) =="
+status=0
+for name in BenchmarkStreamingPreview BenchmarkReconAlgorithms/fbp; do
+	base_ns=$(ns_of "$compare" "$name")
+	new_ns=$(ns_of "$out" "$name")
+	if [ -z "$base_ns" ]; then
+		echo "bench compare: $name missing from baseline $compare"
+		status=1
+		continue
+	fi
+	if [ -z "$new_ns" ]; then
+		echo "bench compare: $name missing from $out (check BENCH_FILTER)"
+		status=1
+		continue
+	fi
+	if ! awk -v b="$base_ns" -v n="$new_ns" -v p="$pct" -v name="$name" 'BEGIN {
+		delta = (n / b - 1) * 100
+		if (n > b * (1 + p / 100)) {
+			printf "REGRESSION %s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%g%%)\n", name, n, b, delta, p
+			exit 1
+		}
+		printf "ok %s: %.0f ns/op vs baseline %.0f (%+.1f%%, limit +%g%%)\n", name, n, b, delta, p
+	}'; then
+		status=1
+	fi
+done
+if [ "$status" != 0 ]; then
+	echo "bench compare failed against $compare"
+	exit 1
+fi

@@ -53,6 +53,17 @@ echo "== smoke bench (1 iteration per benchmark) =="
 # measurement run (scripts/bench.sh does that).
 go test -run '^$' -bench . -benchtime 1x -short .
 
+echo "== bench compare smoke (guarded benchmarks vs BENCH_PR6.json) =="
+# A quick timed pass over just the regression-guarded benchmarks, compared
+# against the committed snapshot with a loose tolerance: catches gross
+# perf regressions (2x-style) without the noise sensitivity of the tight
+# 15% gate that perf PRs run via scripts/bench.sh --compare.
+bdir=$(mktemp -d)
+BENCH_TIME=200ms BENCH_FILTER='BenchmarkStreamingPreview$|BenchmarkReconAlgorithms/^fbp$' \
+	BENCH_COMPARE_PCT=${BENCH_COMPARE_PCT:-60} \
+	scripts/bench.sh --compare BENCH_PR6.json "$bdir/bench_smoke.json"
+rm -rf "$bdir"
+
 echo "== obslog determinism (two campaign runs, byte-identical journals) =="
 # The event journal is stamped purely from the sim clock, so two runs of
 # the same seeded campaign must dump byte-identical JSONL timelines.
