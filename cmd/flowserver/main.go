@@ -16,6 +16,8 @@
 //	/api/datasets (SciCat)
 //	/api/volumes  (Tiled)
 //	/api/v1/...   (SFAPI; Authorization: Bearer <token>)
+//	/api/telemetry (windowed signal series; ?name=&facility=&window=)
+//	/api/health   (facility health verdicts, probes, transitions; 503 unless all healthy)
 //	/metrics      (flow outcome counters + runtime gauges, Prometheus text)
 //	/debug/pprof/ (with -pprof: CPU/heap/goroutine profiling)
 //
@@ -60,6 +62,8 @@ func main() {
 	campaignScans := flag.Int("campaign-scans", 6, "scans per beamline in the multi-tenant campaign")
 	schedJournalPath := flag.String("sched-journal", "", "dump the multi-tenant campaign's event journal as JSONL to this file")
 	scenarioPath := flag.String("scenario", "", "run this scenario spec as the multi-tenant campaign (outcome served at /api/scenario)")
+	telemetryOn := flag.Bool("telemetry", true, "run the facility telemetry plane alongside the multi-tenant campaign")
+	telemetryJournalPath := flag.String("telemetry-journal", "", "dump the telemetry verdict timeline and probe digest as JSONL to this file")
 	flag.Parse()
 
 	// Operational journal: wall-clocked, text-rendered to stderr — the
@@ -148,6 +152,7 @@ func main() {
 		campCfg.Metrics = metrics
 		campCfg.BurstAt = 2 * time.Hour
 		campCfg.BurstScans = 14
+		campCfg.Telemetry = *telemetryOn
 		camp = core.NewCampaign(epoch, campCfg)
 		cres = camp.Run(*campaignScans)
 		obslog.Info(opsCtx, "flowserver", "multi-tenant campaign complete",
@@ -157,6 +162,28 @@ func main() {
 			obslog.F("streaming_under10s_pct", cres.StreamingUnder10sPct),
 			obslog.F("deferred", cres.Deferred),
 			obslog.F("shed", cres.Shed))
+	}
+	// The telemetry timeline dump is the health-plane determinism
+	// artifact: verdict transitions plus the probe-series digest, stamped
+	// purely from the sim clock, so two seeded runs must be
+	// byte-identical.
+	if *telemetryJournalPath != "" {
+		if camp.Telemetry == nil {
+			fatal("telemetry journal requested but the campaign ran without -telemetry")
+		}
+		f, err := os.Create(*telemetryJournalPath)
+		if err != nil {
+			fatal("create telemetry journal file", obslog.F("err", err))
+		}
+		if err := camp.Telemetry.WriteTimeline(f); err != nil {
+			f.Close()
+			fatal("write telemetry journal", obslog.F("err", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal("close telemetry journal file", obslog.F("err", err))
+		}
+		obslog.Info(opsCtx, "flowserver", "telemetry journal written",
+			obslog.F("path", *telemetryJournalPath))
 	}
 	if *schedJournalPath != "" {
 		f, err := os.Create(*schedJournalPath)
@@ -202,6 +229,10 @@ func main() {
 	mux.Handle("/api/events", b.Journal.Handler())
 	mux.Handle("/api/slo", b.SLO.Handler())
 	mux.Handle("/api/sched", camp.Sched.Handler())
+	if camp.Telemetry != nil {
+		mux.Handle("/api/telemetry", camp.Telemetry.Handler())
+		mux.Handle("/api/health", camp.Telemetry.HealthHandler())
+	}
 	if scOutcome != nil {
 		outcomeJSON := scOutcome.Canonical()
 		mux.HandleFunc("/api/scenario", func(w http.ResponseWriter, r *http.Request) {
@@ -220,6 +251,16 @@ func main() {
 			obslog.F("path", "/debug/pprof/"))
 	}
 	status := statusText(b, res, cres)
+	if camp.Telemetry != nil {
+		var hb strings.Builder
+		hb.WriteString("facility health:")
+		for _, fh := range camp.Telemetry.Health() {
+			fmt.Fprintf(&hb, " %s=%s(%.0f)", fh.Facility, fh.Verdict, fh.Score)
+		}
+		fmt.Fprintf(&hb, ", %d verdict transitions, probe digest %.12s\n",
+			len(camp.Telemetry.Transitions()), camp.Telemetry.ProbeDigest())
+		status += hb.String()
+	}
 	if scOutcome != nil {
 		status += fmt.Sprintf("scenario %s: pass=%v, %d checks, journal sha256 %.12s\n",
 			scOutcome.Scenario, scOutcome.Pass, len(scOutcome.Checks), scOutcome.Journal.SHA256)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/slo"
+	"repro/internal/telemetry"
 )
 
 // A Campaign is the multi-tenant deployment the paper's future-work
@@ -97,6 +98,16 @@ type CampaignConfig struct {
 	// at BurstAt. Zero BurstScans disables the burst.
 	BurstAt    time.Duration
 	BurstScans int
+
+	// Telemetry enables the facility telemetry plane: windowed signal
+	// series, per-facility health scoring, and synthetic probes running
+	// alongside the campaign. Off by default — the probes submit real
+	// (tiny) jobs and transfers, so enabling it perturbs the seeded
+	// timeline, which is why recorded scenario goldens opt in explicitly.
+	Telemetry bool
+	// TelemetryConfig tunes the plane when Telemetry is set; the zero
+	// value takes the plane defaults.
+	TelemetryConfig telemetry.Config
 }
 
 // DefaultCampaignConfig is the reference campaign: four beamlines with
@@ -135,6 +146,9 @@ type Campaign struct {
 	Beamlines []*Beamline
 	// Sched arbitrates every beamline's runs over the shared pool.
 	Sched *sched.Scheduler
+	// Telemetry is the facility telemetry plane, nil unless
+	// CampaignConfig.Telemetry opted in.
+	Telemetry *telemetry.Plane
 
 	epoch    time.Time
 	weights  map[string]float64
@@ -182,6 +196,12 @@ func NewCampaign(epoch time.Time, cfg CampaignConfig) *Campaign {
 		},
 	})
 	base.Flows.AddStartObserver(c.Sched)
+	if cfg.Telemetry {
+		c.Telemetry = base.NewTelemetryPlane(cfg.Metrics, cfg.TelemetryConfig, map[string]string{
+			ObjCampaignFile:      SiteNERSC,
+			ObjCampaignStreaming: SiteALS,
+		})
+	}
 
 	for i := 0; i < cfg.Beamlines; i++ {
 		bl := *base // share every service; own identity and randomness
@@ -262,6 +282,9 @@ func (c *Campaign) Launch(scansPer int) {
 	c.launched = true
 	e := c.Base.Engine
 	c.Sched.StartWorkers()
+	if c.Telemetry != nil {
+		c.Telemetry.Start(context.Background(), e, 0)
+	}
 
 	var dones []*sim.Signal
 	n := len(c.Beamlines)
@@ -296,6 +319,12 @@ func (c *Campaign) Launch(scansPer int) {
 	e.Go("campaign-drain", func(p *sim.Proc) {
 		sim.WaitAll(p, dones...)
 		c.Sched.Drain(p)
+		if c.Telemetry != nil {
+			// The plane's procs exit at their next wakeup, so the drained
+			// campaign ends at most one sample interval later instead of
+			// deadlocking the engine on live telemetry procs.
+			c.Telemetry.Stop()
+		}
 	})
 }
 

@@ -1,88 +1,116 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/flow"
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Flow name for the periodic health round.
 const FlowHealth = "health_check_flow"
 
-// RegisterHealthChecks installs the probes the production deployment runs
-// every 12–24 hours (§5.3): storage tiers below saturation, transfer
-// success rate, orchestration success rates, and catalog availability.
-func (b *Beamline) RegisterHealthChecks(hc *monitor.HealthChecker) {
-	hc.Register("storage_headroom", func() error {
-		for _, st := range []interface {
-			Used() int64
-		}{b.DataSrv, b.CFS, b.Scratch} {
-			_ = st
-		}
-		// The beamline data server is the tier that saturates in
-		// practice; alarm at 90% of a 200 TB volume.
-		const dataSrvCapacity = 200e12
-		if float64(b.DataSrv.Used()) > 0.9*dataSrvCapacity {
-			return fmt.Errorf("beamline data server at %.0f%% of capacity",
-				100*float64(b.DataSrv.Used())/dataSrvCapacity)
-		}
-		return nil
-	})
-	hc.Register("transfer_success", func() error {
-		tasks := b.Transfer.Tasks()
-		if len(tasks) == 0 {
-			return nil
-		}
-		ok := b.Transfer.SucceededCount()
-		rate := float64(ok) / float64(len(tasks))
-		if rate < 0.95 {
-			return fmt.Errorf("transfer success rate %.0f%% below 95%%", rate*100)
-		}
-		return nil
-	})
-	hc.Register("flow_success", func() error {
-		for _, name := range []string{FlowNewFile, FlowNERSC, FlowALCF} {
-			if runs := b.Flows.Runs(name); len(runs) > 0 {
-				if rate := b.Flows.SuccessRate(name); rate < 0.9 {
-					return fmt.Errorf("%s success rate %.0f%%", name, rate*100)
-				}
-			}
-		}
-		return nil
-	})
-	hc.Register("catalog_reachable", func() error {
-		// A search against the catalog proves the metadata service is
-		// answering.
-		b.Catalog.Count()
-		return nil
-	})
+// healthCheck is one beamline-side named check.
+type healthCheck struct {
+	name string
+	run  func() error
 }
 
-// StartHealthMonitoring spawns a simulated process that runs the health
-// round every `interval` for `total` of virtual time, recording each round
-// as a flow run so operators see it in the same dashboard as everything
-// else. It returns the checker for inspection after Engine.Run.
-func (b *Beamline) StartHealthMonitoring(interval, total time.Duration) *monitor.HealthChecker {
-	hc := monitor.NewHealthChecker()
-	b.RegisterHealthChecks(hc)
-	b.Engine.Go("health-monitor", func(p *sim.Proc) {
-		for elapsed := time.Duration(0); elapsed < total; elapsed += interval {
-			p.Sleep(interval)
-			fc := b.Flows.Start(nil, FlowHealth, flow.SimEnv{P: p})
-			results := hc.RunAll(p.Now())
-			var firstErr error
-			for _, r := range results {
-				if !r.OK && firstErr == nil {
-					firstErr = fmt.Errorf("%s: %s", r.Name, r.Err)
+// healthChecks returns the checks the production deployment runs every
+// 12–24 hours (§5.3): storage tiers below saturation, transfer success
+// rate, orchestration success rates, and catalog availability.
+func (b *Beamline) healthChecks() []healthCheck {
+	return []healthCheck{
+		{"storage_headroom", func() error {
+			// The beamline data server is the tier that saturates in
+			// practice; alarm at 90% of a 200 TB volume.
+			const dataSrvCapacity = 200e12
+			if float64(b.DataSrv.Used()) > 0.9*dataSrvCapacity {
+				return fmt.Errorf("beamline data server at %.0f%% of capacity",
+					100*float64(b.DataSrv.Used())/dataSrvCapacity)
+			}
+			return nil
+		}},
+		{"transfer_success", func() error {
+			tasks := b.Transfer.Tasks()
+			if len(tasks) == 0 {
+				return nil
+			}
+			ok := b.Transfer.SucceededCount()
+			rate := float64(ok) / float64(len(tasks))
+			if rate < 0.95 {
+				return fmt.Errorf("transfer success rate %.0f%% below 95%%", rate*100)
+			}
+			return nil
+		}},
+		{"flow_success", func() error {
+			for _, name := range []string{FlowNewFile, FlowNERSC, FlowALCF} {
+				if runs := b.Flows.Runs(name); len(runs) > 0 {
+					if rate := b.Flows.SuccessRate(name); rate < 0.9 {
+						return fmt.Errorf("%s success rate %.0f%%", name, rate*100)
+					}
 				}
 			}
-			fc.Complete(firstErr)
+			return nil
+		}},
+		{"catalog_reachable", func() error {
+			// A search against the catalog proves the metadata service is
+			// answering.
+			b.Catalog.Count()
+			return nil
+		}},
+	}
+}
+
+// RegisterHealthChecks installs the beamline-side checks on the
+// telemetry plane as one health_round probe. Each round is recorded as a
+// FlowHealth flow run (so operators see it in the same dashboard as
+// everything else), each check's pass/fail feeds its own
+// probe_<check>_ok series, and a rule per check penalizes the als
+// facility 40 points on failure — one failing check is Degraded, two are
+// Down. This is the old monitor.HealthChecker surface folded into the
+// plane's probe/verdict model: exactly one notion of "healthy".
+func (b *Beamline) RegisterHealthChecks(pl *telemetry.Plane, interval time.Duration) {
+	checks := b.healthChecks()
+	pl.AddProbe("health_round", SiteALS, interval, func(ctx context.Context, p *sim.Proc) error {
+		fc := b.Flows.Start(ctx, FlowHealth, flow.SimEnv{P: p})
+		var firstErr error
+		for _, c := range checks {
+			err := c.run()
+			ok := 1.0
+			if err != nil {
+				ok = 0
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s: %w", c.name, err)
+				}
+			}
+			pl.Record("probe_"+c.name+"_ok", SiteALS, p.Now(), ok)
 		}
+		fc.Complete(firstErr)
+		return firstErr
 	})
-	return hc
+	for _, c := range checks {
+		pl.AddRules(telemetry.Rule{
+			Name: "check_" + c.name, Facility: SiteALS, Series: "probe_" + c.name + "_ok",
+			Agg: "last", Window: 2 * interval, Op: "<", Threshold: 1,
+			Penalty: 40, Reason: "check " + c.name + " failing",
+		})
+	}
+}
+
+// StartHealthMonitoring builds a standalone telemetry plane running the
+// health round every `interval` for `total` of virtual time (the plane's
+// bounded-horizon mode), scoring the als facility each round. It returns
+// the plane for inspection after Engine.Run.
+func (b *Beamline) StartHealthMonitoring(interval, total time.Duration) *telemetry.Plane {
+	pl := telemetry.New(b.Engine, b.Journal, nil, telemetry.Config{SampleInterval: interval})
+	b.RegisterHealthChecks(pl, interval)
+	pl.Start(context.Background(), b.Engine, total)
+	return pl
 }
 
 // SampleWANBandwidth spawns a simulated process that samples the

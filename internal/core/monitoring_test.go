@@ -1,16 +1,19 @@
 package core
 
 import (
+	"context"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/monitor"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func TestHealthMonitoringDuringCampaign(t *testing.T) {
 	b := newTestBeamline()
-	hc := b.StartHealthMonitoring(1*time.Hour, 6*time.Hour)
+	pl := b.StartHealthMonitoring(1*time.Hour, 6*time.Hour)
 	// Drive scans alongside so the checks have real state to probe.
 	b.Engine.Go("scans", func(p *sim.Proc) {
 		for i := 0; i < 10; i++ {
@@ -27,9 +30,12 @@ func TestHealthMonitoringDuringCampaign(t *testing.T) {
 		}
 	})
 	b.Engine.Run()
-	if !hc.Healthy() {
-		results, _ := hc.LastResults()
-		t.Fatalf("healthy campaign should pass checks: %v", results)
+	if !pl.Healthy() {
+		t.Fatalf("healthy campaign should pass checks: %+v", pl.Health())
+	}
+	fh, ok := pl.HealthFor(SiteALS)
+	if !ok || fh.Verdict != telemetry.VerdictHealthy || fh.Score != 100 {
+		t.Fatalf("als health %+v", fh)
 	}
 	rounds := b.Flows.Runs(FlowHealth)
 	if len(rounds) != 6 {
@@ -38,12 +44,16 @@ func TestHealthMonitoringDuringCampaign(t *testing.T) {
 	if b.Flows.SuccessRate(FlowHealth) != 1 {
 		t.Fatal("health flow should be all-green")
 	}
+	stats := pl.ProbeStats()
+	if len(stats) != 1 || stats[0].Name != "health_round" || stats[0].Runs != 6 || stats[0].Failures != 0 {
+		t.Fatalf("probe stats %+v", stats)
+	}
 }
 
 func TestHealthCheckDetectsTransferFailures(t *testing.T) {
 	b := newTestBeamline()
-	hc := monitor.NewHealthChecker()
-	b.RegisterHealthChecks(hc)
+	pl := telemetry.New(b.Engine, b.Journal, nil, telemetry.Config{SampleInterval: 10 * time.Minute})
+	b.RegisterHealthChecks(pl, 10*time.Minute)
 	// Fabricate a bad success rate by issuing transfers against missing
 	// files.
 	b.Engine.Go("bad", func(p *sim.Proc) {
@@ -51,16 +61,21 @@ func TestHealthCheckDetectsTransferFailures(t *testing.T) {
 			b.Transfer.Submit(nil, p, "missing", EPBeamline, EPCFS, []string{"nope"})
 		}
 	})
+	pl.Start(context.Background(), b.Engine, time.Hour)
 	b.Engine.Run()
-	results := hc.RunAll(epoch)
-	ok := true
-	for _, r := range results {
-		if r.Name == "transfer_success" {
-			ok = r.OK
-		}
+	fh, ok := pl.HealthFor(SiteALS)
+	if !ok {
+		t.Fatal("als facility unscored")
 	}
-	if ok {
-		t.Fatal("all-failed transfers should trip the transfer_success check")
+	if fh.Verdict == telemetry.VerdictHealthy {
+		t.Fatalf("all-failed transfers should trip the transfer_success check: %+v", fh)
+	}
+	if !strings.Contains(strings.Join(fh.Reasons, "; "), "check transfer_success failing") {
+		t.Fatalf("reasons %v", fh.Reasons)
+	}
+	stats := pl.ProbeStats()
+	if len(stats) != 1 || stats[0].Failures == 0 {
+		t.Fatalf("probe stats should show failed rounds: %+v", stats)
 	}
 }
 

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// The ISSUE's worked example: an SFAPI outage mid-campaign takes the
+// nersc facility Healthy→Degraded (score 100→40..60) and the verdict
+// recovers after the API and both control-plane probes come back.
+func TestCampaignTelemetrySFAPIOutage(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	cfg.Sim = fastCampaignSim()
+	cfg.Telemetry = true
+	cfg.TelemetryConfig = telemetry.Config{SampleInterval: time.Minute}
+	cfg.Metrics = monitor.NewRegistry()
+	c := NewCampaign(epoch, cfg)
+	c.Base.Engine.Go("outage", func(p *sim.Proc) {
+		p.Sleep(5 * time.Minute)
+		c.Base.Perlmutter.SetDown(true)
+		p.Sleep(10 * time.Minute)
+		c.Base.Perlmutter.SetDown(false)
+	})
+	c.Run(4)
+
+	pl := c.Telemetry
+	if pl == nil {
+		t.Fatal("Telemetry=true should build a plane")
+	}
+	var verdicts []telemetry.Verdict
+	for _, tr := range pl.Transitions() {
+		if tr.Facility == SiteNERSC {
+			verdicts = append(verdicts, tr.To)
+		}
+	}
+	if len(verdicts) < 2 || verdicts[0] != telemetry.VerdictDegraded ||
+		verdicts[len(verdicts)-1] != telemetry.VerdictHealthy {
+		t.Fatalf("nersc verdict timeline %v, want degraded then recovery", verdicts)
+	}
+	fh, ok := pl.HealthFor(SiteNERSC)
+	if !ok || fh.Verdict != telemetry.VerdictHealthy {
+		t.Fatalf("nersc should end healthy: %+v", fh)
+	}
+
+	// The ping probe failed throughout the outage and succeeded around it.
+	var ping telemetry.ProbeStat
+	for _, s := range pl.ProbeStats() {
+		if s.Name == ProbeSFAPIPing {
+			ping = s
+		}
+	}
+	if ping.Runs == 0 || ping.Failures == 0 || ping.Failures >= ping.Runs {
+		t.Fatalf("sfapi_ping stats %+v, want a mix of failures and successes", ping)
+	}
+	if ping.P95 <= 0 {
+		t.Fatalf("sfapi_ping p95 %v, want positive latency from successful pings", ping.P95)
+	}
+
+	// Probe latencies flow into the shared registry's histograms.
+	h, ok := cfg.Metrics.Histogram(monitor.SeriesName("probe_latency_seconds", monitor.L("probe", ProbeWANNERSC)))
+	if !ok || h.Count == 0 {
+		t.Fatal("probe_latency_seconds{probe=wan_echo_nersc} missing from registry")
+	}
+}
+
+// Telemetry is opt-in: the default campaign carries no plane and no
+// probe procs, so seeded timelines recorded before the plane existed
+// are unchanged.
+func TestCampaignTelemetryOptIn(t *testing.T) {
+	cfg := DefaultCampaignConfig()
+	cfg.Sim = fastCampaignSim()
+	c := NewCampaign(epoch, cfg)
+	c.Run(2)
+	if c.Telemetry != nil {
+		t.Fatal("telemetry plane built without opt-in")
+	}
+}
+
+// Two seeded campaigns with telemetry produce byte-identical verdict
+// timelines and probe digests — the determinism contract check.sh's
+// telemetry stage enforces end to end.
+func TestCampaignTelemetryDeterministic(t *testing.T) {
+	run := func() (string, []telemetry.Transition) {
+		cfg := DefaultCampaignConfig()
+		cfg.Sim = fastCampaignSim()
+		cfg.Telemetry = true
+		cfg.TelemetryConfig = telemetry.Config{SampleInterval: time.Minute}
+		c := NewCampaign(epoch, cfg)
+		c.Base.Engine.Go("outage", func(p *sim.Proc) {
+			p.Sleep(5 * time.Minute)
+			c.Base.Perlmutter.SetDown(true)
+			p.Sleep(10 * time.Minute)
+			c.Base.Perlmutter.SetDown(false)
+		})
+		c.Run(3)
+		return c.Telemetry.ProbeDigest(), c.Telemetry.Transitions()
+	}
+	d1, t1 := run()
+	d2, t2 := run()
+	if d1 != d2 {
+		t.Fatalf("probe digests differ:\n%s\n%s", d1, d2)
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("transition counts differ: %d vs %d", len(t1), len(t2))
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatalf("transitions differ:\n%+v\n%+v", t1, t2)
+	}
+}

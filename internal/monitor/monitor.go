@@ -1,8 +1,9 @@
 // Package monitor provides the observability the paper's operations
 // depend on: a metrics registry with an HTTP exposition endpoint (the
-// Grafana dashboards that watch Globus transfer bandwidth), a bandwidth
-// sampler that turns link counters into time series, and the named health
-// checks the production deployment runs every 12–24 hours.
+// Grafana dashboards that watch Globus transfer bandwidth) and a
+// bandwidth sampler that turns link counters into time series. Health
+// checking lives in internal/telemetry, which scores facilities from
+// the series this registry feeds.
 package monitor
 
 import (
@@ -125,6 +126,43 @@ func (r *Registry) Histogram(name string) (HistogramSnapshot, bool) {
 	}, true
 }
 
+// quantileExports are the quantile estimates the exposition endpoint and
+// telemetry sampling publish for every histogram.
+var quantileExports = []struct {
+	Label string
+	Q     float64
+}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank, the standard histogram_quantile estimate. An empty
+// snapshot reports 0; ranks landing in the +Inf bucket clamp to the
+// highest finite bound, since the true tail is unknowable from buckets.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var prevCum, lower float64
+	for i, ub := range s.Buckets {
+		cum := float64(s.Counts[i])
+		if cum >= rank {
+			if cum == prevCum {
+				return ub
+			}
+			return lower + (ub-lower)*(rank-prevCum)/(cum-prevCum)
+		}
+		prevCum, lower = cum, ub
+	}
+	return s.Buckets[len(s.Buckets)-1]
+}
+
 // HistogramNames returns the sorted names of all histograms.
 func (r *Registry) HistogramNames() []string {
 	r.mu.Lock()
@@ -213,6 +251,10 @@ func (r *Registry) Handler() http.Handler {
 			fmt.Fprintf(w, "%s %d\n", decorate(k, "_bucket", `le="+Inf"`), h.Counts[len(h.Buckets)])
 			fmt.Fprintf(w, "%s %g\n", decorate(k, "_sum", ""), h.Sum)
 			fmt.Fprintf(w, "%s %d\n", decorate(k, "_count", ""), h.Count)
+			for _, qe := range quantileExports {
+				fmt.Fprintf(w, "%s %g\n",
+					decorate(k, "", fmt.Sprintf("quantile=%q", qe.Label)), h.Quantile(qe.Q))
+			}
 		}
 	})
 }
@@ -243,105 +285,4 @@ func BandwidthSeries(points []Sample) []Sample {
 		})
 	}
 	return out
-}
-
-// Check is a named health probe.
-type Check struct {
-	Name string
-	Run  func() error
-}
-
-// CheckResult is the outcome of one probe.
-type CheckResult struct {
-	Name string
-	OK   bool
-	Err  string
-}
-
-// HealthChecker runs a set of probes — the paper's "automated health
-// monitoring every 12-24 hours".
-type HealthChecker struct {
-	mu     sync.Mutex
-	checks []Check       // guarded by mu
-	last   []CheckResult // guarded by mu
-	lastAt time.Time     // guarded by mu
-}
-
-// NewHealthChecker creates an empty checker.
-func NewHealthChecker() *HealthChecker {
-	return &HealthChecker{}
-}
-
-// Register adds a probe.
-func (h *HealthChecker) Register(name string, run func() error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.checks = append(h.checks, Check{Name: name, Run: run})
-}
-
-// RunAll executes every probe and returns the results; `at` stamps the
-// round (callers on the virtual clock pass sim time).
-func (h *HealthChecker) RunAll(at time.Time) []CheckResult {
-	h.mu.Lock()
-	checks := append([]Check(nil), h.checks...)
-	h.mu.Unlock()
-
-	results := make([]CheckResult, 0, len(checks))
-	for _, c := range checks {
-		res := CheckResult{Name: c.Name, OK: true}
-		if err := c.Run(); err != nil {
-			res.OK = false
-			res.Err = err.Error()
-		}
-		results = append(results, res)
-	}
-	h.mu.Lock()
-	h.last = results
-	h.lastAt = at
-	h.mu.Unlock()
-	return results
-}
-
-// Healthy reports whether the last round passed entirely (false before
-// any round has run).
-func (h *HealthChecker) Healthy() bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.last == nil {
-		return false
-	}
-	for _, r := range h.last {
-		if !r.OK {
-			return false
-		}
-	}
-	return true
-}
-
-// LastResults returns the most recent round and its timestamp.
-func (h *HealthChecker) LastResults() ([]CheckResult, time.Time) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return append([]CheckResult(nil), h.last...), h.lastAt
-}
-
-// Handler exposes the last health round as JSON-ish plain text plus an
-// HTTP status: 200 when healthy, 503 otherwise.
-func (h *HealthChecker) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		results, at := h.LastResults()
-		code := http.StatusOK
-		if !h.Healthy() {
-			code = http.StatusServiceUnavailable
-		}
-		w.WriteHeader(code)
-		fmt.Fprintf(w, "last_run %s\n", at.Format(time.RFC3339))
-		for _, r := range results {
-			status := "ok"
-			if !r.OK {
-				status = "FAIL " + r.Err
-			}
-			fmt.Fprintf(w, "%s %s\n", r.Name, status)
-		}
-	})
 }

@@ -1,8 +1,8 @@
 package monitor
 
 import (
-	"errors"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -102,69 +102,71 @@ func TestBandwidthSeries(t *testing.T) {
 	}
 }
 
-func TestHealthChecker(t *testing.T) {
-	h := NewHealthChecker()
-	if h.Healthy() {
-		t.Fatal("unchecked system should not report healthy")
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("h", 0.5)
+	r.Observe("h", 30)
+	h, _ := r.Histogram("h")
+	// rank q*2 against cumulative counts {...,le1:1,le10:1,le60:2,...}:
+	// p50 interpolates to the top of the le=1 bucket, p95/p99 inside
+	// (10, 60].
+	cases := []struct{ q, want float64 }{
+		{0.5, 1}, {0.95, 55}, {0.99, 59},
+		{-1, 0.001}, // clamps to q=0, landing at the first bucket bound
+		{1, 60},
 	}
-	broken := true
-	h.Register("storage", func() error { return nil })
-	h.Register("transfer", func() error {
-		if broken {
-			return errors.New("endpoint unreachable")
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
 		}
-		return nil
-	})
-	res := h.RunAll(t0)
-	if len(res) != 2 || res[0].OK != true || res[1].OK != false {
-		t.Fatalf("results %v", res)
 	}
-	if h.Healthy() {
-		t.Fatal("failing check should make system unhealthy")
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile should be 0")
 	}
-	broken = false
-	h.RunAll(t0.Add(12 * time.Hour))
-	if !h.Healthy() {
-		t.Fatal("all-pass round should be healthy")
-	}
-	last, at := h.LastResults()
-	if len(last) != 2 || !at.Equal(t0.Add(12*time.Hour)) {
-		t.Fatalf("last results %v at %v", last, at)
+	// Observations beyond the last finite bucket clamp to that bound.
+	r2 := NewRegistry()
+	r2.Observe("tail", 10000)
+	ht, _ := r2.Histogram("tail")
+	if got := ht.Quantile(0.5); got != 3600 {
+		t.Errorf("+Inf-bucket quantile = %v, want 3600 (last finite bound)", got)
 	}
 }
 
-func TestHealthHandlerStatusCodes(t *testing.T) {
-	h := NewHealthChecker()
-	h.Register("always-fail", func() error { return errors.New("down") })
-	srv := httptest.NewServer(h.Handler())
+func TestExpositionGolden(t *testing.T) {
+	// The exact exposition bytes for a known registry: counters/gauges
+	// sorted, then per-histogram buckets, _sum, _count, and the p50/p95/
+	// p99 quantile estimates in summary style.
+	r := NewRegistry()
+	r.Add("requests_total", 3)
+	r.Observe(`stage_seconds{stage="copy"}`, 0.5)
+	r.Observe(`stage_seconds{stage="copy"}`, 30)
+	srv := httptest.NewServer(r.Handler())
 	defer srv.Close()
-
-	h.RunAll(t0)
 	resp, err := http.Get(srv.URL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("unhealthy status %d", resp.StatusCode)
-	}
 	body, _ := io.ReadAll(resp.Body)
-	if !strings.Contains(string(body), "FAIL down") {
-		t.Fatalf("body %q", body)
-	}
-
-	h2 := NewHealthChecker()
-	h2.Register("ok", func() error { return nil })
-	h2.RunAll(t0)
-	srv2 := httptest.NewServer(h2.Handler())
-	defer srv2.Close()
-	r2, err := http.Get(srv2.URL)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer r2.Body.Close()
-	if r2.StatusCode != http.StatusOK {
-		t.Fatalf("healthy status %d", r2.StatusCode)
+	want := `requests_total 3
+stage_seconds_bucket{stage="copy",le="0.001"} 0
+stage_seconds_bucket{stage="copy",le="0.01"} 0
+stage_seconds_bucket{stage="copy",le="0.1"} 0
+stage_seconds_bucket{stage="copy",le="1"} 1
+stage_seconds_bucket{stage="copy",le="10"} 1
+stage_seconds_bucket{stage="copy",le="60"} 2
+stage_seconds_bucket{stage="copy",le="300"} 2
+stage_seconds_bucket{stage="copy",le="1200"} 2
+stage_seconds_bucket{stage="copy",le="3600"} 2
+stage_seconds_bucket{stage="copy",le="+Inf"} 2
+stage_seconds_sum{stage="copy"} 30.5
+stage_seconds_count{stage="copy"} 2
+stage_seconds{stage="copy",quantile="0.5"} 1
+stage_seconds{stage="copy",quantile="0.95"} 54.99999999999999
+stage_seconds{stage="copy",quantile="0.99"} 59
+`
+	if string(body) != want {
+		t.Fatalf("exposition diverged from golden.\ngot:\n%s\nwant:\n%s", body, want)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/obslog"
 )
@@ -33,6 +34,11 @@ type Outcome struct {
 	Alerts  []AlertOutcome     `json:"alerts,omitempty"`
 	Tenants []TenantOutcome    `json:"tenants"`
 	Journal JournalDigest      `json:"journal"`
+
+	// Telemetry sections, present only when campaign.telemetry is on.
+	Health      []HealthOutcome `json:"health,omitempty"`
+	Probes      []ProbeOutcome  `json:"probes,omitempty"`
+	ProbeDigest string          `json:"probe_digest,omitempty"`
 
 	Checks []Check `json:"checks,omitempty"`
 	Pass   bool    `json:"pass"`
@@ -66,6 +72,37 @@ type TenantOutcome struct {
 	Deferred      int     `json:"deferred"`
 	Shed          int     `json:"shed"`
 	AttainmentPct float64 `json:"attainment_pct"`
+}
+
+// HealthOutcome is one facility's end-of-campaign health state plus its
+// full verdict timeline (the initial healthy plus every transition).
+type HealthOutcome struct {
+	Facility    string             `json:"facility"`
+	Score       float64            `json:"score"`
+	Verdict     string             `json:"verdict"`
+	Verdicts    []string           `json:"verdicts"`
+	Transitions []HealthTransition `json:"transitions,omitempty"`
+}
+
+// HealthTransition is one verdict change, stamped as an offset from the
+// campaign epoch.
+type HealthTransition struct {
+	At      string   `json:"at"`
+	From    string   `json:"from"`
+	To      string   `json:"to"`
+	Score   float64  `json:"score"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// ProbeOutcome is one synthetic probe's counters and latency quantiles.
+type ProbeOutcome struct {
+	Probe      string  `json:"probe"`
+	Facility   string  `json:"facility"`
+	Runs       int     `json:"runs"`
+	Failures   int     `json:"failures"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
 }
 
 // JournalDigest summarizes the event journal without embedding it: event
@@ -117,6 +154,9 @@ func (o *Outcome) FailedChecks() []string {
 // round2 stabilizes derived floats at two decimals so goldens do not
 // churn on representation noise.
 func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// round3 keeps millisecond resolution for probe latencies.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
 
 func parseLevel(s string) (obslog.Level, bool) {
 	if s == "" {
@@ -238,6 +278,45 @@ func (o *Outcome) evaluate(spec *Spec, j *obslog.Journal) {
 			}
 			add(c)
 		}
+	}
+
+	byFacility := map[string]HealthOutcome{}
+	for _, ho := range o.Health {
+		byFacility[ho.Facility] = ho
+	}
+	for _, he := range e.Health {
+		name := "health." + he.Facility
+		ho, ok := byFacility[he.Facility]
+		if !ok {
+			add(&Check{Name: name, Pass: false, Detail: "facility not scored in this campaign"})
+			continue
+		}
+		if len(he.Verdicts) > 0 {
+			got := strings.Join(ho.Verdicts, "→")
+			want := strings.Join(he.Verdicts, "→")
+			c := &Check{Name: name + ".verdicts", Pass: got == want, Detail: got}
+			if !c.Pass {
+				c.Detail = fmt.Sprintf("%s, want %s", got, want)
+			}
+			add(c)
+		}
+		add(checkInt(name+".transitions", len(ho.Transitions), he.Transitions))
+	}
+
+	byProbe := map[string]ProbeOutcome{}
+	for _, po := range o.Probes {
+		byProbe[po.Probe] = po
+	}
+	for _, pe := range e.Probes {
+		name := "probe." + pe.Probe
+		po, ok := byProbe[pe.Probe]
+		if !ok {
+			add(&Check{Name: name, Pass: false, Detail: "probe not registered in this campaign"})
+			continue
+		}
+		add(checkInt(name+".runs", po.Runs, pe.Runs))
+		add(checkInt(name+".failures", po.Failures, pe.Failures))
+		add(checkFloat(name+".p95_seconds", po.P95Seconds, pe.P95Seconds))
 	}
 
 	for i, je := range e.Journal {

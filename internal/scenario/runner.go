@@ -13,6 +13,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/transfer"
 )
 
@@ -63,6 +64,10 @@ func NewRunner(spec *Spec) (*Runner, error) {
 		Reserved:     spec.Campaign.Reserved,
 		ScanInterval: spec.Campaign.ScanInterval.D(),
 		FileTarget:   spec.Campaign.FileTarget.D(),
+		Telemetry:    spec.Campaign.Telemetry,
+		TelemetryConfig: telemetry.Config{
+			SampleInterval: spec.Campaign.TelemetryInterval.D(),
+		},
 	}
 	if a := spec.Admission; a != nil {
 		cfg.Admission = sched.Admission{
@@ -330,8 +335,53 @@ func (r *Runner) collect() *Outcome {
 		})
 	}
 	o.Journal = digestJournal(r.Campaign.Base.Journal)
+	r.collectTelemetry(o)
 	o.evaluate(r.Spec, r.Campaign.Base.Journal)
 	return o
+}
+
+// collectTelemetry fills the outcome's health and probe sections from
+// the campaign's plane, when the spec opted in.
+func (r *Runner) collectTelemetry(o *Outcome) {
+	pl := r.Campaign.Telemetry
+	if pl == nil {
+		return
+	}
+	transitions := pl.Transitions()
+	for _, fh := range pl.Health() {
+		ho := HealthOutcome{
+			Facility: fh.Facility,
+			Score:    round2(fh.Score),
+			Verdict:  string(fh.Verdict),
+			Verdicts: []string{string(telemetry.VerdictHealthy)},
+		}
+		for _, tr := range transitions {
+			if tr.Facility != fh.Facility {
+				continue
+			}
+			ho.Verdicts = append(ho.Verdicts, string(tr.To))
+			ho.Transitions = append(ho.Transitions, HealthTransition{
+				At:      tr.At.Sub(r.epoch).String(),
+				From:    string(tr.From),
+				To:      string(tr.To),
+				Score:   round2(tr.Score),
+				Reasons: tr.Reasons,
+			})
+		}
+		o.Health = append(o.Health, ho)
+	}
+	for _, st := range pl.ProbeStats() {
+		o.Probes = append(o.Probes, ProbeOutcome{
+			Probe:      st.Name,
+			Facility:   st.Facility,
+			Runs:       st.Runs,
+			Failures:   st.Failures,
+			P50Seconds: round3(st.P50),
+			P95Seconds: round3(st.P95),
+			P99Seconds: round3(st.P99),
+		})
+	}
+	o.ProbeDigest = pl.ProbeDigest()
 }
 
 // Run is the one-shot convenience: decode nothing, just execute an

@@ -208,3 +208,53 @@ func TestJournalDigestComponents(t *testing.T) {
 		t.Fatalf("scenario component missing from digest: %+v", o.Journal.Components)
 	}
 }
+
+func TestTelemetryScenario(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "telemetry"
+	spec.Campaign.Telemetry = true
+	spec.Campaign.TelemetryInterval = Duration(60 * 1e9) // 1m
+	spec.WAN = []WANEvent{
+		{At: Duration(2 * 60 * 1e9), Duration: Duration(4 * 60 * 1e9), Site: "nersc", BandwidthGbps: 1},
+	}
+	zero := 0
+	spec.Expect.Health = []HealthExpect{
+		{Facility: "nersc", Verdicts: []string{"healthy", "down", "healthy"}},
+		{Facility: "alcf", Transitions: &IntBound{Max: &zero}},
+	}
+	one := 1
+	spec.Expect.Probes = []ProbeExpect{
+		{Probe: "sfapi_ping", Runs: &IntBound{Min: &one}, Failures: &IntBound{Max: &zero}},
+	}
+	o := mustRun(t, spec)
+	if !o.Pass {
+		t.Fatalf("telemetry expectations failed: %v", o.FailedChecks())
+	}
+	if len(o.Health) == 0 || len(o.Probes) == 0 || o.ProbeDigest == "" {
+		t.Fatalf("telemetry sections not populated: health=%d probes=%d digest=%q",
+			len(o.Health), len(o.Probes), o.ProbeDigest)
+	}
+}
+
+func TestTelemetryScenarioUnknownTargetsFail(t *testing.T) {
+	spec := smokeSpec()
+	spec.Name = "telemetry-unknown"
+	spec.Campaign.Telemetry = true
+	spec.Expect.Health = []HealthExpect{{Facility: "jupiter"}}
+	spec.Expect.Probes = []ProbeExpect{{Probe: "warp_core"}}
+	o := mustRun(t, spec)
+	if o.Pass {
+		t.Fatal("expectations against unknown facility/probe must fail")
+	}
+	failed := strings.Join(o.FailedChecks(), "\n")
+	if !strings.Contains(failed, "health.jupiter") || !strings.Contains(failed, "probe.warp_core") {
+		t.Fatalf("failed checks missing the unknown targets:\n%s", failed)
+	}
+}
+
+func TestTelemetryOffOmitsSections(t *testing.T) {
+	o := mustRun(t, smokeSpec())
+	if len(o.Health) != 0 || len(o.Probes) != 0 || o.ProbeDigest != "" {
+		t.Fatalf("telemetry sections present without opt-in: %+v", o)
+	}
+}

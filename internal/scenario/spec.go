@@ -107,6 +107,15 @@ type CampaignSpec struct {
 	// preview's GPU work shrinks from a full reconstruction to one
 	// angle's fold plus the finalize pass.
 	IncrementalPreview bool `json:"incremental_preview,omitempty"`
+	// Telemetry enables the facility telemetry plane
+	// (core.CampaignConfig.Telemetry): windowed signals, health
+	// verdicts, and synthetic probes. Opt-in because the probes submit
+	// real (tiny) jobs and transfers, perturbing seeded timelines
+	// recorded without them.
+	Telemetry bool `json:"telemetry,omitempty"`
+	// TelemetryInterval overrides the plane's sample cadence (default
+	// 30s) so short scenarios still get enough scoring ticks.
+	TelemetryInterval Duration `json:"telemetry_interval,omitempty"`
 }
 
 // AdmissionSpec is the scheduler's backpressure policy (sched.Admission).
@@ -189,6 +198,8 @@ type Expect struct {
 
 	SLO     []SLOExpect     `json:"slo,omitempty"`
 	Journal []JournalExpect `json:"journal,omitempty"`
+	Health  []HealthExpect  `json:"health,omitempty"`
+	Probes  []ProbeExpect   `json:"probes,omitempty"`
 }
 
 // SLOExpect bounds one objective's end-of-campaign attainment (percent)
@@ -198,6 +209,28 @@ type SLOExpect struct {
 	AttainmentPct *FloatBound `json:"attainment_pct,omitempty"`
 	MinSamples    int         `json:"min_samples,omitempty"`
 	Firing        *bool       `json:"firing,omitempty"`
+}
+
+// HealthExpect pins one facility's verdict timeline (requires
+// campaign.telemetry). Verdicts, when set, must equal the full observed
+// sequence — the initial "healthy" plus each transition's destination —
+// so a brownout spec literally declares healthy→degraded→down→healthy.
+type HealthExpect struct {
+	Facility string `json:"facility"`
+	// Verdicts is the exact verdict sequence, each one of
+	// healthy/degraded/down.
+	Verdicts []string `json:"verdicts,omitempty"`
+	// Transitions bounds how many verdict changes occurred.
+	Transitions *IntBound `json:"transitions,omitempty"`
+}
+
+// ProbeExpect bounds one synthetic probe's run/failure counters and its
+// p95 latency (requires campaign.telemetry).
+type ProbeExpect struct {
+	Probe      string      `json:"probe"`
+	Runs       *IntBound   `json:"runs,omitempty"`
+	Failures   *IntBound   `json:"failures,omitempty"`
+	P95Seconds *FloatBound `json:"p95_seconds,omitempty"`
 }
 
 // JournalExpect bounds how many journal events match a component, an
@@ -280,6 +313,15 @@ func (s *Spec) Validate() error {
 	}
 	if err := checkDur("file_target", c.FileTarget, true); err != nil {
 		return err
+	}
+	if err := checkDur("telemetry_interval", c.TelemetryInterval, true); err != nil {
+		return err
+	}
+	if c.TelemetryInterval != 0 && !c.Telemetry {
+		return fmt.Errorf("scenario: telemetry_interval set without campaign.telemetry")
+	}
+	if (len(s.Expect.Health) > 0 || len(s.Expect.Probes) > 0) && !c.Telemetry {
+		return fmt.Errorf("scenario: expect.health and expect.probes require campaign.telemetry")
 	}
 	if len(c.Weights) > c.Beamlines {
 		return fmt.Errorf("scenario: %d weights for %d beamlines", len(c.Weights), c.Beamlines)
@@ -434,8 +476,43 @@ func (e *Expect) validate() error {
 	if err := e.StreamingUnder10sPct.validate("expect.streaming_under10s_pct"); err != nil {
 		return err
 	}
-	if len(e.SLO) > maxEvents || len(e.Journal) > maxEvents {
+	if len(e.SLO) > maxEvents || len(e.Journal) > maxEvents ||
+		len(e.Health) > maxEvents || len(e.Probes) > maxEvents {
 		return fmt.Errorf("scenario: expectation lists exceed the %d cap", maxEvents)
+	}
+	for i, he := range e.Health {
+		what := fmt.Sprintf("expect.health[%d]", i)
+		if he.Facility == "" {
+			return fmt.Errorf("scenario: %s needs a facility", what)
+		}
+		if len(he.Verdicts) > maxEvents {
+			return fmt.Errorf("scenario: %s.verdicts exceeds the %d cap", what, maxEvents)
+		}
+		for j, v := range he.Verdicts {
+			switch v {
+			case "healthy", "degraded", "down":
+			default:
+				return fmt.Errorf("scenario: %s.verdicts[%d] %q not in {healthy, degraded, down}", what, j, v)
+			}
+		}
+		if err := he.Transitions.validate(what + ".transitions"); err != nil {
+			return err
+		}
+	}
+	for i, pe := range e.Probes {
+		what := fmt.Sprintf("expect.probes[%d]", i)
+		if pe.Probe == "" {
+			return fmt.Errorf("scenario: %s needs a probe name", what)
+		}
+		if err := pe.Runs.validate(what + ".runs"); err != nil {
+			return err
+		}
+		if err := pe.Failures.validate(what + ".failures"); err != nil {
+			return err
+		}
+		if err := pe.P95Seconds.validate(what + ".p95_seconds"); err != nil {
+			return err
+		}
 	}
 	for i, se := range e.SLO {
 		what := fmt.Sprintf("expect.slo[%d]", i)

@@ -201,6 +201,35 @@ func TestValidateRejects(t *testing.T) {
 		"burst zero scans": func(s *Spec) {
 			s.Burst = &BurstSpec{Scans: 0}
 		},
+		"health without telemetry": func(s *Spec) {
+			s.Expect.Health = []HealthExpect{{Facility: "nersc"}}
+		},
+		"probes without telemetry": func(s *Spec) {
+			s.Expect.Probes = []ProbeExpect{{Probe: "queue_rt"}}
+		},
+		"telemetry interval without telemetry": func(s *Spec) {
+			s.Campaign.TelemetryInterval = Duration(time.Minute)
+		},
+		"health no facility": func(s *Spec) {
+			s.Campaign.Telemetry = true
+			s.Expect.Health = []HealthExpect{{}}
+		},
+		"health bad verdict": func(s *Spec) {
+			s.Campaign.Telemetry = true
+			s.Expect.Health = []HealthExpect{{Facility: "nersc", Verdicts: []string{"wounded"}}}
+		},
+		"health transitions inverted": func(s *Spec) {
+			s.Campaign.Telemetry = true
+			s.Expect.Health = []HealthExpect{{Facility: "nersc", Transitions: &IntBound{Min: &ten, Max: &two}}}
+		},
+		"probe no name": func(s *Spec) {
+			s.Campaign.Telemetry = true
+			s.Expect.Probes = []ProbeExpect{{}}
+		},
+		"probe p95 inverted": func(s *Spec) {
+			s.Campaign.Telemetry = true
+			s.Expect.Probes = []ProbeExpect{{Probe: "queue_rt", P95Seconds: &FloatBound{Min: &lo, Max: &hi}}}
+		},
 	}
 	for name, mutate := range cases {
 		s := base()

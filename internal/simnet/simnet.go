@@ -42,6 +42,35 @@ type Link struct {
 	TotalBytes int64
 	// BusyTime accumulates serialization time, for utilization reports.
 	BusyTime time.Duration
+	// busy records recent serialization intervals for windowed
+	// utilization. Adjacent chunks merge into one span; the slice is
+	// bounded by maxBusySpans, dropping the oldest half when full.
+	busy []busySpan
+}
+
+// busySpan is one contiguous interval the link spent serializing chunks.
+type busySpan struct{ start, end time.Time }
+
+// maxBusySpans bounds the per-link busy history. At the default chunk
+// size a span covers at least 256 MB, so the retained history spans
+// a terabyte of recent traffic — far wider than any scoring window.
+const maxBusySpans = 4096
+
+// recordBusy appends a serialization interval, merging with the previous
+// span when contiguous and compacting (dropping the oldest half) at the
+// bound.
+func (l *Link) recordBusy(start, end time.Time) {
+	if n := len(l.busy); n > 0 && !l.busy[n-1].end.Before(start) {
+		if end.After(l.busy[n-1].end) {
+			l.busy[n-1].end = end
+		}
+		return
+	}
+	if len(l.busy) >= maxBusySpans {
+		half := len(l.busy) / 2
+		l.busy = append(l.busy[:0], l.busy[half:]...)
+	}
+	l.busy = append(l.busy, busySpan{start: start, end: end})
 }
 
 // Network is a set of named sites joined by directed links.
@@ -154,6 +183,8 @@ func (n *Network) Transfer(p *sim.Proc, a, b string, size int64) (time.Duration,
 		p.Sleep(d)
 		l.res.Release()
 		l.BusyTime += d
+		end := p.Now()
+		l.recordBusy(end.Add(-d), end)
 	}
 	l.TotalBytes += size
 	return p.Now().Sub(start), nil
@@ -165,4 +196,39 @@ func (l *Link) Utilization(window time.Duration) float64 {
 		return 0
 	}
 	return float64(l.BusyTime) / float64(window)
+}
+
+// WindowedUtilization returns the fraction of the window (now-window, now]
+// the link spent serializing chunks, from the bounded busy-span history.
+// A span ending exactly at the window cut contributes nothing; a span
+// starting exactly at the cut is counted in full. A non-positive window
+// returns 0, and the result is clamped to [0, 1] — the link resource
+// serializes chunks, so overlap cannot legitimately exceed the window.
+func (l *Link) WindowedUtilization(now time.Time, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	cut := now.Add(-window)
+	var busy time.Duration
+	for i := len(l.busy) - 1; i >= 0; i-- {
+		s := l.busy[i]
+		if !s.end.After(cut) {
+			break // spans are ordered; everything earlier is out of window too
+		}
+		start, end := s.start, s.end
+		if start.Before(cut) {
+			start = cut
+		}
+		if end.After(now) {
+			end = now
+		}
+		if end.After(start) {
+			busy += end.Sub(start)
+		}
+	}
+	u := float64(busy) / float64(window)
+	if u > 1 {
+		u = 1
+	}
+	return u
 }

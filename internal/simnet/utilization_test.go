@@ -1,0 +1,160 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// xfer moves size bytes a→b from a fresh proc and runs the engine to
+// quiescence, failing the test on transfer error unless wantErr.
+func xfer(t *testing.T, e *sim.Engine, n *Network, size int64, wantErr bool) {
+	t.Helper()
+	e.Go("xfer", func(p *sim.Proc) {
+		_, err := n.Transfer(p, "a", "b", size)
+		if (err != nil) != wantErr {
+			t.Errorf("transfer error = %v, wantErr = %v", err, wantErr)
+		}
+	})
+	e.Run()
+}
+
+func TestWindowedUtilizationEmptyWindow(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	l := n.AddLink("a", "b", Gbps, 0)
+	xfer(t, e, n, 1<<30, false)
+	if u := l.WindowedUtilization(e.Now(), 0); u != 0 {
+		t.Fatalf("zero window utilization = %v, want 0", u)
+	}
+	if u := l.WindowedUtilization(e.Now(), -time.Second); u != 0 {
+		t.Fatalf("negative window utilization = %v, want 0", u)
+	}
+}
+
+func TestWindowedUtilizationIdleLink(t *testing.T) {
+	e := sim.New(epoch)
+	n := New(e)
+	l := n.AddLink("a", "b", Gbps, 0)
+	if u := l.WindowedUtilization(epoch.Add(time.Hour), time.Hour); u != 0 {
+		t.Fatalf("idle link utilization = %v, want 0", u)
+	}
+}
+
+func TestWindowedUtilizationSpanAtCut(t *testing.T) {
+	// One transfer busy on [0, 8s]. A window whose cut falls exactly at
+	// the span end must see nothing; a window starting exactly at the
+	// span start must count it in full.
+	e := sim.New(epoch)
+	n := New(e)
+	l := n.AddLink("a", "b", Gbps, 0)
+	xfer(t, e, n, 1<<30, false) // 1 GiB at 1 Gbps ≈ 8.59 s
+	busy := e.Now().Sub(epoch)
+
+	// Cut exactly at the span end: now = end + window.
+	if u := l.WindowedUtilization(e.Now().Add(time.Minute), time.Minute); u != 0 {
+		t.Fatalf("span ending at the cut contributed %v, want 0", u)
+	}
+	// Window start exactly at the span start: full credit.
+	u := l.WindowedUtilization(e.Now(), busy)
+	if math.Abs(u-1) > 1e-9 {
+		t.Fatalf("span starting at the cut = %v, want 1", u)
+	}
+	// Half the span inside the window.
+	u = l.WindowedUtilization(e.Now(), busy/2)
+	if math.Abs(u-1) > 1e-9 {
+		t.Fatalf("half-window over a busy tail = %v, want 1", u)
+	}
+	// Window twice the span: utilization halves.
+	u = l.WindowedUtilization(e.Now(), 2*busy)
+	if math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("double-window utilization = %v, want 0.5", u)
+	}
+}
+
+func TestWindowedUtilizationAfterSetDown(t *testing.T) {
+	// Traffic, then SetDown: new transfers fail without recording busy
+	// time, and the old spans age out of the window as the clock runs on.
+	e := sim.New(epoch)
+	n := New(e)
+	l := n.AddLink("a", "b", Gbps, 0)
+	xfer(t, e, n, 1<<30, false)
+	busyEnd := e.Now()
+
+	if err := n.SetDown("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	xfer(t, e, n, 1<<30, true)
+	if got := l.WindowedUtilization(busyEnd, time.Hour); got == 0 {
+		t.Fatal("pre-outage busy spans should still be visible in the window")
+	}
+	// An hour after the outage the old spans are outside a 30m window.
+	later := busyEnd.Add(time.Hour)
+	if u := l.WindowedUtilization(later, 30*time.Minute); u != 0 {
+		t.Fatalf("utilization %v after spans aged out, want 0", u)
+	}
+
+	// Restore and the link accumulates spans again.
+	if err := n.SetDown("a", "b", false); err != nil {
+		t.Fatal(err)
+	}
+	xfer(t, e, n, 1<<30, false)
+	if u := l.WindowedUtilization(e.Now(), time.Minute); u == 0 {
+		t.Fatal("restored link should record busy spans again")
+	}
+}
+
+func TestWindowedUtilizationMidTransferFlap(t *testing.T) {
+	// A flap mid-transfer stops span recording at the chunk boundary:
+	// the recorded busy time stays below the full-transfer duration.
+	e := sim.New(epoch)
+	n := New(e)
+	l := n.AddLink("a", "b", Gbps, 0)
+	e.Go("flap", func(p *sim.Proc) {
+		p.Sleep(3 * time.Second) // one ~2.1s chunk fits; the next sees Down
+		l.Down = true
+	})
+	e.Go("xfer", func(p *sim.Proc) {
+		if _, err := n.Transfer(p, "a", "b", 4<<30); err == nil {
+			t.Error("mid-transfer flap should fail the transfer")
+		}
+	})
+	e.Run()
+	full := float64(4<<30) / Gbps
+	if got := l.WindowedUtilization(e.Now(), time.Hour) * 3600; got >= full {
+		t.Fatalf("busy seconds %v not truncated by the flap (full transfer %v)", got, full)
+	}
+	if l.WindowedUtilization(e.Now(), time.Hour) == 0 {
+		t.Fatal("chunks before the flap should have recorded busy spans")
+	}
+}
+
+func TestBusySpanMergeAndBound(t *testing.T) {
+	// Back-to-back chunks merge into one span; overflowing the bound
+	// compacts to the newest half instead of growing without limit.
+	l := &Link{}
+	base := epoch
+	l.recordBusy(base, base.Add(time.Second))
+	l.recordBusy(base.Add(time.Second), base.Add(2*time.Second))
+	if len(l.busy) != 1 {
+		t.Fatalf("contiguous spans did not merge: %d spans", len(l.busy))
+	}
+	if got := l.busy[0].end.Sub(l.busy[0].start); got != 2*time.Second {
+		t.Fatalf("merged span length = %v, want 2s", got)
+	}
+	// Disjoint spans accumulate up to the cap, then compact.
+	for i := 0; len(l.busy) < maxBusySpans; i++ {
+		at := base.Add(time.Duration(10+2*i) * time.Second)
+		l.recordBusy(at, at.Add(time.Second))
+	}
+	at := base.Add(time.Duration(10+2*maxBusySpans) * time.Hour)
+	l.recordBusy(at, at.Add(time.Second))
+	if len(l.busy) != maxBusySpans/2+1 {
+		t.Fatalf("compaction left %d spans, want %d", len(l.busy), maxBusySpans/2+1)
+	}
+	if got := l.busy[len(l.busy)-1].start; !got.Equal(at) {
+		t.Fatal("newest span lost during compaction")
+	}
+}

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// seriesResponse is the JSON envelope for a named-series query.
+type seriesResponse struct {
+	Name      string    `json:"name"`
+	Facility  string    `json:"facility"`
+	Window    string    `json:"window"`
+	Aggregate Aggregate `json:"aggregate"`
+	Points    []Point   `json:"points"`
+}
+
+// listResponse is the envelope when no series is named.
+type listResponse struct {
+	Series []SeriesKey `json:"series"`
+}
+
+// maxQueryPoints caps how many raw points one query returns; the newest
+// win, since dashboards page backwards from "now".
+const maxQueryPoints = 500
+
+// Handler serves the series store for GET /api/telemetry. Without
+// parameters it lists every series; with them it returns one window:
+//
+//	name=wan_bandwidth_bps   the signal name (required for a query)
+//	facility=nersc           the facility ("" matches the unscoped series)
+//	window=10m               lookback from the plane clock (default
+//	                         Config.DefaultWindow; "all" = every point)
+func (pl *Plane) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		name := q.Get("name")
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if name == "" {
+			resp := listResponse{Series: pl.Series()}
+			if resp.Series == nil {
+				resp.Series = []SeriesKey{}
+			}
+			enc.Encode(resp)
+			return
+		}
+		window := pl.cfg.DefaultWindow
+		if s := q.Get("window"); s == "all" {
+			window = 0
+		} else if s != "" {
+			d, err := time.ParseDuration(s)
+			if err != nil || d < 0 {
+				http.Error(w, "bad window: "+s, http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		agg, pts, ok := pl.Query(name, q.Get("facility"), pl.clock.Now(), window)
+		if !ok {
+			http.Error(w, "no such series: "+name, http.StatusNotFound)
+			return
+		}
+		if len(pts) > maxQueryPoints {
+			pts = pts[len(pts)-maxQueryPoints:]
+		}
+		if pts == nil {
+			pts = []Point{}
+		}
+		wstr := window.String()
+		if window == 0 {
+			wstr = "all"
+		}
+		enc.Encode(seriesResponse{
+			Name: name, Facility: q.Get("facility"), Window: wstr,
+			Aggregate: agg, Points: pts,
+		})
+	})
+}
+
+// healthResponse is the JSON envelope for /api/health.
+type healthResponse struct {
+	Healthy     bool             `json:"healthy"`
+	Facilities  []FacilityHealth `json:"facilities"`
+	Probes      []ProbeStat      `json:"probes"`
+	Transitions []Transition     `json:"transitions"`
+}
+
+// maxHealthTransitions bounds the timeline tail the handler returns.
+const maxHealthTransitions = 100
+
+// HealthHandler serves per-facility scores, verdicts, reasons, probe
+// stats, and the recent verdict timeline for GET /api/health, with
+// status 200 when everything is Healthy and 503 otherwise — the same
+// load-balancer contract the old health checker handler had.
+func (pl *Plane) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		resp := healthResponse{
+			Healthy:     pl.Healthy(),
+			Facilities:  pl.Health(),
+			Probes:      pl.ProbeStats(),
+			Transitions: pl.Transitions(),
+		}
+		if n := len(resp.Transitions); n > maxHealthTransitions {
+			resp.Transitions = resp.Transitions[n-maxHealthTransitions:]
+		}
+		if resp.Facilities == nil {
+			resp.Facilities = []FacilityHealth{}
+		}
+		if resp.Probes == nil {
+			resp.Probes = []ProbeStat{}
+		}
+		if resp.Transitions == nil {
+			resp.Transitions = []Transition{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		code := http.StatusOK
+		if !resp.Healthy {
+			code = http.StatusServiceUnavailable
+		}
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+}

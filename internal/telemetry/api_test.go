@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func get(t *testing.T, h http.Handler, url string) (*http.Response, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	res := rr.Result()
+	defer res.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := res.Body.Read(buf[:])
+	return res, buf[:n]
+}
+
+func TestTelemetryHandler(t *testing.T) {
+	e := sim.New(epoch)
+	pl := New(e, nil, nil, Config{DefaultWindow: 10 * time.Minute})
+	for i := 0; i < 3; i++ {
+		pl.Record("bw", "nersc", epoch.Add(time.Duration(i)*time.Minute), float64(10-i))
+	}
+	h := pl.Handler()
+
+	// Listing without a name.
+	res, body := get(t, h, "/api/telemetry")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", res.StatusCode)
+	}
+	var list listResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Series) != 1 || list.Series[0].Name != "bw" || list.Series[0].Count != 3 {
+		t.Fatalf("listing %+v", list)
+	}
+
+	// Named query with an explicit window. The sim clock is still at
+	// the epoch, so only the epoch point is inside a 30s lookback.
+	res, body = get(t, h, "/api/telemetry?name=bw&facility=nersc&window=30s")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", res.StatusCode, body)
+	}
+	var sr seriesResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Aggregate.Count != 1 || sr.Aggregate.Last != 10 || sr.Window != "30s" {
+		t.Fatalf("response %+v", sr)
+	}
+
+	// window=all returns the full ring.
+	_, body = get(t, h, "/api/telemetry?name=bw&facility=nersc&window=all")
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Aggregate.Count != 3 || sr.Window != "all" || len(sr.Points) != 3 {
+		t.Fatalf("window=all response %+v", sr)
+	}
+
+	// Errors: bad window, unknown series, wrong method.
+	if res, _ := get(t, h, "/api/telemetry?name=bw&window=banana"); res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad window status %d", res.StatusCode)
+	}
+	if res, _ := get(t, h, "/api/telemetry?name=zzz"); res.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown series status %d", res.StatusCode)
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/api/telemetry", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", rr.Code)
+	}
+}
+
+func TestTelemetryHandlerCapsPoints(t *testing.T) {
+	e := sim.New(epoch)
+	pl := New(e, nil, nil, Config{SeriesCapacity: maxQueryPoints + 100})
+	for i := 0; i < maxQueryPoints+50; i++ {
+		pl.Record("s", "", epoch.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	_, body := get(t, pl.Handler(), "/api/telemetry?name=s&window=all")
+	var sr seriesResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Points) != maxQueryPoints {
+		t.Fatalf("returned %d points, want cap %d", len(sr.Points), maxQueryPoints)
+	}
+	// Newest points win.
+	if sr.Points[len(sr.Points)-1].Value != float64(maxQueryPoints+49) {
+		t.Fatalf("tail point %v", sr.Points[len(sr.Points)-1])
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	pl, _ := brownout(t)
+	res, body := get(t, pl.HealthHandler(), "/api/health")
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("healthy plane served %d: %s", res.StatusCode, body)
+	}
+	var hr healthResponse
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if !hr.Healthy || len(hr.Facilities) != 1 || hr.Facilities[0].Facility != "nersc" {
+		t.Fatalf("health response %+v", hr)
+	}
+	if len(hr.Transitions) != 3 {
+		t.Fatalf("transitions %+v", hr.Transitions)
+	}
+
+	// A plane that has never ticked is unhealthy: 503.
+	cold := New(sim.New(epoch), nil, nil, Config{})
+	res, body = get(t, cold.HealthHandler(), "/api/health")
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold plane served %d", res.StatusCode)
+	}
+	if err := json.Unmarshal(body, &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Healthy || len(hr.Facilities) != 0 || len(hr.Probes) != 0 {
+		t.Fatalf("cold response %+v", hr)
+	}
+
+	rr := httptest.NewRecorder()
+	cold.HealthHandler().ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/api/health", nil))
+	if rr.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d", rr.Code)
+	}
+}

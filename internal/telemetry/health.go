@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/obslog"
+)
+
+// Verdict is the coarse health state a facility's score maps to.
+type Verdict string
+
+// The three verdicts: a broker routes normally to a Healthy facility,
+// deprioritizes a Degraded one, and avoids a Down one.
+const (
+	VerdictHealthy  Verdict = "healthy"
+	VerdictDegraded Verdict = "degraded"
+	VerdictDown     Verdict = "down"
+)
+
+// Rule is one declared scoring clause: when the aggregate of a series
+// over a window crosses the threshold, the rule fires and subtracts
+// Penalty from the facility's score, contributing Reason to the verdict.
+type Rule struct {
+	Name     string
+	Facility string
+	// Series names the signal (the facility is the rule's own). Probe
+	// series are addressable too: probe_<name>_seconds, probe_<name>_ok.
+	Series string
+	// Agg selects the window reduction: last, min, max, mean, count,
+	// rate. An unknown Agg never fires.
+	Agg string
+	// Window is the lookback; 0 takes Config.DefaultWindow.
+	Window time.Duration
+	// Op compares the aggregate to Threshold: one of < <= > >=.
+	Op        string
+	Threshold float64
+	// Penalty is subtracted from 100 when the rule fires.
+	Penalty float64
+	// Reason is the human-readable contribution shown in /api/health.
+	Reason string
+}
+
+// FacilityHealth is the current scored state of one facility.
+type FacilityHealth struct {
+	Facility string    `json:"facility"`
+	Score    float64   `json:"score"`
+	Verdict  Verdict   `json:"verdict"`
+	Reasons  []string  `json:"reasons,omitempty"`
+	Since    time.Time `json:"since"`
+	At       time.Time `json:"at"`
+}
+
+// Transition is one verdict change, the unit of the health timeline.
+type Transition struct {
+	At       time.Time `json:"at"`
+	Facility string    `json:"facility"`
+	From     Verdict   `json:"from"`
+	To       Verdict   `json:"to"`
+	Score    float64   `json:"score"`
+	Reasons  []string  `json:"reasons,omitempty"`
+}
+
+// maxTransitions bounds the retained timeline; far above what any
+// scenario produces, it only guards pathological flapping.
+const maxTransitions = 4096
+
+// AddRules declares scoring clauses. Rule order is evaluation order, so
+// reasons come out in a stable, declared sequence.
+func (pl *Plane) AddRules(rules ...Rule) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.rules = append(pl.rules, rules...)
+}
+
+// evalRuleLocked reports whether the rule fires at now.
+func (pl *Plane) evalRuleLocked(r Rule, now time.Time) bool {
+	s := pl.store[seriesKey(r.Series, r.Facility)]
+	if s == nil {
+		return false
+	}
+	w := r.Window
+	if w <= 0 {
+		w = pl.cfg.DefaultWindow
+	}
+	pts := s.window(now, w)
+	if len(pts) == 0 {
+		return false
+	}
+	agg := aggregate(pts)
+	var v float64
+	switch r.Agg {
+	case "", "last":
+		v = agg.Last
+	case "min":
+		v = agg.Min
+	case "max":
+		v = agg.Max
+	case "mean":
+		v = agg.Mean
+	case "count":
+		v = float64(agg.Count)
+	case "rate":
+		v = agg.Rate
+	default:
+		return false
+	}
+	switch r.Op {
+	case "<":
+		return v < r.Threshold
+	case "<=":
+		return v <= r.Threshold
+	case ">":
+		return v > r.Threshold
+	case ">=":
+		return v >= r.Threshold
+	}
+	return false
+}
+
+// scoreLocked rescores every facility named by the rule set, recording
+// and journaling verdict transitions. Facilities are swept in sorted
+// order and rules in declaration order, keeping the timeline
+// deterministic.
+func (pl *Plane) scoreLocked(ctx context.Context, now time.Time) {
+	for _, fac := range pl.sortedFacilitiesLocked() {
+		score := 100.0
+		var reasons []string
+		for _, r := range pl.rules {
+			if r.Facility != fac || !pl.evalRuleLocked(r, now) {
+				continue
+			}
+			score -= r.Penalty
+			reasons = append(reasons, r.Reason)
+		}
+		if score < 0 {
+			score = 0
+		}
+		verdict := VerdictHealthy
+		switch {
+		case score < pl.cfg.DegradedFloor:
+			verdict = VerdictDown
+		case score < pl.cfg.HealthyFloor:
+			verdict = VerdictDegraded
+		}
+		h := pl.health[fac]
+		if h == nil {
+			// Facilities begin Healthy: an unobserved facility has no
+			// evidence against it, and the first bad tick still records
+			// a transition.
+			h = &FacilityHealth{Facility: fac, Score: 100, Verdict: VerdictHealthy, Since: now}
+			pl.health[fac] = h
+		}
+		prev := h.Verdict
+		h.Score, h.Reasons, h.At = score, reasons, now
+		if verdict == prev {
+			continue
+		}
+		h.Verdict = verdict
+		h.Since = now
+		if len(pl.trans) < maxTransitions {
+			pl.trans = append(pl.trans, Transition{
+				At: now, Facility: fac, From: prev, To: verdict, Score: score,
+				Reasons: append([]string(nil), reasons...),
+			})
+		}
+		level := obslog.LevelWarn
+		if verdict == VerdictHealthy {
+			level = obslog.LevelInfo
+		}
+		pl.journal.Emit(ctx, level, "telemetry", "facility verdict changed",
+			obslog.F("facility", fac),
+			obslog.F("from", string(prev)),
+			obslog.F("to", string(verdict)),
+			obslog.F("score", score),
+			obslog.F("reasons", len(reasons)),
+		)
+	}
+}
+
+// Health returns every scored facility, sorted by name.
+func (pl *Plane) Health() []FacilityHealth {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	out := make([]FacilityHealth, 0, len(pl.health))
+	for _, fac := range pl.sortedFacilitiesLocked() {
+		if h := pl.health[fac]; h != nil {
+			c := *h
+			c.Reasons = append([]string(nil), h.Reasons...)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// HealthFor returns one facility's state, if it has been scored.
+func (pl *Plane) HealthFor(facility string) (FacilityHealth, bool) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	h := pl.health[facility]
+	if h == nil {
+		return FacilityHealth{}, false
+	}
+	c := *h
+	c.Reasons = append([]string(nil), h.Reasons...)
+	return c, true
+}
+
+// Transitions returns the verdict timeline, oldest first.
+func (pl *Plane) Transitions() []Transition {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return append([]Transition(nil), pl.trans...)
+}
+
+// Healthy reports whether at least one scoring tick has run and every
+// scored facility is currently Healthy — the single repo-wide notion of
+// "healthy" behind /api/health.
+func (pl *Plane) Healthy() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if pl.ticks == 0 {
+		return false
+	}
+	for _, h := range pl.health {
+		if h.Verdict != VerdictHealthy {
+			return false
+		}
+	}
+	return true
+}

@@ -97,6 +97,24 @@ if ! grep -q '"run shed"' "$jdir/s1.jsonl" || ! grep -q '"run deferred"' "$jdir/
 fi
 echo "sched journals identical ($(wc -l <"$jdir/s1.jsonl") events, incl. shed/defer)"
 
+echo "== telemetry determinism (two seeded runs, byte-identical verdict timelines) =="
+# The telemetry plane samples, scores, and probes purely on the sim
+# clock, so two seeded brownout replays must dump byte-identical verdict
+# timelines ending in the same probe-series digest.
+go run ./cmd/flowserver -oneshot -scenario internal/scenario/testdata/facility_brownout.yaml \
+	-telemetry-journal "$jdir/t1.jsonl" >/dev/null 2>&1
+go run ./cmd/flowserver -oneshot -scenario internal/scenario/testdata/facility_brownout.yaml \
+	-telemetry-journal "$jdir/t2.jsonl" >/dev/null 2>&1
+if ! cmp -s "$jdir/t1.jsonl" "$jdir/t2.jsonl"; then
+	echo "telemetry timelines differ between identical seeded runs"
+	exit 1
+fi
+if ! grep -q '"to":"down"' "$jdir/t1.jsonl" || ! grep -q '"probe_digest"' "$jdir/t1.jsonl"; then
+	echo "telemetry timeline lacks the brownout verdict walk or probe digest"
+	exit 1
+fi
+echo "telemetry timelines identical ($(wc -l <"$jdir/t1.jsonl") lines, incl. down verdict + probe digest)"
+
 echo "== scenario goldens (full seed corpus, seeded replay vs golden) =="
 # Every spec in the seed corpus must replay deterministically (two fresh
 # runs byte-identical), match its recorded golden outcome, and pass its
@@ -149,5 +167,6 @@ floor ./internal/slo 90
 floor ./internal/monitor 90
 floor ./internal/sched 85
 floor ./internal/scenario 85
+floor ./internal/telemetry 85
 
 echo "OK"
